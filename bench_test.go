@@ -1,0 +1,411 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each BenchmarkFigN corresponds to one figure (see DESIGN.md §4); custom
+// metrics report the paper-comparable statistics (speedups, long-tail
+// fractions, improvement percentages) so `go test -bench` output doubles as
+// the reproduction record.
+package dcta_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/knapsack"
+	"repro/internal/mathx"
+	"repro/internal/mlearn"
+	"repro/internal/rl"
+)
+
+var (
+	benchOnce sync.Once
+	benchScn  *dcta.Scenario
+	benchErr  error
+)
+
+// benchScenario builds the paper-scale world once and shares it across
+// benchmarks (the build itself is benchmarked separately).
+func benchScenario(b *testing.B) *dcta.Scenario {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchScn, benchErr = dcta.NewScenario(dcta.DefaultScenarioConfig(1))
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchScn
+}
+
+// BenchmarkScenarioBuild measures the end-to-end world construction: trace
+// generation, MTL fitting, importance computation, store building, CRL and
+// local-process training.
+func BenchmarkScenarioBuild(b *testing.B) {
+	cfg := dcta.DefaultScenarioConfig(7)
+	cfg.HistoryContexts = 30
+	cfg.EvalContexts = 6
+	cfg.CRLEpisodes = 30
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dcta.NewScenario(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2LongTail regenerates Fig. 2 (task-importance long tail).
+func BenchmarkFig2LongTail(b *testing.B) {
+	s := benchScenario(b)
+	var last *dcta.Fig2Result
+	for i := 0; i < b.N; i++ {
+		r, err := dcta.Fig2LongTail(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Stats.TopFractionFor80*100, "top%_for_80%")
+	b.ReportMetric(last.Stats.Gini, "gini")
+}
+
+// BenchmarkFig3AccurateVsRandom regenerates Fig. 3 (decision performance of
+// accurate vs random allocation).
+func BenchmarkFig3AccurateVsRandom(b *testing.B) {
+	s := benchScenario(b)
+	var last *dcta.Fig3Result
+	for i := 0; i < b.N; i++ {
+		r, err := dcta.Fig3AccurateVsRandom(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.ImprovementPct, "improvement_%")
+}
+
+// BenchmarkFig45ImportanceByOperation regenerates Figs. 4-5 (importance mean
+// and variation per machine × operation).
+func BenchmarkFig45ImportanceByOperation(b *testing.B) {
+	s := benchScenario(b)
+	var rows []dcta.Fig45Row
+	for i := 0; i < b.N; i++ {
+		r, err := dcta.Fig45ImportanceByOperation(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	var maxStd float64
+	for _, r := range rows {
+		if r.StdImportance > maxStd {
+			maxStd = r.StdImportance
+		}
+	}
+	b.ReportMetric(maxStd, "max_std")
+}
+
+// BenchmarkFig9ProcessorSweep regenerates Fig. 9 (PT vs processors).
+func BenchmarkFig9ProcessorSweep(b *testing.B) {
+	s := benchScenario(b)
+	var last *dcta.PTSeries
+	for i := 0; i < b.N; i++ {
+		r, err := dcta.Fig9ProcessorSweep(s, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	reportSpeedups(b, last)
+}
+
+// BenchmarkFig10DataSizeSweep regenerates Fig. 10 (PT vs input data size).
+func BenchmarkFig10DataSizeSweep(b *testing.B) {
+	s := benchScenario(b)
+	var last *dcta.PTSeries
+	for i := 0; i < b.N; i++ {
+		r, err := dcta.Fig10DataSizeSweep(s, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	reportSpeedups(b, last)
+}
+
+// BenchmarkFig11BandwidthSweep regenerates Fig. 11 (PT vs bandwidth).
+func BenchmarkFig11BandwidthSweep(b *testing.B) {
+	s := benchScenario(b)
+	var last *dcta.PTSeries
+	for i := 0; i < b.N; i++ {
+		r, err := dcta.Fig11BandwidthSweep(s, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	reportSpeedups(b, last)
+}
+
+func reportSpeedups(b *testing.B, s *dcta.PTSeries) {
+	b.Helper()
+	for base, sp := range s.SpeedupVs {
+		b.ReportMetric(sp.Mean, "mean_x_vs_"+base)
+		b.ReportMetric(sp.Max, "max_x_vs_"+base)
+	}
+}
+
+// BenchmarkEnvMismatchPenalties regenerates the §III-C (46.28%) and §IV-A
+// (28.84%) inline environment-accuracy numbers.
+func BenchmarkEnvMismatchPenalties(b *testing.B) {
+	s := benchScenario(b)
+	var last *dcta.EnvMismatchResult
+	for i := 0; i < b.N; i++ {
+		r, err := dcta.EnvMismatchPenalties(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.RLPenaltyPct, "rl_penalty_%")
+	b.ReportMetric(last.CRLPenaltyPct, "crl_penalty_%")
+}
+
+// BenchmarkTableIFeatures regenerates Table I (feature extraction).
+func BenchmarkTableIFeatures(b *testing.B) {
+	s := benchScenario(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := dcta.TableIFeatures(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLocalModelComparison regenerates the §IV-B SVM vs AdaBoost vs
+// random-forest selection study.
+func BenchmarkLocalModelComparison(b *testing.B) {
+	s := benchScenario(b)
+	var rows []dcta.ModelComparisonRow
+	for i := 0; i < b.N; i++ {
+		r, err := dcta.LocalModelComparison(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.TestAcc*100, r.Model+"_test_%")
+	}
+}
+
+// --- micro-benchmarks of the substrates -----------------------------------
+
+// BenchmarkTraceGeneration measures the synthetic dataset generator (one
+// building-year at hourly cadence).
+func BenchmarkTraceGeneration(b *testing.B) {
+	cfg := dcta.TraceConfig{Seed: 1, StartYear: 2015, Years: 1, StepHours: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dcta.GenerateTrace(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKnapsackGreedy measures the density-greedy MCMK heuristic at the
+// paper's scale (50 items, 10 sacks).
+func BenchmarkKnapsackGreedy(b *testing.B) {
+	in := randomInstance(50, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := knapsack.SolveGreedy(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKnapsackExact measures the branch-and-bound reference at its size
+// cap.
+func BenchmarkKnapsackExact(b *testing.B) {
+	in := randomInstance(16, 3)
+	for i := 0; i < b.N; i++ {
+		if _, err := knapsack.SolveExact(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func randomInstance(n, m int) *knapsack.Instance {
+	rng := mathx.NewRand(3)
+	in := &knapsack.Instance{}
+	for i := 0; i < n; i++ {
+		in.Items = append(in.Items, knapsack.Item{
+			Value:  rng.Float64(),
+			Weight: rng.Float64() * 3,
+			Volume: rng.Float64(),
+		})
+	}
+	for i := 0; i < m; i++ {
+		in.Sacks = append(in.Sacks, knapsack.Sack{WeightCap: 5, VolumeCap: 3})
+	}
+	return in
+}
+
+// BenchmarkDQNStep measures one DQN observe/learn step at the allocation
+// MDP's dimensions (50 tasks × 9 processors).
+func BenchmarkDQNStep(b *testing.B) {
+	stateSize := 2 * 50 * 9
+	agent, err := rl.NewDQN(stateSize, 51, rl.DQNConfig{
+		Hidden: []int{48}, BatchSize: 8, WarmupSteps: 1, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	state := make([]float64, stateSize)
+	next := make([]float64, stateSize)
+	tr := rl.Transition{
+		State: state, Action: 3, Reward: 1, NextState: next,
+		NextValid: []int{0, 1, 2}, Done: false,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := agent.Observe(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSVMTrain measures local-process training at its experiment scale.
+func BenchmarkSVMTrain(b *testing.B) {
+	rng := mathx.NewRand(5)
+	n, dim := 600, 12
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = make([]float64, dim)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+		}
+		if x[i][0] > 0 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	d, err := mlearn.NewDataset(x, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		svm := mlearn.NewSVM()
+		if err := svm.Fit(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocateAndSimulate measures one full decision cycle (allocate +
+// simulate) for every strategy.
+func BenchmarkAllocateAndSimulate(b *testing.B) {
+	s := benchScenario(b)
+	allocators, err := s.Allocators()
+	if err != nil {
+		b.Fatal(err)
+	}
+	req, err := s.RequestFor(s.Eval[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range dcta.MethodOrder {
+		a := allocators[name]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := a.Allocate(req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := dcta.Simulate(s.Cluster, req.Problem, res, 0.8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOfflineVsOnlineModes regenerates the §VII environment-definition
+// mode comparison (offline k-means vs online kNN).
+func BenchmarkOfflineVsOnlineModes(b *testing.B) {
+	s := benchScenario(b)
+	var last *dcta.ModeComparisonResult
+	for i := 0; i < b.N; i++ {
+		r, err := dcta.OfflineVsOnlineModes(s, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.OnlinePenaltyPct, "online_penalty_%")
+	b.ReportMetric(last.OfflinePenaltyPct, "offline_penalty_%")
+}
+
+// BenchmarkRobustnessSweep measures PT degradation under crash-stop worker
+// failures (extension; DESIGN.md §5).
+func BenchmarkRobustnessSweep(b *testing.B) {
+	s := benchScenario(b)
+	var points []dcta.RobustnessPoint
+	for i := 0; i < b.N; i++ {
+		r, err := dcta.RobustnessSweep(s, []float64{0, 0.25, 0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = r
+	}
+	last := points[len(points)-1]
+	for _, name := range dcta.MethodOrder {
+		b.ReportMetric(last.MeanPT[name], name+"_pt_at_50%_faults")
+	}
+}
+
+// BenchmarkMTLModeComparison evaluates the §V-B MTL modes (independent,
+// self-adapted, clustered) and base learners under data scarcity.
+func BenchmarkMTLModeComparison(b *testing.B) {
+	s := benchScenario(b)
+	var rows []dcta.MTLModeRow
+	for i := 0; i < b.N; i++ {
+		r, err := dcta.MTLModeComparison(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MeanH, r.Mode.String()+"_"+r.Learner.String()+"_H")
+	}
+}
+
+// BenchmarkSolverScaling times the Theorem-1 solvers across problem sizes.
+func BenchmarkSolverScaling(b *testing.B) {
+	var points []dcta.ScalingPoint
+	for i := 0; i < b.N; i++ {
+		p, err := dcta.SolverScaling(1, nil, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = p
+	}
+	for _, p := range points {
+		if p.ExactMicros > 0 {
+			b.ReportMetric(p.ExactMicros, "exact_us_n"+itoa(p.Tasks))
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestConfigFor(t *testing.T) {
+	fast, err := configFor(3, "fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Seed != 3 || fast.Tasks != 24 || fast.Workers != 5 {
+		t.Fatalf("fast config = %+v", fast)
+	}
+	def, err := configFor(1, "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Tasks != 50 || def.Workers != 9 {
+		t.Fatalf("default config = %+v", def)
+	}
+	full, err := configFor(1, "full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Years != 4 || full.StepHours != 1 || full.HistoryContexts != 120 {
+		t.Fatalf("full config = %+v", full)
+	}
+	if _, err := configFor(1, "warp"); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run("nope", 1, "warp"); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}

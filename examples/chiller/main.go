@@ -1,0 +1,86 @@
+// Chiller: the paper's AIOps scenario end to end — generate the
+// green-building dataset, fit the 50 transfer-learning tasks, measure task
+// importance (Definition 1), verify the long tail (Observation 1), and
+// compare all four allocation strategies' processing time on the simulated
+// Raspberry-Pi testbed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("== DCTA on the green-building AIOps scenario ==")
+	fmt.Println("building the world (trace, MTL tasks, importance, CRL, SVM)...")
+	cfg := dcta.DefaultScenarioConfig(1)
+	cfg.HistoryContexts = 40
+	cfg.EvalContexts = 8
+	s, err := dcta.NewScenario(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Observation 1: long-tail importance.
+	fig2, err := dcta.Fig2LongTail(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%d tasks; top %.1f%% of tasks carry 80%% of importance (Gini %.2f)\n",
+		len(fig2.SortedImportance), fig2.Stats.TopFractionFor80*100, fig2.Stats.Gini)
+
+	// Observation 2: importance-aware allocation improves the decision.
+	fig3, err := dcta.Fig3AccurateVsRandom(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("accurate vs random allocation: H %.4f vs %.4f (+%.1f%%)\n",
+		fig3.MeanAccurate, fig3.MeanRandom, fig3.ImprovementPct)
+
+	// §V: processing time of the four strategies on one evaluation epoch.
+	allocators, err := s.Allocators()
+	if err != nil {
+		return err
+	}
+	req, err := s.RequestFor(s.Eval[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nepoch %s — PT per strategy:\n", s.Eval[0].Plant.Time.Format("2006-01-02"))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "method\tassigned\tPT(s)\tmakespan(s)")
+	for _, name := range dcta.MethodOrder {
+		res, err := allocators[name].Allocate(req)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		sim, err := dcta.Simulate(s.Cluster, req.Problem, res, s.Config.CoverageTarget)
+		if err != nil {
+			return err
+		}
+		assigned := 0
+		for _, p := range res.Allocation {
+			if p != dcta.Unassigned {
+				assigned++
+			}
+		}
+		fmt.Fprintf(w, "%s\t%d/%d\t%.2f\t%.2f\n",
+			name, assigned, len(res.Allocation), sim.ProcessingTime, sim.Makespan)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\nDCTA runs only the important tasks on the right nodes —")
+	fmt.Println("that is the paper's 3.24x processing-time headline.")
+	return nil
+}

@@ -1,0 +1,288 @@
+package alloc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/mathx"
+	"repro/internal/mlearn"
+)
+
+// CRLAllocator wraps the core CRL model (Alg. 1) as a §V strategy: kNN
+// environment definition followed by a greedy DQN rollout. Its priorities
+// are the *clustered* importance estimates — when the defined environment
+// mismatches reality, those priorities mis-rank tasks, which is the failure
+// mode DCTA's local process corrects.
+type CRLAllocator struct {
+	model *core.CRL
+}
+
+// NewCRLAllocator wraps a trained (or about-to-be-trained) CRL model.
+func NewCRLAllocator(model *core.CRL) (*CRLAllocator, error) {
+	if model == nil {
+		return nil, fmt.Errorf("alloc: nil CRL model")
+	}
+	return &CRLAllocator{model: model}, nil
+}
+
+// Name implements Allocator.
+func (c *CRLAllocator) Name() string { return "CRL" }
+
+// CoverageTarget bounds the greedy guard's packing (see Allocate).
+const crlCoverageTarget = 1.0
+
+// Allocate implements Allocator. The DQN rollout is guarded by a greedy
+// pack on the *defined* importance: whenever the rollout captures less of
+// the policy's own importance estimate than the greedy pack would, the
+// guard's plan ships instead. A converged policy matches or beats the
+// guard; an under-trained one degrades gracefully to it. Either way the
+// decision is driven by the clustered environment — whose mismatch with
+// reality is exactly the weakness DCTA's local process corrects.
+func (c *CRLAllocator) Allocate(req Request) (*Result, error) {
+	if err := validate(req); err != nil {
+		return nil, err
+	}
+	if !c.model.Trained() {
+		return nil, ErrNotReady
+	}
+	allocation, env, err := c.model.Predict(req.Signature)
+	if err != nil {
+		if errors.Is(err, core.ErrNotTrained) {
+			return nil, ErrNotReady
+		}
+		return nil, fmt.Errorf("crl allocate: %w", err)
+	}
+	predictedOf := func(a core.Allocation) float64 {
+		var v float64
+		for j, proc := range a {
+			if proc != core.Unassigned && j < len(env.Importance) {
+				v += env.Importance[j]
+			}
+		}
+		return v
+	}
+	guard, guardOps := packByScore(req.Problem, env.Importance, crlCoverageTarget)
+	predicted := predictedOf(allocation)
+	if g := predictedOf(guard); g > predicted {
+		allocation, predicted = guard, g
+	}
+	n, m := len(req.Problem.Tasks), len(req.Problem.Processors)
+	// kNN over the store, one DQN forward per episode step, plus the guard.
+	ops := float64(len(req.Signature)) + float64(n+m)*dqnForwardOps(n, m) + guardOps
+	return &Result{
+		Allocation:          allocation,
+		DecisionOps:         ops,
+		PredictedImportance: predicted,
+		Priority:            mathx.Clone(env.Importance),
+	}, nil
+}
+
+// dqnForwardOps estimates multiply-adds of one Q-network forward pass for
+// the allocation MDP's state/action sizes (two hidden layers of 64).
+func dqnForwardOps(n, m int) float64 {
+	in := float64(2 * n * m)
+	return in*64 + 64*64 + 64*float64(n+1)
+}
+
+// LocalModel is the DCTA local process F₂ (§IV-B): a squared-hinge SVM over
+// the Table-I features predicting whether a task belongs in the optimal
+// decision, with feature standardization.
+type LocalModel struct {
+	svm    *mlearn.SVM
+	scaler *mlearn.StandardScaler
+	fitted bool
+}
+
+// NewLocalModel returns an untrained local model. The SVM hyperparameters
+// (C, epochs, step size) are the ones selected by the §IV-B comparison.
+func NewLocalModel(seed int64) *LocalModel {
+	svm := mlearn.NewSVM()
+	svm.Seed = seed
+	svm.C = 50
+	svm.Epochs = 200
+	svm.LearningRate = 0.02
+	return &LocalModel{svm: svm, scaler: &mlearn.StandardScaler{}}
+}
+
+// LocalSample is one training example for the local process.
+type LocalSample struct {
+	// Features is the Table-I vector for (task, context).
+	Features []float64
+	// Selected is +1 when the task was part of the optimal decision, −1
+	// otherwise.
+	Selected float64
+}
+
+// Fit trains the SVM on local real-world samples.
+func (l *LocalModel) Fit(samples []LocalSample) error {
+	if len(samples) == 0 {
+		return mlearn.ErrEmptyDataset
+	}
+	x := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	for i, s := range samples {
+		v := mathx.Clone(s.Features)
+		features.Sanitize(v)
+		x[i] = v
+		y[i] = s.Selected
+	}
+	if err := l.scaler.Fit(x); err != nil {
+		return fmt.Errorf("local scaler: %w", err)
+	}
+	scaled, err := l.scaler.TransformAll(x)
+	if err != nil {
+		return fmt.Errorf("local scaler: %w", err)
+	}
+	d, err := mlearn.NewDataset(scaled, y)
+	if err != nil {
+		return fmt.Errorf("local dataset: %w", err)
+	}
+	if err := l.svm.Fit(d); err != nil {
+		return fmt.Errorf("local svm: %w", err)
+	}
+	l.fitted = true
+	return nil
+}
+
+// Score returns the probability-like selection score in [0, 1] for one
+// feature vector.
+func (l *LocalModel) Score(featureVec []float64) (float64, error) {
+	if !l.fitted {
+		return 0, ErrNotReady
+	}
+	v := mathx.Clone(featureVec)
+	features.Sanitize(v)
+	scaled, err := l.scaler.Transform(v)
+	if err != nil {
+		return 0, fmt.Errorf("local transform: %w", err)
+	}
+	return l.svm.Probability(scaled)
+}
+
+// Fitted reports training state.
+func (l *LocalModel) Fitted() bool { return l.fitted }
+
+// SamplesFromDecision converts one historical optimal decision into local
+// training samples: every task selected by the (importance-aware) decision
+// is a positive example, every dropped task a negative one.
+func SamplesFromDecision(featureVecs [][]float64, allocation core.Allocation) []LocalSample {
+	n := len(allocation)
+	if len(featureVecs) < n {
+		n = len(featureVecs)
+	}
+	out := make([]LocalSample, 0, n)
+	for j := 0; j < n; j++ {
+		label := -1.0
+		if allocation[j] != core.Unassigned {
+			label = 1
+		}
+		out = append(out, LocalSample{Features: featureVecs[j], Selected: label})
+	}
+	return out
+}
+
+// DCTA is the cooperative allocator of Eq. (6):
+// F(J, X) = w₁·F₁(J, C) + w₂·F₂(J, R), where F₁ is the CRL general process
+// (trained on abundant environment-definition data) and F₂ is the SVM local
+// process (trained on scarce real-world data). The combined per-task scores
+// drive a constraint-respecting greedy packing that keeps only the most
+// important work (§V: DCTA "merely performs the most important tasks").
+type DCTA struct {
+	// W1 and W2 weight the general and local processes.
+	W1, W2 float64
+	// CoverageTarget stops packing once this fraction of the combined score
+	// mass is captured.
+	CoverageTarget float64
+	// GeneralFromQ sources F₁ from the trained Q-function's initial-state
+	// action values (Eq. 5) instead of the defined environment's importance.
+	// Off by default: the Q-scores carry the approximator's noise on top of
+	// the clustering error, which measurably hurts the combined ranking
+	// (see the ablation bench).
+	GeneralFromQ bool
+
+	crl   *core.CRL
+	local *LocalModel
+}
+
+// NewDCTA combines a trained CRL model with a trained local model using the
+// default weights (equal trust, 90% coverage).
+func NewDCTA(crl *core.CRL, local *LocalModel) (*DCTA, error) {
+	if crl == nil || local == nil {
+		return nil, fmt.Errorf("alloc: DCTA needs both processes")
+	}
+	return &DCTA{W1: 0.5, W2: 0.5, CoverageTarget: 0.90, crl: crl, local: local}, nil
+}
+
+// Name implements Allocator.
+func (d *DCTA) Name() string { return "DCTA" }
+
+// Allocate implements Allocator. The request must carry per-task feature
+// vectors for the local process.
+func (d *DCTA) Allocate(req Request) (*Result, error) {
+	if err := validate(req); err != nil {
+		return nil, err
+	}
+	if !d.crl.Trained() || !d.local.Fitted() {
+		return nil, ErrNotReady
+	}
+	n := len(req.Problem.Tasks)
+	if len(req.Features) != n {
+		return nil, fmt.Errorf("alloc: %d feature vectors for %d tasks", len(req.Features), n)
+	}
+	// General process F₁: the clustered environment's importance estimate
+	// (or, with GeneralFromQ, the Eq.-5 Q-scores), max-normalized to [0,1]
+	// so it mixes with the local probabilities on a common scale.
+	var general []float64
+	var env *core.Environment
+	if d.GeneralFromQ {
+		var err error
+		general, env, err = d.crl.TaskScores(req.Signature)
+		if err != nil {
+			return nil, fmt.Errorf("dcta general process (Q): %w", err)
+		}
+	} else {
+		var err error
+		env, err = d.crl.DefineEnvironment(req.Signature)
+		if err != nil {
+			return nil, fmt.Errorf("dcta general process: %w", err)
+		}
+		general = mathx.Clone(env.Importance)
+	}
+	if hi := mathx.MaxOf(general); hi > 0 {
+		mathx.Scale(1/hi, general)
+	}
+	// Local process F₂: SVM selection scores from runtime features.
+	combined := make([]float64, n)
+	for j := 0; j < n; j++ {
+		localScore, err := d.local.Score(req.Features[j])
+		if err != nil {
+			return nil, fmt.Errorf("dcta local process task %d: %w", j, err)
+		}
+		combined[j] = d.W1*general[j] + d.W2*localScore
+	}
+	allocation, packOps := packByScore(req.Problem, combined, d.CoverageTarget)
+	m := len(req.Problem.Processors)
+	ops := dqnForwardOps(n, m) + // one Q evaluation
+		float64(n*features.Dim) + // SVM margins
+		packOps
+	var predicted float64
+	for j, proc := range allocation {
+		if proc != core.Unassigned && j < len(env.Importance) {
+			predicted += env.Importance[j]
+		}
+	}
+	return &Result{
+		Allocation:          allocation,
+		DecisionOps:         ops,
+		PredictedImportance: predicted,
+		Priority:            combined,
+	}, nil
+}
+
+// Compile-time interface checks.
+var (
+	_ Allocator = (*CRLAllocator)(nil)
+	_ Allocator = (*DCTA)(nil)
+)

@@ -1,0 +1,108 @@
+// Package conc provides the small concurrency utilities the experiment
+// harnesses use to exploit multicore hosts: a bounded parallel for-each with
+// first-error propagation. Stdlib-only, no goroutine leaks: every call joins
+// all of its workers before returning.
+package conc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on up to `workers` goroutines
+// (workers < 1 selects GOMAXPROCS) and returns the first error encountered,
+// after all workers have exited. A panic in fn is recovered and reported as
+// an error rather than crashing the process.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := call(fn, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		first  error
+		next   int
+		nextMu sync.Mutex
+	)
+	record := func(err error) {
+		if err == nil {
+			return
+		}
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+	}
+	take := func() (int, bool) {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		if next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := take()
+				if !ok {
+					return
+				}
+				// Keep draining even after an error so indices are not
+				// silently skipped mid-structure; callers treat results
+				// as invalid once an error is reported.
+				record(call(fn, i))
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// call invokes fn(i), converting panics into errors.
+func call(fn func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("conc: panic at index %d: %v", i, r)
+		}
+	}()
+	return fn(i)
+}
+
+// Map runs fn(i) for every i in [0, n) in parallel and collects the results
+// in order. On error the partial results are discarded.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

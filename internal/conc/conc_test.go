@@ -1,0 +1,104 @@
+package conc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 100} {
+		var count int64
+		seen := make([]int64, 50)
+		err := ForEach(50, workers, func(i int) error {
+			atomic.AddInt64(&count, 1)
+			atomic.AddInt64(&seen[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if count != 50 {
+			t.Fatalf("workers=%d: ran %d of 50", workers, count)
+		}
+		for i, v := range seen {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { t.Fatal("should not run"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(-5, 4, func(int) error { t.Fatal("should not run"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(20, 4, func(i int) error {
+		if i%7 == 3 {
+			return fmt.Errorf("index %d: %w", i, boom)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestForEachRecoversPanics(t *testing.T) {
+	err := ForEach(10, 3, func(i int) error {
+		if i == 5 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic not converted to error: %v", err)
+	}
+}
+
+func TestForEachSequentialPath(t *testing.T) {
+	// workers=1 must stop at the first error (fast-fail semantics).
+	var ran int
+	err := ForEach(10, 1, func(i int) error {
+		ran++
+		if i == 2 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if ran != 3 {
+		t.Fatalf("sequential path ran %d, want 3 (fail fast)", ran)
+	}
+}
+
+func TestMapOrdering(t *testing.T) {
+	out, err := Map(20, 4, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if _, err := Map(5, 2, func(i int) (int, error) {
+		if i == 4 {
+			return 0, errors.New("nope")
+		}
+		return i, nil
+	}); err == nil {
+		t.Fatal("Map swallowed error")
+	}
+}

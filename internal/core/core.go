@@ -1,0 +1,200 @@
+// Package core implements the paper's primary contribution: the TATIM
+// problem (task allocation with task importance for MTL on the edge,
+// Definitions 2–4), its environment-dynamic allocation MDP (§III-D), the
+// historical-environment store with kNN environment definition (§III-C), and
+// the Clustered Reinforcement Learning model of Algorithm 1.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/knapsack"
+)
+
+// Common errors.
+var (
+	// ErrBadProblem is returned for malformed TATIM instances.
+	ErrBadProblem = errors.New("core: invalid TATIM problem")
+	// ErrEmptyStore is returned when environment definition has no history.
+	ErrEmptyStore = errors.New("core: empty environment store")
+	// ErrNotTrained is returned when predicting with an untrained model.
+	ErrNotTrained = errors.New("core: model not trained")
+)
+
+// TaskSpec is one allocatable task j with the quantities of Eqs. (2)–(4).
+type TaskSpec struct {
+	// ID is the dense task index.
+	ID int
+	// Importance is I_j ∈ [0, 1].
+	Importance float64
+	// TimeCost is t_j, the execution time consumed on a processor.
+	TimeCost float64
+	// Resource is v_j, the resource demand.
+	Resource float64
+	// InputBits is the task's input data size (drives transmission time in
+	// the edge simulator; not a knapsack constraint).
+	InputBits float64
+}
+
+// Processor is one edge processor p.
+type Processor struct {
+	// ID is the dense processor index.
+	ID int
+	// Capacity is V_p, the resource capacity of Eq. (4).
+	Capacity float64
+	// SpeedFactor scales effective execution time (1 = nominal); the
+	// knapsack abstraction uses nominal t_j, while the edge simulator
+	// divides by this factor.
+	SpeedFactor float64
+}
+
+// Problem is a TATIM instance (Definition 4).
+type Problem struct {
+	Tasks      []TaskSpec
+	Processors []Processor
+	// TimeLimit is T of Eq. (3), shared by all processors.
+	TimeLimit float64
+}
+
+// Unassigned marks a task left off every processor. Dropping unimportant
+// tasks is the mechanism by which importance-aware allocation saves
+// resources (§II-B).
+const Unassigned = -1
+
+// Allocation is the task-allocation matrix u flattened to one processor
+// index (or Unassigned) per task, valid because Eq. (2) admits at most one
+// processor per task.
+type Allocation []int
+
+// Validate checks the problem's well-formedness.
+func (p *Problem) Validate() error {
+	if len(p.Tasks) == 0 {
+		return fmt.Errorf("no tasks: %w", ErrBadProblem)
+	}
+	if len(p.Processors) == 0 {
+		return fmt.Errorf("no processors: %w", ErrBadProblem)
+	}
+	if p.TimeLimit <= 0 {
+		return fmt.Errorf("time limit %.3f: %w", p.TimeLimit, ErrBadProblem)
+	}
+	for i, t := range p.Tasks {
+		if t.ID != i {
+			return fmt.Errorf("task %d has ID %d: %w", i, t.ID, ErrBadProblem)
+		}
+		if t.Importance < 0 || t.Importance > 1 {
+			return fmt.Errorf("task %d importance %.3f: %w", i, t.Importance, ErrBadProblem)
+		}
+		if t.TimeCost < 0 || t.Resource < 0 {
+			return fmt.Errorf("task %d negative cost: %w", i, ErrBadProblem)
+		}
+	}
+	for i, pr := range p.Processors {
+		if pr.ID != i {
+			return fmt.Errorf("processor %d has ID %d: %w", i, pr.ID, ErrBadProblem)
+		}
+		if pr.Capacity < 0 {
+			return fmt.Errorf("processor %d capacity %.3f: %w", i, pr.Capacity, ErrBadProblem)
+		}
+	}
+	return nil
+}
+
+// ToKnapsack maps the TATIM instance to the MCMK instance of Theorem 1:
+// tasks→items (importance→value, time→weight, resource→volume) and
+// processors→sacks (T→weight cap, V_p→volume cap).
+func (p *Problem) ToKnapsack() *knapsack.Instance {
+	items := make([]knapsack.Item, len(p.Tasks))
+	for i, t := range p.Tasks {
+		items[i] = knapsack.Item{Value: t.Importance, Weight: t.TimeCost, Volume: t.Resource}
+	}
+	sacks := make([]knapsack.Sack, len(p.Processors))
+	for i, pr := range p.Processors {
+		sacks[i] = knapsack.Sack{WeightCap: p.TimeLimit, VolumeCap: pr.Capacity}
+	}
+	return &knapsack.Instance{Items: items, Sacks: sacks}
+}
+
+// Objective is the TATIM objective Σ_j Σ_p I_j·u_{j,p} for an allocation.
+func (p *Problem) Objective(a Allocation) float64 {
+	var v float64
+	for j, proc := range a {
+		if proc != Unassigned && j < len(p.Tasks) {
+			v += p.Tasks[j].Importance
+		}
+	}
+	return v
+}
+
+// CheckFeasible verifies Eqs. (2)–(4) for an allocation.
+func (p *Problem) CheckFeasible(a Allocation) error {
+	if len(a) != len(p.Tasks) {
+		return fmt.Errorf("allocation length %d vs %d tasks: %w", len(a), len(p.Tasks), ErrBadProblem)
+	}
+	usedT := make([]float64, len(p.Processors))
+	usedV := make([]float64, len(p.Processors))
+	for j, proc := range a {
+		if proc == Unassigned {
+			continue
+		}
+		if proc < 0 || proc >= len(p.Processors) {
+			return fmt.Errorf("task %d on processor %d: %w", j, proc, ErrBadProblem)
+		}
+		usedT[proc] += p.Tasks[j].TimeCost
+		usedV[proc] += p.Tasks[j].Resource
+	}
+	const eps = 1e-9
+	for i := range p.Processors {
+		if usedT[i] > p.TimeLimit+eps {
+			return fmt.Errorf("processor %d time %.4f > T=%.4f: %w",
+				i, usedT[i], p.TimeLimit, ErrBadProblem)
+		}
+		if usedV[i] > p.Processors[i].Capacity+eps {
+			return fmt.Errorf("processor %d resource %.4f > V=%.4f: %w",
+				i, usedV[i], p.Processors[i].Capacity, ErrBadProblem)
+		}
+	}
+	return nil
+}
+
+// SolveGreedy solves the TATIM instance with the density-greedy MCMK
+// heuristic, returning a feasible allocation.
+func (p *Problem) SolveGreedy() (Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sol, err := knapsack.SolveGreedy(p.ToKnapsack())
+	if err != nil {
+		return nil, fmt.Errorf("greedy: %w", err)
+	}
+	return Allocation(sol.Assignment), nil
+}
+
+// SolveExact solves small TATIM instances optimally via branch-and-bound.
+func (p *Problem) SolveExact() (Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sol, err := knapsack.SolveExact(p.ToKnapsack())
+	if err != nil {
+		return nil, fmt.Errorf("exact: %w", err)
+	}
+	return Allocation(sol.Assignment), nil
+}
+
+// TotalImportance is Σ_j I_j over all tasks (assigned or not).
+func (p *Problem) TotalImportance() float64 {
+	var v float64
+	for _, t := range p.Tasks {
+		v += t.Importance
+	}
+	return v
+}
+
+// Clone returns a deep copy of the problem.
+func (p *Problem) Clone() *Problem {
+	out := &Problem{TimeLimit: p.TimeLimit}
+	out.Tasks = append([]TaskSpec(nil), p.Tasks...)
+	out.Processors = append([]Processor(nil), p.Processors...)
+	return out
+}

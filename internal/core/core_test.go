@@ -1,0 +1,191 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// tinyProblem is a 4-task, 2-processor instance with a known optimum.
+func tinyProblem() *Problem {
+	return &Problem{
+		Tasks: []TaskSpec{
+			{ID: 0, Importance: 0.9, TimeCost: 2, Resource: 1},
+			{ID: 1, Importance: 0.8, TimeCost: 2, Resource: 1},
+			{ID: 2, Importance: 0.1, TimeCost: 2, Resource: 1},
+			{ID: 3, Importance: 0.05, TimeCost: 2, Resource: 1},
+		},
+		Processors: []Processor{
+			{ID: 0, Capacity: 1, SpeedFactor: 1},
+			{ID: 1, Capacity: 1, SpeedFactor: 1},
+		},
+		TimeLimit: 2,
+	}
+}
+
+// randomProblem builds a feasible-but-tight random instance.
+func randomProblem(seed int64, n, m int) *Problem {
+	rng := mathx.NewRand(seed)
+	p := &Problem{TimeLimit: 4}
+	for j := 0; j < n; j++ {
+		p.Tasks = append(p.Tasks, TaskSpec{
+			ID:         j,
+			Importance: rng.Float64(),
+			TimeCost:   0.5 + rng.Float64()*2,
+			Resource:   0.2 + rng.Float64(),
+		})
+	}
+	for i := 0; i < m; i++ {
+		p.Processors = append(p.Processors, Processor{
+			ID: i, Capacity: 1 + rng.Float64()*2, SpeedFactor: 1,
+		})
+	}
+	return p
+}
+
+func TestProblemValidate(t *testing.T) {
+	ok := tinyProblem()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid problem rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Problem)
+	}{
+		{"no tasks", func(p *Problem) { p.Tasks = nil }},
+		{"no processors", func(p *Problem) { p.Processors = nil }},
+		{"zero time limit", func(p *Problem) { p.TimeLimit = 0 }},
+		{"bad task id", func(p *Problem) { p.Tasks[1].ID = 7 }},
+		{"importance > 1", func(p *Problem) { p.Tasks[0].Importance = 1.5 }},
+		{"negative time", func(p *Problem) { p.Tasks[0].TimeCost = -1 }},
+		{"bad proc id", func(p *Problem) { p.Processors[0].ID = 3 }},
+		{"negative capacity", func(p *Problem) { p.Processors[0].Capacity = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := tinyProblem()
+			tt.mutate(p)
+			if err := p.Validate(); !errors.Is(err, ErrBadProblem) {
+				t.Errorf("Validate = %v, want ErrBadProblem", err)
+			}
+		})
+	}
+}
+
+func TestObjectiveAndFeasibility(t *testing.T) {
+	p := tinyProblem()
+	a := Allocation{0, 1, Unassigned, Unassigned}
+	if err := p.CheckFeasible(a); err != nil {
+		t.Fatalf("feasible allocation rejected: %v", err)
+	}
+	if got := p.Objective(a); math.Abs(got-1.7) > 1e-12 {
+		t.Fatalf("Objective = %v, want 1.7", got)
+	}
+	// Two tasks on one processor exceed T=2 (2+2=4).
+	if err := p.CheckFeasible(Allocation{0, 0, Unassigned, Unassigned}); !errors.Is(err, ErrBadProblem) {
+		t.Fatalf("time violation accepted: %v", err)
+	}
+	if err := p.CheckFeasible(Allocation{5, Unassigned, Unassigned, Unassigned}); !errors.Is(err, ErrBadProblem) {
+		t.Fatalf("bad processor accepted: %v", err)
+	}
+	if err := p.CheckFeasible(Allocation{0}); !errors.Is(err, ErrBadProblem) {
+		t.Fatalf("short allocation accepted: %v", err)
+	}
+	if got := p.TotalImportance(); math.Abs(got-1.85) > 1e-12 {
+		t.Fatalf("TotalImportance = %v", got)
+	}
+}
+
+func TestSolveGreedyAndExact(t *testing.T) {
+	p := tinyProblem()
+	exact, err := p.SolveExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckFeasible(exact); err != nil {
+		t.Fatal(err)
+	}
+	// Each processor fits one task (resource cap 1); optimum picks tasks 0,1.
+	if got := p.Objective(exact); math.Abs(got-1.7) > 1e-12 {
+		t.Fatalf("exact objective = %v, want 1.7", got)
+	}
+	greedy, err := p.SolveGreedy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckFeasible(greedy); err != nil {
+		t.Fatal(err)
+	}
+	if p.Objective(greedy) > p.Objective(exact)+1e-9 {
+		t.Fatal("greedy beats exact")
+	}
+}
+
+func TestSolversOnRandomInstances(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		p := randomProblem(seed, 10, 3)
+		exact, err := p.SolveExact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := p.SolveGreedy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.CheckFeasible(exact); err != nil {
+			t.Fatalf("seed %d: exact infeasible: %v", seed, err)
+		}
+		if err := p.CheckFeasible(greedy); err != nil {
+			t.Fatalf("seed %d: greedy infeasible: %v", seed, err)
+		}
+		if p.Objective(greedy) > p.Objective(exact)+1e-9 {
+			t.Fatalf("seed %d: greedy %v > exact %v", seed,
+				p.Objective(greedy), p.Objective(exact))
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := tinyProblem()
+	c := p.Clone()
+	c.Tasks[0].Importance = 0.123
+	c.Processors[0].Capacity = 99
+	if p.Tasks[0].Importance == 0.123 || p.Processors[0].Capacity == 99 {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestEnvironmentMatrix(t *testing.T) {
+	e := &Environment{
+		Importance: []float64{1, 0.5},
+		Capacity:   []float64{4, 2},
+	}
+	m := e.Matrix()
+	want := []float64{1 * 1, 1 * 0.5, 0.5 * 1, 0.5 * 0.5}
+	for i := range want {
+		if math.Abs(m[i]-want[i]) > 1e-12 {
+			t.Fatalf("Matrix = %v, want %v", m, want)
+		}
+	}
+	// Zero capacities should not divide by zero.
+	z := &Environment{Importance: []float64{1}, Capacity: []float64{0}}
+	if got := z.Matrix(); math.IsNaN(got[0]) {
+		t.Fatal("zero-capacity matrix is NaN")
+	}
+}
+
+func TestEnvironmentOf(t *testing.T) {
+	p := tinyProblem()
+	env := EnvironmentOf(p, []float64{7, 8})
+	if len(env.Importance) != 4 || len(env.Capacity) != 2 {
+		t.Fatalf("EnvironmentOf sizes wrong: %+v", env)
+	}
+	if env.Importance[0] != 0.9 || env.Capacity[1] != 1 {
+		t.Fatalf("EnvironmentOf values wrong: %+v", env)
+	}
+	if env.Signature[0] != 7 {
+		t.Fatal("signature not copied")
+	}
+}

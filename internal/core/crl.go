@@ -1,0 +1,264 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/mathx"
+	"repro/internal/rl"
+)
+
+// CRLConfig tunes the Clustered Reinforcement Learning model.
+type CRLConfig struct {
+	// K is the kNN neighborhood size for environment definition.
+	K int
+	// Blend averages the K nearest environments instead of taking the single
+	// nearest (K=1 and Blend are equivalent).
+	Blend bool
+	// Episodes is the training episode budget across historical
+	// environments.
+	Episodes int
+	// DQN configures the underlying agent.
+	DQN rl.DQNConfig
+	// DenseReward is the ablation switch for per-step rewards (the paper
+	// uses terminal-only).
+	DenseReward bool
+	// Seed drives the training-time environment sampling.
+	Seed int64
+}
+
+// DefaultCRLConfig returns the configuration used across the experiments.
+func DefaultCRLConfig() CRLConfig {
+	return CRLConfig{
+		K:        3,
+		Blend:    true,
+		Episodes: 150,
+		Seed:     1,
+	}
+}
+
+// CRL is Algorithm 1: a Deep-Q-Network allocation policy trained over the
+// historical environment store, with kNN environment definition at
+// prediction time. The problem *structure* (task costs, processors, time
+// limit) is fixed; only the importance vector varies between environments —
+// the paper's "item value changed randomly over time" Knapsack variant.
+type CRL struct {
+	cfg      CRLConfig
+	template *Problem
+	store    *EnvironmentStore
+	agent    *rl.DQN
+	trained  bool
+}
+
+// NewCRL builds a CRL model over a problem template and historical store.
+func NewCRL(template *Problem, store *EnvironmentStore, cfg CRLConfig) (*CRL, error) {
+	if err := template.Validate(); err != nil {
+		return nil, fmt.Errorf("crl template: %w", err)
+	}
+	if store == nil || store.Len() == 0 {
+		return nil, ErrEmptyStore
+	}
+	if cfg.K < 1 {
+		cfg.K = 1
+	}
+	if cfg.Episodes < 1 {
+		cfg.Episodes = 1
+	}
+	// Probe the state/action sizes with a throwaway env.
+	probe, err := NewAllocEnv(template, nil)
+	if err != nil {
+		return nil, err
+	}
+	dqnCfg := cfg.DQN
+	if dqnCfg.Seed == 0 {
+		dqnCfg.Seed = cfg.Seed
+	}
+	agent, err := rl.NewDQN(probe.StateSize(), probe.ActionSize(), dqnCfg)
+	if err != nil {
+		return nil, fmt.Errorf("crl agent: %w", err)
+	}
+	return &CRL{cfg: cfg, template: template, store: store, agent: agent}, nil
+}
+
+// problemFor instantiates the template with an environment's importance.
+func (c *CRL) problemFor(env *Environment) (*Problem, error) {
+	if len(env.Importance) != len(c.template.Tasks) {
+		return nil, fmt.Errorf("core: environment has %d importances for %d tasks",
+			len(env.Importance), len(c.template.Tasks))
+	}
+	p := c.template.Clone()
+	for i := range p.Tasks {
+		p.Tasks[i].Importance = mathx.Clamp(env.Importance[i], 0, 1)
+	}
+	return p, nil
+}
+
+// Train runs the training phase of Alg. 1: episodes over environments
+// sampled from the historical store, updating the shared DQN.
+func (c *CRL) Train() (*rl.TrainResult, error) {
+	rng := mathx.NewRand(c.cfg.Seed)
+	envs := c.store.All()
+	agg := &rl.TrainResult{}
+	for ep := 0; ep < c.cfg.Episodes; ep++ {
+		env := envs[rng.Intn(len(envs))]
+		prob, err := c.problemFor(env)
+		if err != nil {
+			return nil, err
+		}
+		alloc, err := NewAllocEnv(prob, env.Signature)
+		if err != nil {
+			return nil, err
+		}
+		alloc.DenseReward = c.cfg.DenseReward
+		res, err := c.agent.Train(alloc, 1, alloc.N()+alloc.M()+1)
+		if err != nil {
+			return nil, fmt.Errorf("crl episode %d: %w", ep, err)
+		}
+		agg.Episodes++
+		agg.TotalSteps += res.TotalSteps
+		agg.RewardsPerEp = append(agg.RewardsPerEp, res.RewardsPerEp...)
+	}
+	if n := len(agg.RewardsPerEp); n > 0 {
+		agg.MeanReward = mathx.Mean(agg.RewardsPerEp)
+		agg.FinalReward = agg.RewardsPerEp[n-1]
+	}
+	c.trained = true
+	return agg, nil
+}
+
+// DefineEnvironment answers the environment-definition query for sensing
+// data Z per the configured kNN policy.
+func (c *CRL) DefineEnvironment(z []float64) (*Environment, error) {
+	if c.cfg.Blend && c.cfg.K > 1 {
+		return c.store.DefineBlended(z, c.cfg.K)
+	}
+	return c.store.Define(z)
+}
+
+// Predict is the prediction phase of Alg. 1: define the environment for Z,
+// then roll the greedy policy to an allocation. The MDP construction makes
+// every greedy rollout feasible by design.
+func (c *CRL) Predict(z []float64) (Allocation, *Environment, error) {
+	if !c.trained {
+		return nil, nil, ErrNotTrained
+	}
+	env, err := c.DefineEnvironment(z)
+	if err != nil {
+		return nil, nil, err
+	}
+	alloc, err := c.PredictWithEnvironment(env)
+	return alloc, env, err
+}
+
+// PredictWithEnvironment rolls the greedy policy against an explicit
+// environment (used by DCTA, which may refine the defined environment).
+func (c *CRL) PredictWithEnvironment(env *Environment) (Allocation, error) {
+	if !c.trained {
+		return nil, ErrNotTrained
+	}
+	prob, err := c.problemFor(env)
+	if err != nil {
+		return nil, err
+	}
+	ae, err := NewAllocEnv(prob, env.Signature)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := c.agent.RunGreedy(ae, ae.N()+ae.M()+1); err != nil {
+		return nil, fmt.Errorf("crl greedy rollout: %w", err)
+	}
+	return ae.Allocation(), nil
+}
+
+// TaskScores returns a per-task desirability score in [0, 1] from the
+// trained Q-function evaluated at the initial state of the defined
+// environment. DCTA consumes these as the general-process term F₁ of
+// Eq. (6).
+func (c *CRL) TaskScores(z []float64) ([]float64, *Environment, error) {
+	if !c.trained {
+		return nil, nil, ErrNotTrained
+	}
+	env, err := c.DefineEnvironment(z)
+	if err != nil {
+		return nil, nil, err
+	}
+	prob, err := c.problemFor(env)
+	if err != nil {
+		return nil, nil, err
+	}
+	ae, err := NewAllocEnv(prob, env.Signature)
+	if err != nil {
+		return nil, nil, err
+	}
+	q, err := c.agent.QValues(ae.Reset())
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(prob.Tasks)
+	scores := make([]float64, n)
+	lo, hi := mathx.MinOf(q[:n]), mathx.MaxOf(q[:n])
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	for i := 0; i < n; i++ {
+		scores[i] = (q[i] - lo) / span
+	}
+	return scores, env, nil
+}
+
+// Template returns the problem structure the model allocates for.
+func (c *CRL) Template() *Problem { return c.template }
+
+// Trained reports whether Train has completed.
+func (c *CRL) Trained() bool { return c.trained }
+
+// crlSnapshot is the persisted form of a trained CRL model. The environment
+// store is not serialized — it is the deployment's historical data and is
+// reattached on load.
+type crlSnapshot struct {
+	Config   CRLConfig       `json:"config"`
+	Template *Problem        `json:"template"`
+	Policy   json.RawMessage `json:"policy"`
+	Trained  bool            `json:"trained"`
+}
+
+// MarshalJSON persists the trained policy, configuration and problem
+// template ("the training phase merely needs to be conducted once in
+// advance" — footnote 1). Pair with LoadCRL.
+func (c *CRL) MarshalJSON() ([]byte, error) {
+	policy, err := c.agent.MarshalJSON()
+	if err != nil {
+		return nil, fmt.Errorf("crl marshal policy: %w", err)
+	}
+	return json.Marshal(crlSnapshot{
+		Config:   c.cfg,
+		Template: c.template,
+		Policy:   policy,
+		Trained:  c.trained,
+	})
+}
+
+// LoadCRL restores a model persisted with MarshalJSON, reattaching the
+// given historical environment store for prediction-time kNN definition.
+func LoadCRL(data []byte, store *EnvironmentStore) (*CRL, error) {
+	if store == nil || store.Len() == 0 {
+		return nil, ErrEmptyStore
+	}
+	var snap crlSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("crl unmarshal: %w", err)
+	}
+	if snap.Template == nil {
+		return nil, fmt.Errorf("crl unmarshal: missing template")
+	}
+	c, err := NewCRL(snap.Template, store, snap.Config)
+	if err != nil {
+		return nil, fmt.Errorf("crl restore: %w", err)
+	}
+	if err := c.agent.UnmarshalPolicy(snap.Policy); err != nil {
+		return nil, fmt.Errorf("crl restore policy: %w", err)
+	}
+	c.trained = snap.Trained
+	return c, nil
+}

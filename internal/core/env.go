@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rl"
+)
+
+// Environment is the RL environment matrix of §III-D,
+// e = [I_j × V_p]_{N×M}, together with the raw quantities needed to rebuild
+// an allocation problem and the sensing signature Z used for clustering.
+type Environment struct {
+	// Importance is I per task (length N).
+	Importance []float64
+	// Capacity is V per processor (length M).
+	Capacity []float64
+	// Signature is the sensing data Z (current scenario and configuration
+	// settings) the kNN environment definition clusters on.
+	Signature []float64
+}
+
+// Matrix materializes e = [I_j × V_p], row-major tasks × processors, with
+// capacities normalized by their maximum so inputs stay in [0, 1].
+func (e *Environment) Matrix() []float64 {
+	n, m := len(e.Importance), len(e.Capacity)
+	maxCap := 0.0
+	for _, c := range e.Capacity {
+		if c > maxCap {
+			maxCap = c
+		}
+	}
+	if maxCap == 0 {
+		maxCap = 1
+	}
+	out := make([]float64, n*m)
+	for j := 0; j < n; j++ {
+		for p := 0; p < m; p++ {
+			out[j*m+p] = e.Importance[j] * (e.Capacity[p] / maxCap)
+		}
+	}
+	return out
+}
+
+// EnvironmentOf extracts the Environment of a TATIM problem with the given
+// sensing signature.
+func EnvironmentOf(p *Problem, signature []float64) *Environment {
+	imp := make([]float64, len(p.Tasks))
+	for i, t := range p.Tasks {
+		imp[i] = t.Importance
+	}
+	caps := make([]float64, len(p.Processors))
+	for i, pr := range p.Processors {
+		caps[i] = pr.Capacity
+	}
+	sig := make([]float64, len(signature))
+	copy(sig, signature)
+	return &Environment{Importance: imp, Capacity: caps, Signature: sig}
+}
+
+// AllocEnv is the allocation episode MDP of §III-D implemented as an
+// rl.Environment:
+//
+//   - state: the N×M binary selection matrix S (flattened), concatenated
+//     with the environment matrix e so one policy generalizes across
+//     environments (the paper's feature space X = (e, s₀));
+//   - actions: one task per time step ("we allow the agent to execute merely
+//     one action in each time step"), assigned to the episode's current
+//     processor, plus one skip action that advances to the next processor —
+//     keeping the action space linear instead of 2^(N×M);
+//   - reward: Σ_j I_j of all allocated tasks, granted only at the terminal
+//     state, 0 otherwise (§III-D "Reward Function").
+type AllocEnv struct {
+	problem *Problem
+	env     *Environment
+	// DenseReward switches to per-step rewards (ablation of the paper's
+	// terminal-only design).
+	DenseReward bool
+
+	envMatrix []float64
+	state     []float64 // selection matrix S, length N*M
+	assigned  []int     // task → processor or Unassigned
+	remTime   []float64
+	remRes    []float64
+	// procOrder visits processors fastest-first: the operator fills the
+	// most capable node before advancing, so skipping early costs the most
+	// valuable capacity — a natural curriculum for the agent.
+	procOrder []int
+	current   int // index into procOrder
+	done      bool
+}
+
+// NewAllocEnv builds the MDP for one TATIM problem.
+func NewAllocEnv(p *Problem, signature []float64) (*AllocEnv, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	e := &AllocEnv{
+		problem: p,
+		env:     EnvironmentOf(p, signature),
+	}
+	e.envMatrix = e.env.Matrix()
+	e.procOrder = make([]int, len(p.Processors))
+	for i := range e.procOrder {
+		e.procOrder[i] = i
+	}
+	sort.SliceStable(e.procOrder, func(a, b int) bool {
+		return p.Processors[e.procOrder[a]].SpeedFactor > p.Processors[e.procOrder[b]].SpeedFactor
+	})
+	e.Reset()
+	return e, nil
+}
+
+// N returns the task count.
+func (e *AllocEnv) N() int { return len(e.problem.Tasks) }
+
+// M returns the processor count.
+func (e *AllocEnv) M() int { return len(e.problem.Processors) }
+
+// SkipAction is the action index that advances to the next processor.
+func (e *AllocEnv) SkipAction() int { return e.N() }
+
+// Reset starts a fresh episode.
+func (e *AllocEnv) Reset() []float64 {
+	n, m := e.N(), e.M()
+	e.state = make([]float64, n*m)
+	e.assigned = make([]int, n)
+	for i := range e.assigned {
+		e.assigned[i] = Unassigned
+	}
+	e.remTime = make([]float64, m)
+	e.remRes = make([]float64, m)
+	for i, pr := range e.problem.Processors {
+		e.remTime[i] = e.problem.TimeLimit
+		e.remRes[i] = pr.Capacity
+	}
+	e.current = 0
+	e.done = false
+	return e.encode()
+}
+
+// StateSize is N*M (selection matrix) + N*M (environment matrix).
+func (e *AllocEnv) StateSize() int { return 2 * e.N() * e.M() }
+
+// ActionSize is N tasks + 1 skip.
+func (e *AllocEnv) ActionSize() int { return e.N() + 1 }
+
+func (e *AllocEnv) encode() []float64 {
+	out := make([]float64, e.StateSize())
+	copy(out, e.state)
+	copy(out[len(e.state):], e.envMatrix)
+	return out
+}
+
+// curProc returns the processor the episode is currently filling.
+func (e *AllocEnv) curProc() int { return e.procOrder[e.current] }
+
+// ValidActions lists assignable tasks for the current processor plus skip.
+// A finished episode has no valid actions.
+func (e *AllocEnv) ValidActions() []int {
+	if e.done {
+		return nil
+	}
+	cur := e.curProc()
+	var acts []int
+	for j, t := range e.problem.Tasks {
+		if e.assigned[j] != Unassigned {
+			continue
+		}
+		if t.TimeCost <= e.remTime[cur]+1e-12 && t.Resource <= e.remRes[cur]+1e-12 {
+			acts = append(acts, j)
+		}
+	}
+	acts = append(acts, e.SkipAction())
+	return acts
+}
+
+// Step applies an action per the MDP above.
+func (e *AllocEnv) Step(action int) ([]float64, float64, bool, error) {
+	if e.done {
+		return nil, 0, true, rl.ErrEpisodeDone
+	}
+	n, m := e.N(), e.M()
+	if action < 0 || action > n {
+		return nil, 0, false, fmt.Errorf("core: action %d out of range [0,%d]", action, n)
+	}
+	reward := 0.0
+	if action == e.SkipAction() {
+		e.current++
+		if e.current >= m {
+			e.done = true
+		}
+	} else {
+		j := action
+		cur := e.curProc()
+		t := e.problem.Tasks[j]
+		if e.assigned[j] != Unassigned {
+			return nil, 0, false, fmt.Errorf("core: task %d already assigned", j)
+		}
+		if t.TimeCost > e.remTime[cur]+1e-12 || t.Resource > e.remRes[cur]+1e-12 {
+			return nil, 0, false, fmt.Errorf("core: task %d does not fit processor %d", j, cur)
+		}
+		e.assigned[j] = cur
+		e.remTime[cur] -= t.TimeCost
+		e.remRes[cur] -= t.Resource
+		e.state[j*m+cur] = 1
+		if e.DenseReward {
+			reward = t.Importance
+		}
+		if e.allAssigned() {
+			e.done = true
+		}
+	}
+	if e.done && !e.DenseReward {
+		// Terminal-only reward: Σ I_j over allocated tasks.
+		reward = e.problem.Objective(e.assigned)
+	}
+	return e.encode(), reward, e.done, nil
+}
+
+func (e *AllocEnv) allAssigned() bool {
+	for _, a := range e.assigned {
+		if a == Unassigned {
+			return false
+		}
+	}
+	return true
+}
+
+// Allocation returns a copy of the current assignment.
+func (e *AllocEnv) Allocation() Allocation {
+	out := make(Allocation, len(e.assigned))
+	copy(out, e.assigned)
+	return out
+}
+
+var _ rl.Environment = (*AllocEnv)(nil)

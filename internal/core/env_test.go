@@ -1,0 +1,203 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rl"
+)
+
+func TestAllocEnvLifecycle(t *testing.T) {
+	p := tinyProblem()
+	env, err := NewAllocEnv(p, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.N() != 4 || env.M() != 2 {
+		t.Fatalf("N/M = %d/%d", env.N(), env.M())
+	}
+	if env.StateSize() != 2*4*2 {
+		t.Fatalf("StateSize = %d", env.StateSize())
+	}
+	if env.ActionSize() != 5 {
+		t.Fatalf("ActionSize = %d", env.ActionSize())
+	}
+	s := env.Reset()
+	if len(s) != env.StateSize() {
+		t.Fatalf("state length %d", len(s))
+	}
+	// Initially the selection half is all zero, the env half carries e.
+	for i := 0; i < 8; i++ {
+		if s[i] != 0 {
+			t.Fatal("selection matrix must start zero")
+		}
+	}
+	valid := env.ValidActions()
+	// Each processor fits one task (resource 1/1): all 4 tasks + skip.
+	if len(valid) != 5 {
+		t.Fatalf("valid actions = %v", valid)
+	}
+}
+
+func TestAllocEnvAssignmentFlow(t *testing.T) {
+	p := tinyProblem()
+	env, err := NewAllocEnv(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Reset()
+	// Assign task 0 to processor 0.
+	s, r, done, err := env.Step(0)
+	if err != nil || done {
+		t.Fatalf("step: %v done=%v", err, done)
+	}
+	if r != 0 {
+		t.Fatalf("intermediate reward = %v, want 0 (terminal-only)", r)
+	}
+	if s[0*2+0] != 1 {
+		t.Fatal("selection matrix not updated")
+	}
+	// Processor 0 is now resource-full; only skip is valid.
+	valid := env.ValidActions()
+	if len(valid) != 1 || valid[0] != env.SkipAction() {
+		t.Fatalf("after filling proc 0, valid = %v", valid)
+	}
+	// Re-assigning task 0 errors.
+	if _, _, _, err := env.Step(0); err == nil {
+		t.Fatal("double assignment accepted")
+	}
+	// Skip to processor 1, assign task 1 → terminal via skip of last proc.
+	if _, _, _, err := env.Step(env.SkipAction()); err != nil {
+		t.Fatal(err)
+	}
+	_, r, done, err = env.Step(1)
+	if err != nil || done {
+		t.Fatalf("assign on proc 1: %v done=%v", err, done)
+	}
+	_, r, done, err = env.Step(env.SkipAction())
+	if err != nil || !done {
+		t.Fatalf("final skip: %v done=%v", err, done)
+	}
+	if math.Abs(r-1.7) > 1e-12 {
+		t.Fatalf("terminal reward = %v, want Σ importance = 1.7", r)
+	}
+	alloc := env.Allocation()
+	if alloc[0] != 0 || alloc[1] != 1 || alloc[2] != Unassigned {
+		t.Fatalf("allocation = %v", alloc)
+	}
+	if err := p.CheckFeasible(alloc); err != nil {
+		t.Fatal(err)
+	}
+	// Episode over.
+	if env.ValidActions() != nil {
+		t.Fatal("done episode still lists actions")
+	}
+	if _, _, _, err := env.Step(0); !errors.Is(err, rl.ErrEpisodeDone) {
+		t.Fatalf("step after done err = %v", err)
+	}
+}
+
+func TestAllocEnvDenseReward(t *testing.T) {
+	p := tinyProblem()
+	env, err := NewAllocEnv(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.DenseReward = true
+	env.Reset()
+	_, r, _, err := env.Step(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.9) > 1e-12 {
+		t.Fatalf("dense reward = %v, want 0.9", r)
+	}
+}
+
+func TestAllocEnvAllAssignedTerminates(t *testing.T) {
+	// Roomy instance: everything fits on processor 0.
+	p := &Problem{
+		Tasks: []TaskSpec{
+			{ID: 0, Importance: 0.5, TimeCost: 1, Resource: 1},
+			{ID: 1, Importance: 0.5, TimeCost: 1, Resource: 1},
+		},
+		Processors: []Processor{{ID: 0, Capacity: 10, SpeedFactor: 1}},
+		TimeLimit:  10,
+	}
+	env, err := NewAllocEnv(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Reset()
+	if _, _, done, err := env.Step(0); err != nil || done {
+		t.Fatalf("first assign: %v done=%v", err, done)
+	}
+	_, r, done, err := env.Step(1)
+	if err != nil || !done {
+		t.Fatalf("all-assigned should terminate: %v done=%v", err, done)
+	}
+	if math.Abs(r-1.0) > 1e-12 {
+		t.Fatalf("terminal reward = %v, want 1.0", r)
+	}
+}
+
+func TestAllocEnvRejectsMisfit(t *testing.T) {
+	p := tinyProblem()
+	env, err := NewAllocEnv(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Reset()
+	if _, _, _, err := env.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	// Task 1 no longer fits processor 0's resource capacity.
+	if _, _, _, err := env.Step(1); err == nil {
+		t.Fatal("misfit assignment accepted")
+	}
+	if _, _, _, err := env.Step(99); err == nil {
+		t.Fatal("out-of-range action accepted")
+	}
+}
+
+func TestAllocEnvInvalidProblem(t *testing.T) {
+	bad := tinyProblem()
+	bad.TimeLimit = 0
+	if _, err := NewAllocEnv(bad, nil); !errors.Is(err, ErrBadProblem) {
+		t.Fatalf("invalid problem err = %v", err)
+	}
+}
+
+func TestAllocEnvEpisodeWithRandomPolicy(t *testing.T) {
+	// A random rollout always ends and always yields a feasible allocation.
+	p := randomProblem(5, 8, 3)
+	env, err := NewAllocEnv(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		env.Reset()
+		steps := 0
+		for steps < 100 {
+			valid := env.ValidActions()
+			if len(valid) == 0 {
+				break
+			}
+			_, _, done, err := env.Step(valid[steps%len(valid)])
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps++
+			if done {
+				break
+			}
+		}
+		if steps >= 100 {
+			t.Fatal("episode did not terminate")
+		}
+		if err := p.CheckFeasible(env.Allocation()); err != nil {
+			t.Fatalf("trial %d: rollout infeasible: %v", trial, err)
+		}
+	}
+}

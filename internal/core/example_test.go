@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ExampleProblem_SolveGreedy builds a tiny TATIM instance (Definition 4)
+// and solves it: two high-importance tasks land on the two processors, the
+// unimportant tail is dropped.
+func ExampleProblem_SolveGreedy() {
+	p := &core.Problem{
+		Tasks: []core.TaskSpec{
+			{ID: 0, Importance: 0.9, TimeCost: 2, Resource: 1},
+			{ID: 1, Importance: 0.8, TimeCost: 2, Resource: 1},
+			{ID: 2, Importance: 0.1, TimeCost: 2, Resource: 1},
+		},
+		Processors: []core.Processor{
+			{ID: 0, Capacity: 1, SpeedFactor: 1},
+			{ID: 1, Capacity: 1, SpeedFactor: 1},
+		},
+		TimeLimit: 2,
+	}
+	a, err := p.SolveGreedy()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("captured importance: %.1f of %.1f\n", p.Objective(a), p.TotalImportance())
+	fmt.Printf("task 2 dropped: %v\n", a[2] == core.Unassigned)
+	// Output:
+	// captured importance: 1.7 of 1.8
+	// task 2 dropped: true
+}
+
+// ExampleEnvironmentStore_Define shows the §III-C environment definition:
+// the store answers a sensing query with its most similar historical entry.
+func ExampleEnvironmentStore_Define() {
+	store := core.NewEnvironmentStore()
+	for _, e := range []struct {
+		z   float64
+		imp []float64
+	}{
+		{0.1, []float64{0.9, 0.1}},
+		{0.9, []float64{0.1, 0.9}},
+	} {
+		_ = store.Add(&core.Environment{
+			Importance: e.imp,
+			Capacity:   []float64{1},
+			Signature:  []float64{e.z},
+		})
+	}
+	env, err := store.Define([]float64{0.85})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("defined importance: %v\n", env.Importance)
+	// Output: defined importance: [0.1 0.9]
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+)
+
+// EnvironmentStore is the historical environment set ℰ of §III-C. Each entry
+// pairs a sensing signature Z with the environment observed under it. The
+// store answers the environment-definition query e = kNN(ℰ, Z).
+type EnvironmentStore struct {
+	entries []*Environment
+}
+
+// NewEnvironmentStore returns an empty store.
+func NewEnvironmentStore() *EnvironmentStore { return &EnvironmentStore{} }
+
+// Add appends a historical environment. Entries must share signature,
+// importance, and capacity dimensionality with the first entry.
+func (s *EnvironmentStore) Add(e *Environment) error {
+	if e == nil || len(e.Importance) == 0 || len(e.Capacity) == 0 {
+		return fmt.Errorf("core: empty environment")
+	}
+	if len(s.entries) > 0 {
+		first := s.entries[0]
+		if len(e.Signature) != len(first.Signature) ||
+			len(e.Importance) != len(first.Importance) ||
+			len(e.Capacity) != len(first.Capacity) {
+			return fmt.Errorf("core: environment dimensions mismatch store")
+		}
+	}
+	s.entries = append(s.entries, e)
+	return nil
+}
+
+// Len returns the number of stored environments.
+func (s *EnvironmentStore) Len() int { return len(s.entries) }
+
+// All returns the stored environments (shared, not copied).
+func (s *EnvironmentStore) All() []*Environment { return s.entries }
+
+// Nearest returns the k stored environments whose signatures are closest to
+// Z in Euclidean distance, nearest first — the clustering step of Alg. 1
+// line 2.
+func (s *EnvironmentStore) Nearest(z []float64, k int) ([]*Environment, error) {
+	if len(s.entries) == 0 {
+		return nil, ErrEmptyStore
+	}
+	if len(z) != len(s.entries[0].Signature) {
+		return nil, fmt.Errorf("core: signature length %d, want %d",
+			len(z), len(s.entries[0].Signature))
+	}
+	if k < 1 {
+		k = 1
+	}
+	type scored struct {
+		env  *Environment
+		dist float64
+	}
+	all := make([]scored, len(s.entries))
+	for i, e := range s.entries {
+		all[i] = scored{env: e, dist: mathx.EuclideanDistance(z, e.Signature)}
+	}
+	// Selection sort of the top-k: k is tiny (usually 1-5).
+	if k > len(all) {
+		k = len(all)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].dist < all[best].dist {
+				best = j
+			}
+		}
+		all[i], all[best] = all[best], all[i]
+	}
+	out := make([]*Environment, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].env
+	}
+	return out, nil
+}
+
+// Define answers e = kNN(ℰ, Z) with k=1: the single most similar historical
+// environment.
+func (s *EnvironmentStore) Define(z []float64) (*Environment, error) {
+	nearest, err := s.Nearest(z, 1)
+	if err != nil {
+		return nil, err
+	}
+	return nearest[0], nil
+}
+
+// DefineBlended returns an importance vector averaged over the k nearest
+// environments, inverse-distance weighted. Blending softens the cliff when
+// the store is sparse; k=1 degenerates to Define.
+func (s *EnvironmentStore) DefineBlended(z []float64, k int) (*Environment, error) {
+	nearest, err := s.Nearest(z, k)
+	if err != nil {
+		return nil, err
+	}
+	if len(nearest) == 1 {
+		return nearest[0], nil
+	}
+	n := len(nearest[0].Importance)
+	imp := make([]float64, n)
+	var wsum float64
+	for _, e := range nearest {
+		d := mathx.EuclideanDistance(z, e.Signature)
+		w := 1 / (d + 1e-9)
+		wsum += w
+		for i, v := range e.Importance {
+			imp[i] += w * v
+		}
+	}
+	for i := range imp {
+		imp[i] /= wsum
+	}
+	return &Environment{
+		Importance: imp,
+		Capacity:   mathx.Clone(nearest[0].Capacity),
+		Signature:  mathx.Clone(z),
+	}, nil
+}

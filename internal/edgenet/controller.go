@@ -1,0 +1,235 @@
+package edgenet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+)
+
+// Controller errors.
+var (
+	// ErrNoWorkers is returned when Run is given no worker addresses.
+	ErrNoWorkers = errors.New("edgenet: no workers")
+	// ErrPlanMismatch is returned when the allocation references workers
+	// that were not dialed.
+	ErrPlanMismatch = errors.New("edgenet: allocation references unknown worker")
+)
+
+// Completion is one task-finished event observed by the controller.
+type Completion struct {
+	Task       int
+	WorkerID   int
+	Importance float64
+	// At is the wall-clock completion instant relative to Run start.
+	At time.Duration
+}
+
+// Report is the outcome of executing one allocation on live workers.
+type Report struct {
+	// DecisionReadyAt is the instant the cumulative completed importance
+	// reached the coverage target (the live PT analog); zero if the target
+	// was never reached.
+	DecisionReadyAt time.Duration
+	// Covered is the importance completed by DecisionReadyAt (or by the end
+	// of the run when the target was unreachable).
+	Covered float64
+	// Completions lists every task completion in arrival order.
+	Completions []Completion
+	// Workers maps worker index (processor ID) to the announced worker ID.
+	Workers map[int]int
+}
+
+// Controller executes allocation plans on live workers over TCP.
+type Controller struct {
+	// DialTimeout bounds each worker connection attempt.
+	DialTimeout time.Duration
+}
+
+// NewController returns a controller with a 2-second dial timeout.
+func NewController() *Controller { return &Controller{DialTimeout: 2 * time.Second} }
+
+// Run connects to the workers (addrs[i] serves processor i of the problem),
+// streams the allocation's tasks in priority order, and returns when the
+// coverage target is met and all assigned tasks have completed, the context
+// is cancelled, or a connection fails.
+func (c *Controller) Run(ctx context.Context, addrs []string, p *core.Problem, res *alloc.Result, coverageTarget float64) (*Report, error) {
+	if len(addrs) == 0 {
+		return nil, ErrNoWorkers
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("edgenet: %w", err)
+	}
+	if res == nil || len(res.Allocation) != len(p.Tasks) {
+		return nil, fmt.Errorf("edgenet: allocation/task mismatch: %w", ErrPlanMismatch)
+	}
+	if coverageTarget <= 0 || coverageTarget > 1 {
+		coverageTarget = 0.8
+	}
+	// Connect and collect hellos.
+	conns := make([]net.Conn, len(addrs))
+	defer func() {
+		for _, conn := range conns {
+			if conn != nil {
+				conn.Close()
+			}
+		}
+	}()
+	report := &Report{Workers: make(map[int]int, len(addrs))}
+	dialer := net.Dialer{Timeout: c.DialTimeout}
+	for i, addr := range addrs {
+		conn, err := dialer.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("edgenet dial worker %d (%s): %w", i, addr, err)
+		}
+		conns[i] = conn
+		hello, err := ReadFrame(conn)
+		if err != nil {
+			return nil, fmt.Errorf("edgenet hello from worker %d: %w", i, err)
+		}
+		if hello.Type != MsgHello {
+			return nil, fmt.Errorf("worker %d sent %q first: %w", i, hello.Type, ErrBadMessage)
+		}
+		report.Workers[i] = hello.WorkerID
+	}
+	// Build per-worker queues in priority order.
+	queues := make([][]int, len(addrs))
+	assigned := 0
+	for j, proc := range res.Allocation {
+		if proc == core.Unassigned {
+			continue
+		}
+		if proc < 0 || proc >= len(addrs) {
+			return nil, fmt.Errorf("task %d on processor %d: %w", j, proc, ErrPlanMismatch)
+		}
+		queues[proc] = append(queues[proc], j)
+		assigned++
+	}
+	prio := func(j int) float64 {
+		if res.Priority != nil && j < len(res.Priority) {
+			return res.Priority[j]
+		}
+		return -float64(j)
+	}
+	for _, q := range queues {
+		sort.Slice(q, func(a, b int) bool {
+			pa, pb := prio(q[a]), prio(q[b])
+			if pa != pb {
+				return pa > pb
+			}
+			return q[a] < q[b]
+		})
+	}
+	start := time.Now()
+	events := make(chan Completion, 1)
+	errs := make(chan error, 1)
+	var wg sync.WaitGroup
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Unblock in-flight reads when the run is cancelled: closing the
+	// connections is the only way to interrupt a blocked ReadFrame.
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		<-runCtx.Done()
+		for _, conn := range conns {
+			if conn != nil {
+				conn.Close()
+			}
+		}
+	}()
+	defer func() { <-watcherDone }()
+	for proc, q := range queues {
+		if len(q) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(conn net.Conn, tasks []int) {
+			defer wg.Done()
+			if err := c.driveWorker(runCtx, conn, p, tasks, start, events); err != nil {
+				select {
+				case errs <- err:
+				default:
+				}
+			}
+		}(conns[proc], q)
+	}
+	// Close the events channel once every worker goroutine is done.
+	drained := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(drained)
+	}()
+	target := coverageTarget * p.TotalImportance()
+	received := 0
+	for received < assigned {
+		select {
+		case comp := <-events:
+			received++
+			report.Completions = append(report.Completions, comp)
+			report.Covered += comp.Importance
+			if report.DecisionReadyAt == 0 && target > 0 && report.Covered >= target {
+				report.DecisionReadyAt = comp.At
+			}
+		case err := <-errs:
+			cancel()
+			<-drained
+			return nil, err
+		case <-ctx.Done():
+			cancel()
+			<-drained
+			return nil, fmt.Errorf("edgenet run: %w", ctx.Err())
+		}
+	}
+	cancel()
+	<-drained
+	if report.DecisionReadyAt == 0 && target <= 0 {
+		report.DecisionReadyAt = time.Since(start)
+	}
+	return report, nil
+}
+
+// driveWorker streams one worker's queue and forwards completions.
+func (c *Controller) driveWorker(ctx context.Context, conn net.Conn, p *core.Problem, tasks []int, start time.Time, events chan<- Completion) error {
+	defer WriteFrame(conn, &Envelope{Type: MsgShutdown}) //nolint:errcheck // best-effort goodbye
+	for _, j := range tasks {
+		if err := ctx.Err(); err != nil {
+			return nil // cancelled: stop quietly
+		}
+		t := p.Tasks[j]
+		assign := &Envelope{
+			Type:       MsgAssign,
+			TaskID:     j,
+			InputBits:  t.InputBits,
+			Importance: t.Importance,
+		}
+		if err := WriteFrame(conn, assign); err != nil {
+			return fmt.Errorf("edgenet assign task %d: %w", j, err)
+		}
+		done, err := ReadFrame(conn)
+		if err != nil {
+			return fmt.Errorf("edgenet await task %d: %w", j, err)
+		}
+		if done.Type != MsgDone || done.TaskID != j {
+			return fmt.Errorf("task %d got %q/%d: %w", j, done.Type, done.TaskID, ErrBadMessage)
+		}
+		comp := Completion{
+			Task:       j,
+			WorkerID:   done.WorkerID,
+			Importance: t.Importance,
+			At:         time.Since(start),
+		}
+		select {
+		case events <- comp:
+		case <-ctx.Done():
+			return nil
+		}
+	}
+	return nil
+}

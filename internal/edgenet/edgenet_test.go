@@ -1,0 +1,257 @@
+package edgenet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/edgesim"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Envelope{Type: MsgAssign, TaskID: 7, InputBits: 123.5, Importance: 0.9}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out != *in {
+		t.Fatalf("round trip: %+v vs %+v", out, in)
+	}
+}
+
+func TestReadFrameErrors(t *testing.T) {
+	// Oversized length prefix.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize err = %v", err)
+	}
+	// Truncated payload.
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 10, 'x'})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	// Bad JSON.
+	buf.Reset()
+	payload := []byte("not json")
+	buf.Write([]byte{0, 0, 0, byte(len(payload))})
+	buf.Write(payload)
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("bad json accepted")
+	}
+	// Missing type.
+	buf.Reset()
+	payload = []byte("{}")
+	buf.Write([]byte{0, 0, 0, byte(len(payload))})
+	buf.Write(payload)
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("typeless err = %v", err)
+	}
+	// EOF propagates for clean shutdown detection.
+	buf.Reset()
+	if _, err := ReadFrame(&buf); !errors.Is(err, errEOF()) {
+		t.Fatalf("eof err = %v", err)
+	}
+}
+
+func errEOF() error {
+	var b bytes.Buffer
+	_, err := b.Read(make([]byte, 1))
+	return err
+}
+
+// startWorkers launches n in-process workers on loopback listeners.
+func startWorkers(t *testing.T, n int) ([]*Worker, []string) {
+	t.Helper()
+	types := []edgesim.NodeType{
+		edgesim.RaspberryPiAPlus, edgesim.RaspberryPiB, edgesim.RaspberryPiBPlus,
+	}
+	workers := make([]*Worker, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		w := &Worker{ID: i + 1, Type: types[i%len(types)], TimeScale: 0}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Serve(l); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			if err := w.Close(); err != nil {
+				t.Errorf("worker close: %v", err)
+			}
+		})
+		workers[i] = w
+		addrs[i] = w.Addr()
+	}
+	return workers, addrs
+}
+
+func testPlan(n, m int) (*core.Problem, *alloc.Result) {
+	p := &core.Problem{TimeLimit: 100}
+	for j := 0; j < n; j++ {
+		imp := 0.05
+		if j < 2 {
+			imp = 0.8
+		}
+		p.Tasks = append(p.Tasks, core.TaskSpec{
+			ID: j, Importance: imp, TimeCost: 1, Resource: 0, InputBits: 1000,
+		})
+	}
+	for i := 0; i < m; i++ {
+		p.Processors = append(p.Processors, core.Processor{ID: i, Capacity: 100, SpeedFactor: 1})
+	}
+	a := make(core.Allocation, n)
+	prio := make([]float64, n)
+	for j := range a {
+		a[j] = j % m
+		prio[j] = p.Tasks[j].Importance
+	}
+	return p, &alloc.Result{Allocation: a, Priority: prio}
+}
+
+func TestControllerRunsPlan(t *testing.T) {
+	_, addrs := startWorkers(t, 3)
+	p, res := testPlan(9, 3)
+	ctrl := NewController()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	report, err := ctrl.Run(ctx, addrs, p, res, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Completions) != 9 {
+		t.Fatalf("completions = %d, want 9", len(report.Completions))
+	}
+	if report.DecisionReadyAt <= 0 {
+		t.Fatal("decision never became ready")
+	}
+	if report.Covered < 0.8*p.TotalImportance() {
+		t.Fatalf("covered %v below target", report.Covered)
+	}
+	// Every processor maps to an announced worker ID.
+	for i := 0; i < 3; i++ {
+		if report.Workers[i] != i+1 {
+			t.Fatalf("worker map = %v", report.Workers)
+		}
+	}
+	// Priority order per worker: the two important tasks complete first on
+	// their nodes, so the decision is ready before all completions.
+	last := report.Completions[len(report.Completions)-1].At
+	if report.DecisionReadyAt > last {
+		t.Fatalf("decision after last completion: %v vs %v", report.DecisionReadyAt, last)
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	ctrl := NewController()
+	ctx := context.Background()
+	p, res := testPlan(4, 2)
+	if _, err := ctrl.Run(ctx, nil, p, res, 0.8); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("no workers err = %v", err)
+	}
+	_, addrs := startWorkers(t, 2)
+	short := &alloc.Result{Allocation: core.Allocation{0}}
+	if _, err := ctrl.Run(ctx, addrs, p, short, 0.8); !errors.Is(err, ErrPlanMismatch) {
+		t.Fatalf("short plan err = %v", err)
+	}
+	badProc := &alloc.Result{Allocation: core.Allocation{5, 0, 0, 0}}
+	if _, err := ctrl.Run(ctx, addrs, p, badProc, 0.8); !errors.Is(err, ErrPlanMismatch) {
+		t.Fatalf("bad processor err = %v", err)
+	}
+	// Dead address.
+	deadCtrl := NewController()
+	deadCtrl.DialTimeout = 200 * time.Millisecond
+	if _, err := deadCtrl.Run(ctx, []string{"127.0.0.1:1"}, p, res, 0.8); err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+}
+
+func TestControllerContextCancel(t *testing.T) {
+	// A slow worker plus a cancelled context must abort promptly.
+	w := &Worker{ID: 1, Type: edgesim.RaspberryPiAPlus, TimeScale: 1} // real-time: slow
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Serve(l); err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	p, res := testPlan(2, 1)
+	// 3e6 bits × 4.75e-7 s/bit ≈ 1.4 s per task: beyond the deadline but
+	// short enough that worker cleanup stays quick.
+	for j := range p.Tasks {
+		p.Tasks[j].InputBits = 3e6
+	}
+	ctrl := NewController()
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = ctrl.Run(ctx, []string{w.Addr()}, p, res, 0.8)
+	if err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 1*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+func TestWorkerLifecycle(t *testing.T) {
+	w := &Worker{ID: 9, Type: edgesim.Laptop}
+	if w.Addr() != "" {
+		t.Fatal("address before Serve should be empty")
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Serve(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Serve(l); err == nil {
+		t.Fatal("double Serve accepted")
+	}
+	if !strings.Contains(w.Addr(), "127.0.0.1") {
+		t.Fatalf("Addr = %q", w.Addr())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent close.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkerRejectsProtocolViolation(t *testing.T) {
+	_, addrs := startWorkers(t, 1)
+	conn, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := ReadFrame(conn); err != nil { // hello
+		t.Fatal(err)
+	}
+	// Send an unexpected message type: the worker must drop the connection.
+	if err := WriteFrame(conn, &Envelope{Type: MsgHello}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := ReadFrame(conn); err == nil {
+		t.Fatal("worker kept talking after protocol violation")
+	}
+}

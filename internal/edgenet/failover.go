@@ -1,0 +1,243 @@
+package edgenet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+)
+
+// ErrAllWorkersDown is returned when no worker remains to run the plan.
+var ErrAllWorkersDown = fmt.Errorf("edgenet: all workers down")
+
+// RunFaultTolerant executes the plan like Run, but survives worker
+// crashes: when a worker's connection breaks, its unfinished tasks are
+// re-dispatched to the surviving workers (earliest-available first). The
+// run fails only when every worker is gone with work outstanding.
+func (c *Controller) RunFaultTolerant(ctx context.Context, addrs []string, p *core.Problem, res *alloc.Result, coverageTarget float64) (*Report, error) {
+	if len(addrs) == 0 {
+		return nil, ErrNoWorkers
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("edgenet: %w", err)
+	}
+	if res == nil || len(res.Allocation) != len(p.Tasks) {
+		return nil, fmt.Errorf("edgenet: allocation/task mismatch: %w", ErrPlanMismatch)
+	}
+	if coverageTarget <= 0 || coverageTarget > 1 {
+		coverageTarget = 0.8
+	}
+	prio := func(j int) float64 {
+		if res.Priority != nil && j < len(res.Priority) {
+			return res.Priority[j]
+		}
+		return -float64(j)
+	}
+	// Initial queues per worker, priority-ordered.
+	pending := make([][]int, len(addrs))
+	assigned := 0
+	for j, proc := range res.Allocation {
+		if proc == core.Unassigned {
+			continue
+		}
+		if proc < 0 || proc >= len(addrs) {
+			return nil, fmt.Errorf("task %d on processor %d: %w", j, proc, ErrPlanMismatch)
+		}
+		pending[proc] = append(pending[proc], j)
+		assigned++
+	}
+	for _, q := range pending {
+		sort.Slice(q, func(a, b int) bool {
+			pa, pb := prio(q[a]), prio(q[b])
+			if pa != pb {
+				return pa > pb
+			}
+			return q[a] < q[b]
+		})
+	}
+	// Defer order matters: cancel must fire before wg.Wait so blocked
+	// workers unblock (LIFO: register Wait first).
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	report := &Report{Workers: make(map[int]int, len(addrs))}
+	start := time.Now()
+
+	type workerEvent struct {
+		proc int
+		comp *Completion // nil for a failure event
+		left []int       // unfinished tasks on failure
+	}
+	events := make(chan workerEvent, 1)
+	sendEvent := func(ev workerEvent) {
+		select {
+		case events <- ev:
+		case <-runCtx.Done():
+		}
+	}
+
+	// spawn drives one worker until its queue (plus any re-dispatched
+	// work pushed via its channel) is exhausted.
+	type workerHandle struct {
+		inbox chan int
+		alive bool
+	}
+	handles := make([]*workerHandle, len(addrs))
+	dialer := net.Dialer{Timeout: c.DialTimeout}
+	for i, addr := range addrs {
+		conn, err := dialer.DialContext(runCtx, "tcp", addr)
+		if err != nil {
+			// A worker that never answers counts as failed at t=0: its
+			// queue is re-dispatched below.
+			handles[i] = &workerHandle{alive: false}
+			continue
+		}
+		hello, err := ReadFrame(conn)
+		if err != nil || hello.Type != MsgHello {
+			conn.Close()
+			handles[i] = &workerHandle{alive: false}
+			continue
+		}
+		report.Workers[i] = hello.WorkerID
+		h := &workerHandle{inbox: make(chan int, len(p.Tasks)), alive: true}
+		handles[i] = h
+		wg.Add(1)
+		go func(proc int, conn net.Conn, inbox chan int) {
+			defer wg.Done()
+			defer conn.Close()
+			defer WriteFrame(conn, &Envelope{Type: MsgShutdown}) //nolint:errcheck
+			// Close the connection when the run ends to unblock reads.
+			connDone := make(chan struct{})
+			defer close(connDone)
+			go func() {
+				select {
+				case <-runCtx.Done():
+					conn.Close()
+				case <-connDone:
+				}
+			}()
+			for {
+				var j int
+				var ok bool
+				select {
+				case j, ok = <-inbox:
+					if !ok {
+						return
+					}
+				case <-runCtx.Done():
+					return
+				}
+				t := p.Tasks[j]
+				if err := WriteFrame(conn, &Envelope{
+					Type: MsgAssign, TaskID: j, InputBits: t.InputBits, Importance: t.Importance,
+				}); err != nil {
+					sendEvent(workerEvent{proc: proc, left: append([]int{j}, drain(inbox)...)})
+					return
+				}
+				done, err := ReadFrame(conn)
+				if err != nil || done.Type != MsgDone || done.TaskID != j {
+					sendEvent(workerEvent{proc: proc, left: append([]int{j}, drain(inbox)...)})
+					return
+				}
+				sendEvent(workerEvent{proc: proc, comp: &Completion{
+					Task: j, WorkerID: done.WorkerID, Importance: t.Importance,
+					At: time.Since(start),
+				}})
+			}
+		}(i, conn, h.inbox)
+	}
+	// Seed the inboxes; queues of dead-on-arrival workers go to redispatch.
+	var orphans []int
+	for i, q := range pending {
+		if handles[i].alive {
+			for _, j := range q {
+				handles[i].inbox <- j
+			}
+		} else {
+			orphans = append(orphans, q...)
+		}
+	}
+	redispatch := func(tasks []int) error {
+		sort.Slice(tasks, func(a, b int) bool { return prio(tasks[a]) > prio(tasks[b]) })
+		for _, j := range tasks {
+			sent := false
+			// Spread across the living, least-loaded inbox first.
+			best := -1
+			for i, h := range handles {
+				if !h.alive {
+					continue
+				}
+				if best == -1 || len(h.inbox) < len(handles[best].inbox) {
+					best = i
+				}
+			}
+			if best >= 0 {
+				handles[best].inbox <- j
+				sent = true
+			}
+			if !sent {
+				return fmt.Errorf("task %d stranded: %w", j, ErrAllWorkersDown)
+			}
+		}
+		return nil
+	}
+	if err := redispatch(orphans); err != nil {
+		cancel()
+		return nil, err
+	}
+	target := coverageTarget * p.TotalImportance()
+	received := 0
+	for received < assigned {
+		select {
+		case ev := <-events:
+			if ev.comp != nil {
+				received++
+				report.Completions = append(report.Completions, *ev.comp)
+				report.Covered += ev.comp.Importance
+				if report.DecisionReadyAt == 0 && target > 0 && report.Covered >= target {
+					report.DecisionReadyAt = ev.comp.At
+				}
+				continue
+			}
+			// Worker failure: mark dead, re-dispatch its leftovers.
+			handles[ev.proc].alive = false
+			if err := redispatch(ev.left); err != nil {
+				cancel()
+				return nil, err
+			}
+		case <-ctx.Done():
+			cancel()
+			return nil, fmt.Errorf("edgenet run: %w", ctx.Err())
+		}
+	}
+	// All work done: close inboxes so worker goroutines exit.
+	cancel()
+	for _, h := range handles {
+		if h.alive {
+			close(h.inbox)
+		}
+	}
+	return report, nil
+}
+
+// drain empties an inbox without blocking.
+func drain(inbox chan int) []int {
+	var out []int
+	for {
+		select {
+		case j, ok := <-inbox:
+			if !ok {
+				return out
+			}
+			out = append(out, j)
+		default:
+			return out
+		}
+	}
+}

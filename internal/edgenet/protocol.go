@@ -1,0 +1,105 @@
+// Package edgenet is a runnable network implementation of the paper's edge
+// system (Fig. 8): a controller that dials worker nodes over TCP, streams
+// task assignments in allocation-priority order, and declares the industry
+// decision ready once the completed tasks cover the importance target — the
+// same PT semantics as internal/edgesim, but over real sockets with real
+// goroutines, timeouts and graceful shutdown.
+//
+// The protocol is length-prefixed JSON frames. Workers simulate task
+// execution by sleeping InputBits × SecPerBit × TimeScale, so a demo runs in
+// milliseconds while preserving the relative timing structure.
+package edgenet
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Common errors.
+var (
+	// ErrFrameTooLarge guards against corrupt or hostile length prefixes.
+	ErrFrameTooLarge = errors.New("edgenet: frame too large")
+	// ErrBadMessage is returned for messages that fail validation.
+	ErrBadMessage = errors.New("edgenet: invalid message")
+)
+
+// MaxFrameBytes bounds a single protocol frame.
+const MaxFrameBytes = 1 << 20
+
+// MsgType discriminates protocol messages.
+type MsgType string
+
+// Protocol message types.
+const (
+	// MsgHello is the worker's greeting after accepting a connection.
+	MsgHello MsgType = "hello"
+	// MsgAssign carries one task assignment, controller → worker.
+	MsgAssign MsgType = "assign"
+	// MsgDone reports one task completion, worker → controller.
+	MsgDone MsgType = "done"
+	// MsgShutdown asks the worker to finish its queue and exit the
+	// connection, controller → worker.
+	MsgShutdown MsgType = "shutdown"
+)
+
+// Envelope is the wire representation of every message.
+type Envelope struct {
+	Type MsgType `json:"type"`
+	// Hello fields.
+	WorkerID  int     `json:"workerId,omitempty"`
+	NodeType  string  `json:"nodeType,omitempty"`
+	SecPerBit float64 `json:"secPerBit,omitempty"`
+	// Assign/Done fields.
+	TaskID     int     `json:"taskId,omitempty"`
+	InputBits  float64 `json:"inputBits,omitempty"`
+	Importance float64 `json:"importance,omitempty"`
+	// Done fields.
+	ElapsedMicros int64 `json:"elapsedMicros,omitempty"`
+}
+
+// WriteFrame serializes one envelope as a length-prefixed JSON frame.
+func WriteFrame(w io.Writer, env *Envelope) error {
+	payload, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("edgenet marshal: %w", err)
+	}
+	if len(payload) > MaxFrameBytes {
+		return fmt.Errorf("%d bytes: %w", len(payload), ErrFrameTooLarge)
+	}
+	var head [4]byte
+	binary.BigEndian.PutUint32(head[:], uint32(len(payload)))
+	if _, err := w.Write(head[:]); err != nil {
+		return fmt.Errorf("edgenet write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("edgenet write payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed JSON frame.
+func ReadFrame(r io.Reader) (*Envelope, error) {
+	var head [4]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, err // io.EOF propagates unchanged for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(head[:])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("%d bytes: %w", n, ErrFrameTooLarge)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("edgenet read payload: %w", err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return nil, fmt.Errorf("edgenet unmarshal: %w", err)
+	}
+	if env.Type == "" {
+		return nil, fmt.Errorf("missing type: %w", ErrBadMessage)
+	}
+	return &env, nil
+}

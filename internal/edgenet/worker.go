@@ -1,0 +1,142 @@
+package edgenet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/edgesim"
+)
+
+// Worker is one edge node process: it accepts a controller connection,
+// announces its hardware class, and executes assigned tasks sequentially
+// (edge devices in the testbed are single-board computers).
+type Worker struct {
+	// ID identifies the worker to the controller.
+	ID int
+	// Type sets the per-bit computation time (edgesim constants).
+	Type edgesim.NodeType
+	// TimeScale scales simulated execution: a task busy-waits
+	// InputBits × SecPerBit × TimeScale of wall-clock time. 0 runs
+	// instantly (tests); 1 is real-time.
+	TimeScale float64
+
+	mu       sync.Mutex
+	listener net.Listener
+	done     chan struct{}
+	closed   bool
+}
+
+// Serve starts accepting controller connections on l and returns
+// immediately; Close shuts the worker down and waits for the serve loop.
+func (w *Worker) Serve(l net.Listener) error {
+	w.mu.Lock()
+	if w.listener != nil {
+		w.mu.Unlock()
+		return fmt.Errorf("edgenet: worker %d already serving", w.ID)
+	}
+	w.listener = l
+	w.done = make(chan struct{})
+	w.mu.Unlock()
+	go w.acceptLoop(l, w.done)
+	return nil
+}
+
+func (w *Worker) acceptLoop(l net.Listener, done chan struct{}) {
+	defer close(done)
+	var conns sync.WaitGroup
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			// Listener closed: drain connections and exit.
+			conns.Wait()
+			return
+		}
+		conns.Add(1)
+		go func() {
+			defer conns.Done()
+			defer conn.Close()
+			w.handle(conn)
+		}()
+	}
+}
+
+// handle speaks the protocol on one controller connection.
+func (w *Worker) handle(conn net.Conn) {
+	hello := &Envelope{
+		Type:      MsgHello,
+		WorkerID:  w.ID,
+		NodeType:  w.Type.String(),
+		SecPerBit: w.Type.SecPerBit(),
+	}
+	if err := WriteFrame(conn, hello); err != nil {
+		return
+	}
+	for {
+		env, err := ReadFrame(conn)
+		if err != nil {
+			return // EOF or broken pipe: controller went away
+		}
+		switch env.Type {
+		case MsgAssign:
+			start := time.Now()
+			w.execute(env.InputBits)
+			done := &Envelope{
+				Type:          MsgDone,
+				WorkerID:      w.ID,
+				TaskID:        env.TaskID,
+				Importance:    env.Importance,
+				ElapsedMicros: time.Since(start).Microseconds(),
+			}
+			if err := WriteFrame(conn, done); err != nil {
+				return
+			}
+		case MsgShutdown:
+			return
+		default:
+			return // protocol violation: drop the connection
+		}
+	}
+}
+
+// execute simulates the task's computation.
+func (w *Worker) execute(inputBits float64) {
+	if w.TimeScale <= 0 {
+		return
+	}
+	d := time.Duration(inputBits * w.Type.SecPerBit() * w.TimeScale * float64(time.Second))
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Close stops accepting connections and waits for in-flight handlers.
+// It is idempotent.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	if w.closed || w.listener == nil {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	l, done := w.listener, w.done
+	w.mu.Unlock()
+	err := l.Close()
+	<-done
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return fmt.Errorf("edgenet worker close: %w", err)
+	}
+	return nil
+}
+
+// Addr returns the listener address ("" before Serve).
+func (w *Worker) Addr() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.listener == nil {
+		return ""
+	}
+	return w.listener.Addr().String()
+}

@@ -1,0 +1,345 @@
+// Package edgesim simulates the paper's testbed (§V-B, Fig. 8): nine
+// Raspberry Pis (models A+, B, B+) and one laptop controller interconnected
+// over WiFi in a star topology. It converts an allocator's decision into the
+// paper's Processing Time (PT) metric — the time from experiment start until
+// the industry decision can be made.
+//
+// The per-bit computation times follow the paper's setting from [33]
+// (Raspberry Pi A+ computes at 4.75e-7 s/bit), with the other node types
+// scaled by their relative hardware capability.
+package edgesim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+)
+
+// Common errors.
+var (
+	// ErrBadCluster is returned for malformed cluster specs.
+	ErrBadCluster = errors.New("edgesim: invalid cluster")
+	// ErrBadSimInput is returned for inconsistent simulation inputs.
+	ErrBadSimInput = errors.New("edgesim: invalid simulation input")
+)
+
+// NodeType identifies the hardware class of an edge node.
+type NodeType int
+
+// The testbed's hardware classes.
+const (
+	RaspberryPiAPlus NodeType = iota + 1
+	RaspberryPiB
+	RaspberryPiBPlus
+	Laptop
+)
+
+// String names the node type.
+func (n NodeType) String() string {
+	switch n {
+	case RaspberryPiAPlus:
+		return "RPi-A+"
+	case RaspberryPiB:
+		return "RPi-B"
+	case RaspberryPiBPlus:
+		return "RPi-B+"
+	case Laptop:
+		return "laptop"
+	default:
+		return fmt.Sprintf("NodeType(%d)", int(n))
+	}
+}
+
+// SecPerBit returns the node's computation time per input bit.
+// The A+ figure is the paper's; B and B+ are faster in proportion to their
+// CPU/memory uplift, and the laptop is ~20× faster than a Pi.
+func (n NodeType) SecPerBit() float64 {
+	switch n {
+	case RaspberryPiAPlus:
+		return 4.75e-7
+	case RaspberryPiB:
+		return 3.60e-7
+	case RaspberryPiBPlus:
+		return 2.40e-7
+	case Laptop:
+		return 2.0e-8
+	default:
+		return 4.75e-7
+	}
+}
+
+// MemoryMB returns the node's memory resource capacity (the V_p of Eq. 4).
+func (n NodeType) MemoryMB() float64 {
+	switch n {
+	case RaspberryPiAPlus:
+		return 256
+	case RaspberryPiB:
+		return 512
+	case RaspberryPiBPlus:
+		return 512
+	case Laptop:
+		return 8192
+	default:
+		return 256
+	}
+}
+
+// Node is one machine in the cluster.
+type Node struct {
+	ID   int
+	Type NodeType
+}
+
+// Cluster is the star-topology testbed: workers execute tasks; the
+// controller runs allocation decisions and the fallback path.
+type Cluster struct {
+	Controller Node
+	Workers    []Node
+	// BandwidthBps is each WiFi link's bandwidth in bits/second.
+	BandwidthBps float64
+	// ControllerOpsPerSec converts an allocator's DecisionOps into time.
+	ControllerOpsPerSec float64
+}
+
+// DefaultBandwidthBps is the default WiFi link rate (50 Mbit/s).
+const DefaultBandwidthBps = 50e6
+
+// NewCluster builds the paper's topology with `workers` Raspberry Pis
+// (cycling A+, B, B+ as in Fig. 8) and a laptop controller.
+func NewCluster(workers int) (*Cluster, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("%d workers: %w", workers, ErrBadCluster)
+	}
+	cycle := []NodeType{RaspberryPiAPlus, RaspberryPiB, RaspberryPiBPlus}
+	c := &Cluster{
+		Controller:          Node{ID: 0, Type: Laptop},
+		BandwidthBps:        DefaultBandwidthBps,
+		ControllerOpsPerSec: 1e9,
+	}
+	for i := 0; i < workers; i++ {
+		c.Workers = append(c.Workers, Node{ID: i + 1, Type: cycle[i%len(cycle)]})
+	}
+	return c, nil
+}
+
+// Validate checks the cluster spec.
+func (c *Cluster) Validate() error {
+	if len(c.Workers) == 0 {
+		return fmt.Errorf("no workers: %w", ErrBadCluster)
+	}
+	if c.BandwidthBps <= 0 {
+		return fmt.Errorf("bandwidth %.0f: %w", c.BandwidthBps, ErrBadCluster)
+	}
+	if c.ControllerOpsPerSec <= 0 {
+		return fmt.Errorf("controller speed %.0f: %w", c.ControllerOpsPerSec, ErrBadCluster)
+	}
+	return nil
+}
+
+// ProblemFor converts a workload (per-task importance and input bits) and
+// the cluster into a TATIM problem: t_j is the nominal execution time on a
+// Raspberry Pi B, V_p is node memory, and T is the time limit.
+func (c *Cluster) ProblemFor(importance, inputBits []float64, timeLimit float64) (*core.Problem, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(importance) != len(inputBits) {
+		return nil, fmt.Errorf("%d importances vs %d sizes: %w",
+			len(importance), len(inputBits), ErrBadSimInput)
+	}
+	ref := RaspberryPiB.SecPerBit()
+	p := &core.Problem{TimeLimit: timeLimit}
+	for j := range importance {
+		p.Tasks = append(p.Tasks, core.TaskSpec{
+			ID:         j,
+			Importance: importance[j],
+			TimeCost:   inputBits[j] * ref,
+			Resource:   inputBits[j] / 8 / 1e6 * 4, // working set ≈ 4× input MB
+			InputBits:  inputBits[j],
+		})
+	}
+	for i, w := range c.Workers {
+		p.Processors = append(p.Processors, core.Processor{
+			ID:          i,
+			Capacity:    w.Type.MemoryMB(),
+			SpeedFactor: ref / w.Type.SecPerBit(),
+		})
+	}
+	return p, nil
+}
+
+// TaskCompletion records when one task's output became available.
+type TaskCompletion struct {
+	Task       int
+	Node       int
+	FinishTime float64
+	Importance float64
+}
+
+// SimResult is the outcome of simulating one allocation.
+type SimResult struct {
+	// ProcessingTime is the paper's PT: decision compute + the earliest
+	// instant at which enough important task outputs are in to make the
+	// industry decision (plus fallback work when the allocation cannot
+	// cover the target).
+	ProcessingTime float64
+	// DecisionTime is the allocator's own computation time.
+	DecisionTime float64
+	// Makespan is when the last assigned task finished.
+	Makespan float64
+	// CoveredImportance is the importance executed by ProcessingTime.
+	CoveredImportance float64
+	// FallbackTasks counts tasks the controller had to re-run to reach the
+	// coverage target.
+	FallbackTasks int
+	// Completions lists per-task finish events, time-ordered.
+	Completions []TaskCompletion
+}
+
+// Simulate executes an allocation on the cluster and measures PT.
+//
+// Model: the controller first computes the allocation (DecisionOps), then
+// streams each node's tasks over its dedicated WiFi link in the allocator's
+// priority order; a node computes a task once received, pipelining transfer
+// and computation. The industry decision is ready when the completed tasks'
+// cumulative true importance reaches coverageTarget × total importance. If
+// the allocation cannot reach the target, the controller re-runs the
+// missing highest-importance tasks locally (fallback), extending PT.
+func Simulate(c *Cluster, p *core.Problem, res *alloc.Result, coverageTarget float64) (*SimResult, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("edgesim: %w", err)
+	}
+	if res == nil || len(res.Allocation) != len(p.Tasks) {
+		return nil, fmt.Errorf("allocation/task mismatch: %w", ErrBadSimInput)
+	}
+	if len(p.Processors) > len(c.Workers) {
+		return nil, fmt.Errorf("%d processors for %d workers: %w",
+			len(p.Processors), len(c.Workers), ErrBadSimInput)
+	}
+	if coverageTarget <= 0 || coverageTarget > 1 {
+		coverageTarget = 0.8
+	}
+	out := &SimResult{DecisionTime: res.DecisionOps / c.ControllerOpsPerSec}
+	// Build per-node queues in priority order.
+	queues := make([][]int, len(c.Workers))
+	for j, proc := range res.Allocation {
+		if proc == core.Unassigned {
+			continue
+		}
+		if proc < 0 || proc >= len(c.Workers) {
+			return nil, fmt.Errorf("task %d on worker %d: %w", j, proc, ErrBadSimInput)
+		}
+		queues[proc] = append(queues[proc], j)
+	}
+	prio := func(j int) float64 {
+		if res.Priority != nil && j < len(res.Priority) {
+			return res.Priority[j]
+		}
+		return -float64(j) // index order
+	}
+	for _, q := range queues {
+		sort.Slice(q, func(a, b int) bool {
+			pa, pb := prio(q[a]), prio(q[b])
+			if pa != pb {
+				return pa > pb
+			}
+			return q[a] < q[b]
+		})
+	}
+	// Event simulation. The WiFi star shares ONE medium: the controller's
+	// transmissions to all workers serialize on the channel ("transmission
+	// time is also the main component of processing time", §V-D), so every
+	// extra task an allocator ships delays everything behind it. The
+	// controller interleaves node queues by priority; each node computes a
+	// task once received.
+	type pending struct {
+		task, proc int
+	}
+	var sendOrder []pending
+	for proc, q := range queues {
+		for _, j := range q {
+			sendOrder = append(sendOrder, pending{task: j, proc: proc})
+		}
+	}
+	sort.Slice(sendOrder, func(a, b int) bool {
+		pa, pb := prio(sendOrder[a].task), prio(sendOrder[b].task)
+		if pa != pb {
+			return pa > pb
+		}
+		return sendOrder[a].task < sendOrder[b].task
+	})
+	channelFree := out.DecisionTime
+	nodeFree := make([]float64, len(c.Workers))
+	for i := range nodeFree {
+		nodeFree[i] = out.DecisionTime
+	}
+	for _, s := range sendOrder {
+		t := p.Tasks[s.task]
+		node := c.Workers[s.proc]
+		txEnd := channelFree + t.InputBits/c.BandwidthBps
+		channelFree = txEnd
+		start := txEnd
+		if nodeFree[s.proc] > start {
+			start = nodeFree[s.proc]
+		}
+		end := start + t.InputBits*node.Type.SecPerBit()
+		nodeFree[s.proc] = end
+		out.Completions = append(out.Completions, TaskCompletion{
+			Task: s.task, Node: node.ID, FinishTime: end, Importance: t.Importance,
+		})
+		if end > out.Makespan {
+			out.Makespan = end
+		}
+	}
+	sort.Slice(out.Completions, func(a, b int) bool {
+		return out.Completions[a].FinishTime < out.Completions[b].FinishTime
+	})
+	// Find the decision-ready instant.
+	target := coverageTarget * p.TotalImportance()
+	var covered float64
+	pt := out.DecisionTime
+	reached := target <= 0
+	for _, comp := range out.Completions {
+		covered += comp.Importance
+		pt = comp.FinishTime
+		if covered >= target {
+			reached = true
+			break
+		}
+	}
+	if !reached {
+		// Fallback: the controller re-runs the most important unexecuted
+		// tasks serially until the target is met.
+		pt = out.Makespan
+		if pt < out.DecisionTime {
+			pt = out.DecisionTime
+		}
+		missing := make([]int, 0)
+		for j, proc := range res.Allocation {
+			if proc == core.Unassigned {
+				missing = append(missing, j)
+			}
+		}
+		sort.Slice(missing, func(a, b int) bool {
+			return p.Tasks[missing[a]].Importance > p.Tasks[missing[b]].Importance
+		})
+		for _, j := range missing {
+			t := p.Tasks[j]
+			pt += t.InputBits * c.Controller.Type.SecPerBit()
+			covered += t.Importance
+			out.FallbackTasks++
+			if covered >= target {
+				break
+			}
+		}
+	}
+	out.ProcessingTime = pt
+	out.CoveredImportance = covered
+	return out, nil
+}

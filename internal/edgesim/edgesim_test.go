@@ -1,0 +1,266 @@
+package edgesim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+)
+
+func TestNodeTypes(t *testing.T) {
+	if RaspberryPiAPlus.SecPerBit() != 4.75e-7 {
+		t.Fatalf("A+ sec/bit = %v, want the paper's 4.75e-7", RaspberryPiAPlus.SecPerBit())
+	}
+	order := []NodeType{Laptop, RaspberryPiBPlus, RaspberryPiB, RaspberryPiAPlus}
+	for i := 1; i < len(order); i++ {
+		if order[i-1].SecPerBit() >= order[i].SecPerBit() {
+			t.Fatalf("%v should be faster than %v", order[i-1], order[i])
+		}
+	}
+	for _, n := range order {
+		if n.MemoryMB() <= 0 || n.String() == "" {
+			t.Fatalf("node type %v metadata broken", n)
+		}
+	}
+	if NodeType(99).SecPerBit() <= 0 || NodeType(99).MemoryMB() <= 0 {
+		t.Fatal("unknown type should have safe defaults")
+	}
+}
+
+func TestNewCluster(t *testing.T) {
+	if _, err := NewCluster(0); !errors.Is(err, ErrBadCluster) {
+		t.Fatalf("zero workers err = %v", err)
+	}
+	c, err := NewCluster(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Workers) != 9 || c.Controller.Type != Laptop {
+		t.Fatalf("cluster = %+v", c)
+	}
+	// The worker mix should include all three Pi models (Fig. 8).
+	seen := map[NodeType]bool{}
+	for _, w := range c.Workers {
+		seen[w.Type] = true
+	}
+	if !seen[RaspberryPiAPlus] || !seen[RaspberryPiB] || !seen[RaspberryPiBPlus] {
+		t.Fatalf("worker mix incomplete: %+v", seen)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *c
+	bad.BandwidthBps = 0
+	if err := bad.Validate(); !errors.Is(err, ErrBadCluster) {
+		t.Fatalf("zero bandwidth err = %v", err)
+	}
+}
+
+func TestProblemFor(t *testing.T) {
+	c, err := NewCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := []float64{0.9, 0.1, 0.5}
+	bits := []float64{8e6, 8e6, 16e6}
+	p, err := c.ProblemFor(imp, bits, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tasks) != 3 || len(p.Processors) != 4 {
+		t.Fatalf("problem shape %d/%d", len(p.Tasks), len(p.Processors))
+	}
+	// t_j is nominal Pi-B time.
+	want := 8e6 * RaspberryPiB.SecPerBit()
+	if math.Abs(p.Tasks[0].TimeCost-want) > 1e-9 {
+		t.Fatalf("TimeCost = %v, want %v", p.Tasks[0].TimeCost, want)
+	}
+	// Speed factors: faster nodes have bigger factors.
+	for i, w := range c.Workers {
+		wantF := RaspberryPiB.SecPerBit() / w.Type.SecPerBit()
+		if math.Abs(p.Processors[i].SpeedFactor-wantF) > 1e-9 {
+			t.Fatalf("speed factor %d = %v, want %v", i, p.Processors[i].SpeedFactor, wantF)
+		}
+	}
+	if _, err := c.ProblemFor(imp, bits[:2], 100); !errors.Is(err, ErrBadSimInput) {
+		t.Fatalf("length mismatch err = %v", err)
+	}
+}
+
+// fixture builds a 6-task problem on a 3-worker cluster.
+func fixture(t *testing.T) (*Cluster, *core.Problem) {
+	t.Helper()
+	c, err := NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := []float64{0.9, 0.8, 0.05, 0.04, 0.03, 0.02}
+	bits := []float64{8e6, 8e6, 8e6, 8e6, 8e6, 8e6}
+	p, err := c.ProblemFor(imp, bits, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, p
+}
+
+func TestSimulateBasics(t *testing.T) {
+	c, p := fixture(t)
+	// Assign everything round-robin, no priority.
+	a := make(core.Allocation, len(p.Tasks))
+	for j := range a {
+		a[j] = j % 3
+	}
+	res := &alloc.Result{Allocation: a, DecisionOps: 1e6}
+	sim, err := Simulate(c, p, res, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.DecisionTime <= 0 || sim.ProcessingTime < sim.DecisionTime {
+		t.Fatalf("times: %+v", sim)
+	}
+	if sim.Makespan < sim.ProcessingTime-1e-9 && sim.FallbackTasks == 0 {
+		t.Fatalf("PT %v beyond makespan %v without fallback", sim.ProcessingTime, sim.Makespan)
+	}
+	if len(sim.Completions) != 6 {
+		t.Fatalf("completions = %d", len(sim.Completions))
+	}
+	for i := 1; i < len(sim.Completions); i++ {
+		if sim.Completions[i].FinishTime < sim.Completions[i-1].FinishTime {
+			t.Fatal("completions not time-ordered")
+		}
+	}
+}
+
+func TestPriorityAcceleratesDecision(t *testing.T) {
+	c, p := fixture(t)
+	// All six tasks on worker 0: order decides when the two important
+	// tasks (0, 1) finish.
+	a := make(core.Allocation, len(p.Tasks))
+	for j := range a {
+		a[j] = 0
+	}
+	important := &alloc.Result{
+		Allocation: a,
+		Priority:   []float64{0.9, 0.8, 0.05, 0.04, 0.03, 0.02},
+	}
+	reversed := &alloc.Result{
+		Allocation: a,
+		Priority:   []float64{0.02, 0.03, 0.04, 0.05, 0.8, 0.9},
+	}
+	simGood, err := Simulate(c, p, important, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simBad, err := Simulate(c, p, reversed, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(simGood.ProcessingTime < simBad.ProcessingTime) {
+		t.Fatalf("importance-first PT %v should beat reversed PT %v",
+			simGood.ProcessingTime, simBad.ProcessingTime)
+	}
+}
+
+func TestFasterNodesFinishSooner(t *testing.T) {
+	c, p := fixture(t)
+	// Put the heavy-importance task on the B+ (index 2) vs A+ (index 0).
+	onFast := make(core.Allocation, len(p.Tasks))
+	onSlow := make(core.Allocation, len(p.Tasks))
+	for j := range onFast {
+		onFast[j] = core.Unassigned
+		onSlow[j] = core.Unassigned
+	}
+	onFast[0] = 2 // B+
+	onSlow[0] = 0 // A+
+	fast, err := Simulate(c, p, &alloc.Result{Allocation: onFast}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Simulate(c, p, &alloc.Result{Allocation: onSlow}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(fast.ProcessingTime < slow.ProcessingTime) {
+		t.Fatalf("B+ PT %v should beat A+ PT %v", fast.ProcessingTime, slow.ProcessingTime)
+	}
+}
+
+func TestBandwidthScalesTransmission(t *testing.T) {
+	c, p := fixture(t)
+	a := make(core.Allocation, len(p.Tasks))
+	for j := range a {
+		a[j] = j % 3
+	}
+	res := &alloc.Result{Allocation: a}
+	slow := *c
+	slow.BandwidthBps = 5e6
+	fast := *c
+	fast.BandwidthBps = 500e6
+	sSlow, err := Simulate(&slow, p, res, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sFast, err := Simulate(&fast, p, res, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sFast.ProcessingTime < sSlow.ProcessingTime) {
+		t.Fatalf("more bandwidth should reduce PT: %v vs %v",
+			sFast.ProcessingTime, sSlow.ProcessingTime)
+	}
+}
+
+func TestFallbackWhenCoverageUnreachable(t *testing.T) {
+	c, p := fixture(t)
+	// Assign only the unimportant tail; the controller must re-run the
+	// important tasks.
+	a := make(core.Allocation, len(p.Tasks))
+	for j := range a {
+		a[j] = core.Unassigned
+	}
+	a[2], a[3] = 0, 1
+	sim, err := Simulate(c, p, &alloc.Result{Allocation: a}, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.FallbackTasks == 0 {
+		t.Fatal("expected controller fallback")
+	}
+	if sim.CoveredImportance < 0.8*p.TotalImportance() {
+		t.Fatalf("fallback did not reach target: %v", sim.CoveredImportance)
+	}
+	if sim.ProcessingTime <= sim.Makespan {
+		t.Fatal("fallback must extend PT beyond makespan")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	c, p := fixture(t)
+	if _, err := Simulate(c, p, nil, 0.8); !errors.Is(err, ErrBadSimInput) {
+		t.Fatalf("nil result err = %v", err)
+	}
+	short := &alloc.Result{Allocation: core.Allocation{0}}
+	if _, err := Simulate(c, p, short, 0.8); !errors.Is(err, ErrBadSimInput) {
+		t.Fatalf("short allocation err = %v", err)
+	}
+	badProc := make(core.Allocation, len(p.Tasks))
+	for j := range badProc {
+		badProc[j] = 99
+	}
+	if _, err := Simulate(c, p, &alloc.Result{Allocation: badProc}, 0.8); !errors.Is(err, ErrBadSimInput) {
+		t.Fatalf("bad worker err = %v", err)
+	}
+	// Out-of-range coverage target defaults rather than failing.
+	ok := make(core.Allocation, len(p.Tasks))
+	for j := range ok {
+		ok[j] = j % 3
+	}
+	if _, err := Simulate(c, p, &alloc.Result{Allocation: ok}, -1); err != nil {
+		t.Fatalf("default coverage err = %v", err)
+	}
+}

@@ -1,0 +1,205 @@
+package edgesim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/mathx"
+)
+
+// NodeFault is a crash-stop failure of one worker at a given instant.
+// Edge deployments fail routinely ("due to the instability of the sensing
+// devices, data loss also occurs frequently", §VII); the fault simulator
+// measures how gracefully each allocation strategy degrades.
+type NodeFault struct {
+	// Node is the worker index (into Cluster.Workers).
+	Node int
+	// At is the failure time in seconds from experiment start.
+	At float64
+}
+
+// SampleFaults draws crash-stop faults: each worker independently fails
+// with probability failProb at a uniform time in [0, horizon).
+func SampleFaults(seed int64, workers int, failProb, horizon float64) []NodeFault {
+	rng := mathx.NewRand(seed)
+	var out []NodeFault
+	for w := 0; w < workers; w++ {
+		if rng.Float64() < failProb {
+			out = append(out, NodeFault{Node: w, At: rng.Float64() * horizon})
+		}
+	}
+	return out
+}
+
+// SimulateWithFaults runs Simulate under crash-stop faults: a failed
+// worker's unfinished tasks are lost; the controller detects the failure
+// (at the fault instant) and re-dispatches the lost tasks to surviving
+// workers in priority order, re-transmitting their inputs over the shared
+// channel. If every worker fails, the controller runs the lost tasks
+// itself.
+func SimulateWithFaults(c *Cluster, p *core.Problem, res *alloc.Result, coverageTarget float64, faults []NodeFault) (*SimResult, error) {
+	base, err := Simulate(c, p, res, coverageTarget)
+	if err != nil {
+		return nil, err
+	}
+	if len(faults) == 0 {
+		return base, nil
+	}
+	failAt := make(map[int]float64, len(faults))
+	for _, f := range faults {
+		if f.Node < 0 || f.Node >= len(c.Workers) {
+			return nil, fmt.Errorf("fault on worker %d of %d: %w", f.Node, len(c.Workers), ErrBadSimInput)
+		}
+		if f.At < 0 {
+			return nil, fmt.Errorf("fault at %.3f s: %w", f.At, ErrBadSimInput)
+		}
+		if prev, ok := failAt[f.Node]; !ok || f.At < prev {
+			failAt[f.Node] = f.At
+		}
+	}
+	// Partition the base completions into survived and lost. Node IDs in
+	// completions are 1-based worker IDs (Cluster numbering); worker index
+	// is ID-1.
+	var survived []TaskCompletion
+	var lost []int
+	var lastFault float64
+	for _, comp := range base.Completions {
+		widx := comp.Node - 1
+		if at, ok := failAt[widx]; ok && comp.FinishTime > at {
+			lost = append(lost, comp.Task)
+			if at > lastFault {
+				lastFault = at
+			}
+		} else {
+			survived = append(survived, comp)
+		}
+	}
+	if len(lost) == 0 {
+		return base, nil
+	}
+	// Survivors and their availability after their own queues drain.
+	type nodeState struct {
+		idx  int
+		free float64
+	}
+	var survivors []nodeState
+	nodeFree := make(map[int]float64)
+	for _, comp := range survived {
+		widx := comp.Node - 1
+		if comp.FinishTime > nodeFree[widx] {
+			nodeFree[widx] = comp.FinishTime
+		}
+	}
+	for widx := range c.Workers {
+		if _, failed := failAt[widx]; failed {
+			continue
+		}
+		survivors = append(survivors, nodeState{idx: widx, free: nodeFree[widx]})
+	}
+	// Re-dispatch lost tasks in priority order after failure detection.
+	prio := func(j int) float64 {
+		if res.Priority != nil && j < len(res.Priority) {
+			return res.Priority[j]
+		}
+		return -float64(j)
+	}
+	sort.Slice(lost, func(a, b int) bool {
+		pa, pb := prio(lost[a]), prio(lost[b])
+		if pa != pb {
+			return pa > pb
+		}
+		return lost[a] < lost[b]
+	})
+	out := &SimResult{
+		DecisionTime: base.DecisionTime,
+		Completions:  survived,
+		Makespan:     0,
+	}
+	channelFree := lastFault // retransmissions start at failure detection
+	if channelFree < base.DecisionTime {
+		channelFree = base.DecisionTime
+	}
+	for _, j := range lost {
+		t := p.Tasks[j]
+		if len(survivors) == 0 {
+			// Controller fallback: run locally, serially.
+			end := channelFree + t.InputBits*c.Controller.Type.SecPerBit()
+			channelFree = end
+			out.Completions = append(out.Completions, TaskCompletion{
+				Task: j, Node: c.Controller.ID, FinishTime: end, Importance: t.Importance,
+			})
+			out.FallbackTasks++
+			continue
+		}
+		// Earliest-available survivor.
+		best := 0
+		for i := 1; i < len(survivors); i++ {
+			if survivors[i].free < survivors[best].free {
+				best = i
+			}
+		}
+		txEnd := channelFree + t.InputBits/c.BandwidthBps
+		channelFree = txEnd
+		start := txEnd
+		if survivors[best].free > start {
+			start = survivors[best].free
+		}
+		node := c.Workers[survivors[best].idx]
+		end := start + t.InputBits*node.Type.SecPerBit()
+		survivors[best].free = end
+		out.Completions = append(out.Completions, TaskCompletion{
+			Task: j, Node: node.ID, FinishTime: end, Importance: t.Importance,
+		})
+	}
+	sort.Slice(out.Completions, func(a, b int) bool {
+		return out.Completions[a].FinishTime < out.Completions[b].FinishTime
+	})
+	for _, comp := range out.Completions {
+		if comp.FinishTime > out.Makespan {
+			out.Makespan = comp.FinishTime
+		}
+	}
+	// Recompute the decision-ready instant over the surviving + re-run set.
+	if coverageTarget <= 0 || coverageTarget > 1 {
+		coverageTarget = 0.8
+	}
+	target := coverageTarget * p.TotalImportance()
+	var covered float64
+	pt := out.DecisionTime
+	reached := target <= 0
+	for _, comp := range out.Completions {
+		covered += comp.Importance
+		pt = comp.FinishTime
+		if covered >= target {
+			reached = true
+			break
+		}
+	}
+	if !reached {
+		// Unassigned importance re-run by the controller, as in Simulate.
+		pt = out.Makespan
+		missing := make([]int, 0)
+		for j, proc := range res.Allocation {
+			if proc == core.Unassigned {
+				missing = append(missing, j)
+			}
+		}
+		sort.Slice(missing, func(a, b int) bool {
+			return p.Tasks[missing[a]].Importance > p.Tasks[missing[b]].Importance
+		})
+		for _, j := range missing {
+			t := p.Tasks[j]
+			pt += t.InputBits * c.Controller.Type.SecPerBit()
+			covered += t.Importance
+			out.FallbackTasks++
+			if covered >= target {
+				break
+			}
+		}
+	}
+	out.ProcessingTime = pt
+	out.CoveredImportance = covered
+	return out, nil
+}

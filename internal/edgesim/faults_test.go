@@ -1,0 +1,140 @@
+package edgesim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+)
+
+func TestSampleFaults(t *testing.T) {
+	// p=0 → no faults; p=1 → all workers fail within the horizon.
+	if got := SampleFaults(1, 5, 0, 100); len(got) != 0 {
+		t.Fatalf("p=0 faults = %v", got)
+	}
+	all := SampleFaults(1, 5, 1, 100)
+	if len(all) != 5 {
+		t.Fatalf("p=1 faults = %d, want 5", len(all))
+	}
+	for _, f := range all {
+		if f.At < 0 || f.At >= 100 {
+			t.Fatalf("fault time %v outside horizon", f.At)
+		}
+	}
+	// Deterministic per seed.
+	again := SampleFaults(1, 5, 1, 100)
+	for i := range all {
+		if all[i] != again[i] {
+			t.Fatal("same seed must give same faults")
+		}
+	}
+}
+
+func faultFixture(t *testing.T) (*Cluster, *core.Problem, *alloc.Result) {
+	t.Helper()
+	c, p := fixture(t)
+	a := make(core.Allocation, len(p.Tasks))
+	for j := range a {
+		a[j] = j % 3
+	}
+	prio := make([]float64, len(p.Tasks))
+	for j := range prio {
+		prio[j] = p.Tasks[j].Importance
+	}
+	return c, p, &alloc.Result{Allocation: a, Priority: prio}
+}
+
+func TestSimulateWithFaultsNoFaultsIsIdentity(t *testing.T) {
+	c, p, res := faultFixture(t)
+	base, err := Simulate(c, p, res, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := SimulateWithFaults(c, p, res, 0.8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.ProcessingTime != base.ProcessingTime {
+		t.Fatalf("no-fault PT %v != base %v", faulted.ProcessingTime, base.ProcessingTime)
+	}
+}
+
+func TestSimulateWithFaultsDelaysButRecovers(t *testing.T) {
+	c, p, res := faultFixture(t)
+	base, err := Simulate(c, p, res, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill worker 0 immediately: everything it held re-runs elsewhere.
+	faulted, err := SimulateWithFaults(c, p, res, 0.8, []NodeFault{{Node: 0, At: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.ProcessingTime < base.ProcessingTime {
+		t.Fatalf("fault should not speed things up: %v vs %v",
+			faulted.ProcessingTime, base.ProcessingTime)
+	}
+	// All tasks still complete (on survivors), coverage reached.
+	if len(faulted.Completions) != len(base.Completions) {
+		t.Fatalf("lost tasks not re-run: %d vs %d completions",
+			len(faulted.Completions), len(base.Completions))
+	}
+	if faulted.CoveredImportance < 0.8*p.TotalImportance() {
+		t.Fatalf("coverage not reached after recovery: %v", faulted.CoveredImportance)
+	}
+	for _, comp := range faulted.Completions {
+		if comp.Node == 1 { // worker index 0 has node ID 1
+			t.Fatalf("task %d completed on the dead worker", comp.Task)
+		}
+	}
+}
+
+func TestSimulateWithFaultsLateFaultIsFree(t *testing.T) {
+	c, p, res := faultFixture(t)
+	base, err := Simulate(c, p, res, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fault after the makespan loses nothing.
+	faulted, err := SimulateWithFaults(c, p, res, 0.8, []NodeFault{
+		{Node: 0, At: base.Makespan + 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.ProcessingTime != base.ProcessingTime {
+		t.Fatalf("late fault changed PT: %v vs %v", faulted.ProcessingTime, base.ProcessingTime)
+	}
+}
+
+func TestSimulateWithFaultsAllNodesDead(t *testing.T) {
+	c, p, res := faultFixture(t)
+	faults := []NodeFault{{Node: 0, At: 0}, {Node: 1, At: 0}, {Node: 2, At: 0}}
+	faulted, err := SimulateWithFaults(c, p, res, 0.8, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Controller fallback ran everything.
+	if faulted.FallbackTasks == 0 {
+		t.Fatal("expected controller fallback")
+	}
+	if faulted.CoveredImportance < 0.8*p.TotalImportance() {
+		t.Fatalf("coverage not reached: %v", faulted.CoveredImportance)
+	}
+	for _, comp := range faulted.Completions {
+		if comp.Node != c.Controller.ID {
+			t.Fatalf("task %d ran on worker %d after total failure", comp.Task, comp.Node)
+		}
+	}
+}
+
+func TestSimulateWithFaultsValidation(t *testing.T) {
+	c, p, res := faultFixture(t)
+	if _, err := SimulateWithFaults(c, p, res, 0.8, []NodeFault{{Node: 99, At: 0}}); !errors.Is(err, ErrBadSimInput) {
+		t.Fatalf("bad node err = %v", err)
+	}
+	if _, err := SimulateWithFaults(c, p, res, 0.8, []NodeFault{{Node: 0, At: -1}}); !errors.Is(err, ErrBadSimInput) {
+		t.Fatalf("negative time err = %v", err)
+	}
+}

@@ -1,0 +1,145 @@
+package edgesim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/mathx"
+)
+
+// randomScenario builds a random feasible simulation input from a seed.
+func randomScenario(seed int64) (*Cluster, *core.Problem, *alloc.Result, error) {
+	rng := mathx.NewRand(seed%4096 + 1)
+	workers := 1 + rng.Intn(5)
+	c, err := NewCluster(workers)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	c.BandwidthBps = 1e6 * (1 + rng.Float64()*100)
+	n := 1 + rng.Intn(12)
+	imp := make([]float64, n)
+	bits := make([]float64, n)
+	for j := 0; j < n; j++ {
+		imp[j] = rng.Float64()
+		bits[j] = 1e5 * (1 + rng.Float64()*20)
+	}
+	p, err := c.ProblemFor(imp, bits, 1e6)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	a := make(core.Allocation, n)
+	prio := make([]float64, n)
+	for j := range a {
+		if rng.Float64() < 0.2 {
+			a[j] = core.Unassigned
+		} else {
+			a[j] = rng.Intn(workers)
+		}
+		prio[j] = rng.Float64()
+	}
+	res := &alloc.Result{Allocation: a, Priority: prio, DecisionOps: rng.Float64() * 1e6}
+	return c, p, res, nil
+}
+
+// Property: simulation invariants hold for random feasible inputs —
+// PT ≥ decision time, completions == assigned count, makespan ≥ every
+// completion instant, covered importance reaches the target one way or
+// another.
+func TestSimulateInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		c, p, res, err := randomScenario(seed)
+		if err != nil {
+			return false
+		}
+		sim, err := Simulate(c, p, res, 0.8)
+		if err != nil {
+			return false
+		}
+		if sim.ProcessingTime < sim.DecisionTime-1e-9 {
+			return false
+		}
+		assigned := 0
+		for _, a := range res.Allocation {
+			if a != core.Unassigned {
+				assigned++
+			}
+		}
+		if len(sim.Completions) != assigned {
+			return false
+		}
+		for _, comp := range sim.Completions {
+			if comp.FinishTime > sim.Makespan+1e-9 {
+				return false
+			}
+		}
+		return sim.CoveredImportance >= 0.8*p.TotalImportance()-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a higher coverage target never makes the decision ready sooner.
+func TestCoverageMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		c, p, res, err := randomScenario(seed)
+		if err != nil {
+			return false
+		}
+		lo, err := Simulate(c, p, res, 0.5)
+		if err != nil {
+			return false
+		}
+		hi, err := Simulate(c, p, res, 0.95)
+		if err != nil {
+			return false
+		}
+		return hi.ProcessingTime >= lo.ProcessingTime-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: under a crash-stop fault, no work is lost — every assigned task
+// still completes (off the dead node), coverage is still reached, and PT
+// stays ≥ the decision time. Note that a fault CAN reduce PT relative to
+// the fault-free run: re-dispatch places tasks earliest-available, which
+// may beat a poor original placement (observed for RM in the robustness
+// sweep), so "faults never help" is deliberately NOT asserted.
+func TestFaultRecoveryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		c, p, res, err := randomScenario(seed)
+		if err != nil {
+			return false
+		}
+		if len(c.Workers) < 2 {
+			return true // need a survivor
+		}
+		base, err := Simulate(c, p, res, 0.8)
+		if err != nil {
+			return false
+		}
+		faulted, err := SimulateWithFaults(c, p, res, 0.8, []NodeFault{{Node: 0, At: 0}})
+		if err != nil {
+			return false
+		}
+		if len(faulted.Completions) != len(base.Completions) {
+			return false
+		}
+		for _, comp := range faulted.Completions {
+			if comp.Node == c.Workers[0].ID {
+				return false // completed on the dead node
+			}
+		}
+		if faulted.ProcessingTime < faulted.DecisionTime-1e-9 {
+			return false
+		}
+		return faulted.CoveredImportance >= 0.8*p.TotalImportance()-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/mathx"
+	"repro/internal/mlearn"
+)
+
+// TableIRow documents one Table-I feature with summary statistics over the
+// evaluation epochs, demonstrating the extraction pipeline end to end.
+type TableIRow struct {
+	Feature string
+	Mean    float64
+	Std     float64
+}
+
+// TableIFeatures extracts the Table-I feature matrix over the eval epochs
+// and summarizes each column.
+func TableIFeatures(s *Scenario) ([]TableIRow, error) {
+	names := features.Names()
+	cols := make([][]float64, len(names))
+	for _, ep := range s.Eval {
+		vecs, err := s.Extractor.Vectors(ep.FeatureCtx)
+		if err != nil {
+			return nil, fmt.Errorf("table I: %w", err)
+		}
+		for _, v := range vecs {
+			for c := range names {
+				cols[c] = append(cols[c], v[c])
+			}
+		}
+	}
+	rows := make([]TableIRow, len(names))
+	for c, name := range names {
+		rows[c] = TableIRow{
+			Feature: name,
+			Mean:    mathx.Mean(cols[c]),
+			Std:     mathx.StdDev(cols[c]),
+		}
+	}
+	return rows, nil
+}
+
+// ModelComparisonRow is one §IV-B local-process candidate.
+type ModelComparisonRow struct {
+	Model    string
+	TrainAcc float64
+	TestAcc  float64
+	// CVAcc and CVStd are 5-fold cross-validated accuracy on the training
+	// epochs (mean ± std) — the robust comparison when epochs are scarce.
+	CVAcc float64
+	CVStd float64
+}
+
+// LocalModelComparison reproduces §IV-B's model selection: SVM vs AdaBoost
+// vs Random Forest on the task-selection problem, trained on historical
+// optimal decisions and tested on held-out epochs. The paper selects SVM
+// "because of its highest accuracy".
+func LocalModelComparison(s *Scenario) ([]ModelComparisonRow, error) {
+	buildSet := func(epochs []Epoch) (*mlearn.Dataset, error) {
+		oracle := alloc.NewOracleGreedy()
+		var x [][]float64
+		var y []float64
+		for _, ep := range epochs {
+			prob := s.problemWithImportance(ep.Importance)
+			res, err := oracle.Allocate(alloc.Request{Problem: prob})
+			if err != nil {
+				return nil, err
+			}
+			vecs, err := s.Extractor.Vectors(ep.FeatureCtx)
+			if err != nil {
+				return nil, err
+			}
+			for taskID, proc := range res.Allocation {
+				label := -1.0
+				if proc != core.Unassigned {
+					label = 1
+				}
+				v := mathx.Clone(vecs[taskID])
+				features.Sanitize(v)
+				x = append(x, v)
+				y = append(y, label)
+			}
+		}
+		return mlearn.NewDataset(x, y)
+	}
+	trainRaw, err := buildSet(s.History)
+	if err != nil {
+		return nil, fmt.Errorf("local comparison train set: %w", err)
+	}
+	testRaw, err := buildSet(s.Eval)
+	if err != nil {
+		return nil, fmt.Errorf("local comparison test set: %w", err)
+	}
+	var scaler mlearn.StandardScaler
+	if err := scaler.Fit(trainRaw.X); err != nil {
+		return nil, err
+	}
+	scale := func(d *mlearn.Dataset) (*mlearn.Dataset, error) {
+		x, err := scaler.TransformAll(d.X)
+		if err != nil {
+			return nil, err
+		}
+		return mlearn.NewDataset(x, d.Y)
+	}
+	train, err := scale(trainRaw)
+	if err != nil {
+		return nil, err
+	}
+	test, err := scale(testRaw)
+	if err != nil {
+		return nil, err
+	}
+	candidates := []struct {
+		name    string
+		factory func() mlearn.Classifier
+	}{
+		{"SVM", func() mlearn.Classifier {
+			svm := mlearn.NewSVM()
+			svm.Seed = s.Config.Seed
+			svm.C = 50
+			svm.Epochs = 200
+			svm.LearningRate = 0.02
+			return svm
+		}},
+		{"AdaBoost", func() mlearn.Classifier {
+			ada := mlearn.NewAdaBoost(40)
+			ada.StumpDepth = 2
+			return ada
+		}},
+		{"RandomForest", func() mlearn.Classifier {
+			forest := mlearn.NewForest(30)
+			forest.Seed = s.Config.Seed
+			return forest
+		}},
+	}
+	rows := make([]ModelComparisonRow, 0, len(candidates))
+	for _, c := range candidates {
+		model := c.factory()
+		if err := model.Fit(train); err != nil {
+			return nil, fmt.Errorf("%s fit: %w", c.name, err)
+		}
+		trainAcc, err := mlearn.Accuracy(model, train)
+		if err != nil {
+			return nil, fmt.Errorf("%s train acc: %w", c.name, err)
+		}
+		testAcc, err := mlearn.Accuracy(model, test)
+		if err != nil {
+			return nil, fmt.Errorf("%s test acc: %w", c.name, err)
+		}
+		cvAcc, cvStd, err := mlearn.CrossValidateClassifier(c.factory, train, 5, s.Config.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s cv: %w", c.name, err)
+		}
+		rows = append(rows, ModelComparisonRow{
+			Model: c.name, TrainAcc: trainAcc, TestAcc: testAcc, CVAcc: cvAcc, CVStd: cvStd,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/building"
+	"repro/internal/mtl"
+)
+
+// MTLModeRow evaluates one (mode, learner) combination of the §V-B task
+// kinds: how many of the 50 tasks become fittable and how good the overall
+// decisions are.
+type MTLModeRow struct {
+	Mode    mtl.Mode
+	Learner mtl.Learner
+	// FittedTasks counts tasks with a usable model.
+	FittedTasks int
+	// MeanH is the mean overall decision performance across eval epochs.
+	MeanH float64
+	// FitSeconds is the wall-clock training cost.
+	FitSeconds float64
+}
+
+// MTLModeComparison trains the task set under each MTL mode (and the ridge
+// vs forest base learners) and scores the resulting decision performance —
+// the §V-B "independent / self-adapted / clustered" setup as an experiment.
+// Training uses a scarce data fraction so the transfer modes have something
+// to transfer against.
+func MTLModeComparison(s *Scenario) ([]MTLModeRow, error) {
+	combos := []struct {
+		mode    mtl.Mode
+		learner mtl.Learner
+	}{
+		{mtl.ModeIndependent, mtl.LearnerRidge},
+		{mtl.ModeSelfAdapted, mtl.LearnerRidge},
+		{mtl.ModeClustered, mtl.LearnerRidge},
+		{mtl.ModeSelfAdapted, mtl.LearnerForest},
+		{mtl.ModeSelfAdapted, mtl.LearnerKNN},
+	}
+	seq := building.NewSequencer()
+	rows := make([]MTLModeRow, 0, len(combos))
+	for _, combo := range combos {
+		cfg := mtl.DefaultEngineConfig()
+		cfg.MaxTasks = s.Config.Tasks
+		cfg.Seed = s.Config.Seed
+		cfg.Mode = combo.mode
+		cfg.Learner = combo.learner
+		// Scarcity pressure: a tenth of each task's data.
+		cfg.TrainFraction = 0.1
+		engine, err := mtl.NewEngine(s.Trace, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("mode %v: %w", combo.mode, err)
+		}
+		start := time.Now()
+		if err := engine.Fit(); err != nil {
+			return nil, fmt.Errorf("mode %v fit: %w", combo.mode, err)
+		}
+		row := MTLModeRow{
+			Mode:       combo.mode,
+			Learner:    combo.learner,
+			FitSeconds: time.Since(start).Seconds(),
+		}
+		for _, task := range engine.Tasks() {
+			if engine.HasModel(task.ID) {
+				row.FittedTasks++
+			}
+		}
+		var hSum float64
+		for _, ep := range s.Eval {
+			h, err := engine.OverallPerformance(seq, ep.Plant)
+			if err != nil {
+				return nil, fmt.Errorf("mode %v perf: %w", combo.mode, err)
+			}
+			hSum += h
+		}
+		row.MeanH = hSum / float64(len(s.Eval))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

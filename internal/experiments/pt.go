@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/alloc"
+	"repro/internal/conc"
+	"repro/internal/core"
+	"repro/internal/edgesim"
+	"repro/internal/mathx"
+)
+
+// PTPoint is one x-axis point of a processing-time figure: the mean PT per
+// allocation method over the evaluation epochs.
+type PTPoint struct {
+	// X is the sweep value (#processors, data size in Mb, bandwidth in Mbps).
+	X float64
+	// MeanPT maps method name → mean processing time (seconds).
+	MeanPT map[string]float64
+}
+
+// PTSeries is a full figure: points ordered by X plus the headline speedup
+// statistics the paper quotes.
+type PTSeries struct {
+	Figure string
+	XLabel string
+	Points []PTPoint
+	// SpeedupVs maps a baseline name to DCTA's mean and max speedup over it
+	// across the sweep (paper: 2.70/2.05/1.80 mean, 3.24/2.32/2.01 max for
+	// RM/DML/CRL in Fig. 9).
+	SpeedupVs map[string]Speedup
+}
+
+// Speedup summarizes PT(baseline)/PT(DCTA).
+type Speedup struct {
+	Mean float64
+	Max  float64
+}
+
+// MethodOrder is the canonical method ordering in tables.
+var MethodOrder = []string{"RM", "DML", "CRL", "DCTA"}
+
+// evaluatePT measures the mean PT of every allocator on the scenario's
+// evaluation epochs under the given cluster and problem scale.
+func evaluatePT(s *Scenario, cluster *edgesim.Cluster, inputScale float64) (map[string]float64, error) {
+	allocators, err := s.Allocators()
+	if err != nil {
+		return nil, err
+	}
+	sums := make(map[string]float64, len(allocators))
+	for _, ep := range s.Eval {
+		req, err := s.RequestFor(ep)
+		if err != nil {
+			return nil, fmt.Errorf("request: %w", err)
+		}
+		if inputScale != 1 {
+			scaleProblem(req.Problem, inputScale)
+		}
+		for name, a := range allocators {
+			res, err := a.Allocate(req)
+			if err != nil {
+				return nil, fmt.Errorf("%s allocate: %w", name, err)
+			}
+			repairAllocation(req.Problem, res)
+			sim, err := edgesim.Simulate(cluster, req.Problem, res, s.Config.CoverageTarget)
+			if err != nil {
+				return nil, fmt.Errorf("%s simulate: %w", name, err)
+			}
+			sums[name] += sim.ProcessingTime
+		}
+	}
+	n := float64(len(s.Eval))
+	out := make(map[string]float64, len(sums))
+	for name, v := range sums {
+		out[name] = v / n
+	}
+	return out, nil
+}
+
+// scaleProblem multiplies every task's input size (and hence nominal time
+// and resource demand) by `scale`.
+func scaleProblem(p *core.Problem, scale float64) {
+	for i := range p.Tasks {
+		p.Tasks[i].InputBits *= scale
+		p.Tasks[i].TimeCost *= scale
+		p.Tasks[i].Resource *= scale
+	}
+}
+
+// repairAllocation drops the lowest-priority tasks from overloaded
+// processors until the allocation satisfies Eqs. (2)–(4). Data-driven
+// policies trained on one problem scale may overshoot when the instance is
+// rescaled; the controller must never ship an infeasible plan.
+func repairAllocation(p *core.Problem, res *alloc.Result) {
+	if p.CheckFeasible(res.Allocation) == nil {
+		return
+	}
+	type assigned struct {
+		task, proc int
+		prio       float64
+	}
+	var list []assigned
+	for j, proc := range res.Allocation {
+		if proc == core.Unassigned {
+			continue
+		}
+		prio := 0.0
+		if res.Priority != nil && j < len(res.Priority) {
+			prio = res.Priority[j]
+		}
+		list = append(list, assigned{task: j, proc: proc, prio: prio})
+	}
+	// Keep high-priority tasks; evict from the bottom.
+	sort.Slice(list, func(a, b int) bool { return list[a].prio < list[b].prio })
+	usedT := make([]float64, len(p.Processors))
+	usedV := make([]float64, len(p.Processors))
+	for j, proc := range res.Allocation {
+		if proc != core.Unassigned {
+			usedT[proc] += p.Tasks[j].TimeCost
+			usedV[proc] += p.Tasks[j].Resource
+		}
+	}
+	for _, a := range list {
+		if p.CheckFeasible(res.Allocation) == nil {
+			return
+		}
+		if usedT[a.proc] > p.TimeLimit || usedV[a.proc] > p.Processors[a.proc].Capacity {
+			res.Allocation[a.task] = core.Unassigned
+			usedT[a.proc] -= p.Tasks[a.task].TimeCost
+			usedV[a.proc] -= p.Tasks[a.task].Resource
+		}
+	}
+}
+
+// speedups derives the DCTA speedup summary from a finished series.
+func speedups(points []PTPoint) map[string]Speedup {
+	out := make(map[string]Speedup)
+	for _, base := range []string{"RM", "DML", "CRL"} {
+		var ratios []float64
+		for _, pt := range points {
+			d := pt.MeanPT["DCTA"]
+			b := pt.MeanPT[base]
+			if d > 0 && b > 0 {
+				ratios = append(ratios, b/d)
+			}
+		}
+		if len(ratios) > 0 {
+			out[base] = Speedup{Mean: mathx.Mean(ratios), Max: mathx.MaxOf(ratios)}
+		}
+	}
+	return out
+}
+
+// Fig9ProcessorSweep reproduces Fig. 9: PT as a function of the number of
+// processors. Every point rebuilds the deployment (store capacities, CRL,
+// local model) because the MDP's dimensions depend on M; the points are
+// independent, so they run in parallel.
+func Fig9ProcessorSweep(s *Scenario, workerCounts []int) (*PTSeries, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{2, 4, 6, 8, 10}
+	}
+	series := &PTSeries{Figure: "Fig9", XLabel: "processors"}
+	points, err := conc.Map(len(workerCounts), 0, func(i int) (PTPoint, error) {
+		m := workerCounts[i]
+		sm, err := s.WithWorkers(m)
+		if err != nil {
+			return PTPoint{}, fmt.Errorf("workers=%d: %w", m, err)
+		}
+		pt, err := evaluatePT(sm, sm.Cluster, 1)
+		if err != nil {
+			return PTPoint{}, fmt.Errorf("workers=%d: %w", m, err)
+		}
+		return PTPoint{X: float64(m), MeanPT: pt}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	series.Points = points
+	series.SpeedupVs = speedups(series.Points)
+	return series, nil
+}
+
+// Fig10DataSizeSweep reproduces Fig. 10: PT as a function of the average
+// application input data size in Mb (split across the 50 tasks).
+func Fig10DataSizeSweep(s *Scenario, totalMb []float64) (*PTSeries, error) {
+	if len(totalMb) == 0 {
+		totalMb = []float64{200, 400, 600, 800, 1000}
+	}
+	series := &PTSeries{Figure: "Fig10", XLabel: "avg input data size (Mb)"}
+	baseTotal := s.Config.AvgInputMbits * float64(len(s.InputBits))
+	for _, mb := range totalMb {
+		scale := mb / baseTotal
+		pt, err := evaluatePT(s, s.Cluster, scale)
+		if err != nil {
+			return nil, fmt.Errorf("datasize=%v: %w", mb, err)
+		}
+		series.Points = append(series.Points, PTPoint{X: mb, MeanPT: pt})
+	}
+	series.SpeedupVs = speedups(series.Points)
+	return series, nil
+}
+
+// Fig11BandwidthSweep reproduces Fig. 11: PT as a function of the WiFi
+// bandwidth limit in Mbps.
+func Fig11BandwidthSweep(s *Scenario, mbps []float64) (*PTSeries, error) {
+	if len(mbps) == 0 {
+		mbps = []float64{10, 25, 50, 100, 200}
+	}
+	series := &PTSeries{Figure: "Fig11", XLabel: "bandwidth (Mbps)"}
+	for _, bw := range mbps {
+		cluster := *s.Cluster
+		cluster.BandwidthBps = bw * 1e6
+		pt, err := evaluatePT(s, &cluster, 1)
+		if err != nil {
+			return nil, fmt.Errorf("bandwidth=%v: %w", bw, err)
+		}
+		series.Points = append(series.Points, PTPoint{X: bw, MeanPT: pt})
+	}
+	series.SpeedupVs = speedups(series.Points)
+	return series, nil
+}

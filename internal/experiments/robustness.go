@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/edgesim"
+)
+
+// RobustnessPoint is the mean PT per method at one worker-failure rate.
+type RobustnessPoint struct {
+	FailProb float64
+	MeanPT   map[string]float64
+}
+
+// RobustnessSweep measures every allocation strategy's processing time
+// under crash-stop worker failures (an extension beyond the paper's
+// evaluation; §VII notes that edge sensing devices fail routinely). Faults
+// are resampled per epoch and shared across methods so the comparison is
+// paired.
+func RobustnessSweep(s *Scenario, failProbs []float64) ([]RobustnessPoint, error) {
+	if len(failProbs) == 0 {
+		failProbs = []float64{0, 0.1, 0.25, 0.5}
+	}
+	allocators, err := s.Allocators()
+	if err != nil {
+		return nil, err
+	}
+	var out []RobustnessPoint
+	for pi, prob := range failProbs {
+		sums := make(map[string]float64, len(allocators))
+		for ei, ep := range s.Eval {
+			req, err := s.RequestFor(ep)
+			if err != nil {
+				return nil, fmt.Errorf("request: %w", err)
+			}
+			// A generous horizon: faults can strike any time within a
+			// typical run.
+			horizon := s.Config.TimeLimit
+			faults := edgesim.SampleFaults(
+				s.Config.Seed+int64(1000*pi+ei), len(s.Cluster.Workers), prob, horizon)
+			for name, a := range allocators {
+				res, err := a.Allocate(req)
+				if err != nil {
+					return nil, fmt.Errorf("%s allocate: %w", name, err)
+				}
+				repairAllocation(req.Problem, res)
+				sim, err := edgesim.SimulateWithFaults(
+					s.Cluster, req.Problem, res, s.Config.CoverageTarget, faults)
+				if err != nil {
+					return nil, fmt.Errorf("%s simulate: %w", name, err)
+				}
+				sums[name] += sim.ProcessingTime
+			}
+		}
+		pt := RobustnessPoint{FailProb: prob, MeanPT: make(map[string]float64, len(sums))}
+		for name, v := range sums {
+			pt.MeanPT[name] = v / float64(len(s.Eval))
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/knapsack"
+	"repro/internal/mathx"
+)
+
+// ScalingPoint measures solver cost at one TATIM size — the paper's central
+// efficiency argument: the NP-complete solve recurs under varying contexts,
+// so the data-driven fast path must stay cheap as N grows.
+type ScalingPoint struct {
+	// Tasks is N.
+	Tasks int
+	// ExactMicros is branch-and-bound time (0 when N exceeds its cap).
+	ExactMicros float64
+	// GreedyMicros is the density-greedy heuristic time.
+	GreedyMicros float64
+	// GreedyOptimality is greedy objective / exact objective (0 when exact
+	// was skipped).
+	GreedyOptimality float64
+}
+
+// SolverScaling times the exact and greedy TATIM solvers across problem
+// sizes on random long-tail instances. It quantifies why Theorem 1 makes
+// repeated exact solving untenable (exponential blow-up) while the
+// data-driven path stays linear-ish.
+func SolverScaling(seed int64, sizes []int, processors int) ([]ScalingPoint, error) {
+	if len(sizes) == 0 {
+		sizes = []int{8, 12, 16, 20, 50, 100, 200}
+	}
+	if processors < 1 {
+		processors = 3
+	}
+	rng := mathx.NewRand(seed)
+	out := make([]ScalingPoint, 0, len(sizes))
+	for _, n := range sizes {
+		if n < 1 {
+			return nil, fmt.Errorf("experiments: size %d", n)
+		}
+		p := &core.Problem{TimeLimit: float64(n) / float64(processors) / 2}
+		for j := 0; j < n; j++ {
+			imp := 0.02 * rng.Float64()
+			if j%5 == 0 {
+				imp = 0.5 + 0.5*rng.Float64()
+			}
+			p.Tasks = append(p.Tasks, core.TaskSpec{
+				ID: j, Importance: imp,
+				TimeCost: 0.5 + rng.Float64(),
+				Resource: 0.2 + 0.3*rng.Float64(),
+			})
+		}
+		for i := 0; i < processors; i++ {
+			p.Processors = append(p.Processors, core.Processor{
+				ID: i, Capacity: float64(n) / float64(processors), SpeedFactor: 1,
+			})
+		}
+		pt := ScalingPoint{Tasks: n}
+		start := time.Now()
+		greedy, err := p.SolveGreedy()
+		if err != nil {
+			return nil, fmt.Errorf("greedy n=%d: %w", n, err)
+		}
+		pt.GreedyMicros = float64(time.Since(start).Microseconds())
+		if n <= knapsack.MaxExactItems {
+			start = time.Now()
+			exact, err := p.SolveExact()
+			if err != nil {
+				return nil, fmt.Errorf("exact n=%d: %w", n, err)
+			}
+			pt.ExactMicros = float64(time.Since(start).Microseconds())
+			if obj := p.Objective(exact); obj > 0 {
+				pt.GreedyOptimality = p.Objective(greedy) / obj
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,197 @@
+// Package mathx provides small numeric primitives shared by the learning and
+// simulation substrates: dense vectors and matrices, descriptive statistics,
+// and deterministic random helpers.
+//
+// Everything here is intentionally simple and allocation-conscious; the
+// learning code paths (SGD loops, tree building, Q-learning updates) are the
+// hot paths of the repository.
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimensionMismatch is returned when two operands have incompatible sizes.
+var ErrDimensionMismatch = errors.New("mathx: dimension mismatch")
+
+// Dot returns the inner product of a and b.
+// It panics only via index bounds if the lengths differ; callers that cannot
+// statically guarantee equal lengths should use DotChecked.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// DotChecked returns the inner product of a and b, or ErrDimensionMismatch.
+func DotChecked(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("dot: %d vs %d: %w", len(a), len(b), ErrDimensionMismatch)
+	}
+	return Dot(a, b), nil
+}
+
+// AXPY computes dst[i] += alpha*x[i] in place.
+func AXPY(alpha float64, x, dst []float64) {
+	for i := range x {
+		dst[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Add returns a new vector a+b.
+func Add(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Sub returns a new vector a-b.
+func Sub(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}
+
+// SquaredDistance returns ||a-b||^2.
+func SquaredDistance(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// EuclideanDistance returns ||a-b||.
+func EuclideanDistance(a, b []float64) float64 {
+	return math.Sqrt(SquaredDistance(a, b))
+}
+
+// Clone returns a copy of x. A nil input yields a nil output.
+func Clone(x []float64) []float64 {
+	if x == nil {
+		return nil
+	}
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// Clamp limits v to the inclusive range [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ArgMax returns the index of the largest element of x, or -1 for empty x.
+// Ties resolve to the lowest index.
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(x); i++ {
+		if x[i] > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMin returns the index of the smallest element of x, or -1 for empty x.
+func ArgMin(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(x); i++ {
+		if x[i] < x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// MaxOf returns the largest element of x, or -Inf for empty x.
+func MaxOf(x []float64) float64 {
+	if len(x) == 0 {
+		return math.Inf(-1)
+	}
+	return x[ArgMax(x)]
+}
+
+// MinOf returns the smallest element of x, or +Inf for empty x.
+func MinOf(x []float64) float64 {
+	if len(x) == 0 {
+		return math.Inf(1)
+	}
+	return x[ArgMin(x)]
+}
+
+// Sum returns the sum of all elements of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Softmax writes the softmax of x into a new slice.
+// It is numerically stabilized by subtracting the max.
+func Softmax(x []float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	m := MaxOf(x)
+	out := make([]float64, len(x))
+	var z float64
+	for i, v := range x {
+		e := math.Exp(v - m)
+		out[i] = e
+		z += e
+	}
+	for i := range out {
+		out[i] /= z
+	}
+	return out
+}
+
+// Linspace returns n evenly spaced points from lo to hi inclusive.
+// n < 2 returns []float64{lo}.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}

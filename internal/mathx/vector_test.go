@@ -1,0 +1,191 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestDot(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{name: "empty", a: nil, b: nil, want: 0},
+		{name: "unit", a: []float64{1, 0}, b: []float64{0, 1}, want: 0},
+		{name: "basic", a: []float64{1, 2, 3}, b: []float64{4, 5, 6}, want: 32},
+		{name: "negative", a: []float64{-1, 2}, b: []float64{3, -4}, want: -11},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Dot(tt.a, tt.b); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Dot(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDotCheckedMismatch(t *testing.T) {
+	_, err := DotChecked([]float64{1}, []float64{1, 2})
+	if !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("DotChecked mismatch error = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestAXPYAndScale(t *testing.T) {
+	dst := []float64{1, 2, 3}
+	AXPY(2, []float64{1, 1, 1}, dst)
+	want := []float64{3, 4, 5}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("AXPY dst = %v, want %v", dst, want)
+		}
+	}
+	Scale(0.5, dst)
+	want = []float64{1.5, 2, 2.5}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("Scale dst = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, 5}
+	if got := Add(a, b); got[0] != 4 || got[1] != 7 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(b, a); got[0] != 2 || got[1] != 3 {
+		t.Errorf("Sub = %v", got)
+	}
+}
+
+func TestNormAndDistance(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := EuclideanDistance([]float64{0, 0}, []float64{3, 4}); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("EuclideanDistance = %v, want 5", got)
+	}
+	if got := SquaredDistance([]float64{1, 1}, []float64{2, 3}); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("SquaredDistance = %v, want 5", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	orig := []float64{1, 2, 3}
+	cp := Clone(orig)
+	cp[0] = 99
+	if orig[0] != 1 {
+		t.Fatal("Clone shares backing array with original")
+	}
+	if Clone(nil) != nil {
+		t.Fatal("Clone(nil) should be nil")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct {
+		v, lo, hi, want float64
+	}{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := Clamp(tt.v, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("Clamp(%v, %v, %v) = %v, want %v", tt.v, tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}
+
+func TestArgMaxArgMin(t *testing.T) {
+	x := []float64{1, 5, 5, -2}
+	if got := ArgMax(x); got != 1 {
+		t.Errorf("ArgMax = %d, want 1 (first of ties)", got)
+	}
+	if got := ArgMin(x); got != 3 {
+		t.Errorf("ArgMin = %d, want 3", got)
+	}
+	if ArgMax(nil) != -1 || ArgMin(nil) != -1 {
+		t.Error("ArgMax/ArgMin of empty should be -1")
+	}
+	if !math.IsInf(MaxOf(nil), -1) || !math.IsInf(MinOf(nil), 1) {
+		t.Error("MaxOf/MinOf of empty should be ∓Inf")
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	p := Softmax([]float64{1, 2, 3})
+	if !almostEqual(Sum(p), 1, 1e-12) {
+		t.Fatalf("softmax sums to %v, want 1", Sum(p))
+	}
+	if !(p[2] > p[1] && p[1] > p[0]) {
+		t.Fatalf("softmax not monotone: %v", p)
+	}
+	// Large inputs must not overflow thanks to max-subtraction.
+	p = Softmax([]float64{1000, 1000})
+	if math.IsNaN(p[0]) || !almostEqual(p[0], 0.5, 1e-12) {
+		t.Fatalf("softmax overflow handling broken: %v", p)
+	}
+	if Softmax(nil) != nil {
+		t.Fatal("Softmax(nil) should be nil")
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	pts := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if !almostEqual(pts[i], want[i], 1e-12) {
+			t.Fatalf("Linspace = %v, want %v", pts, want)
+		}
+	}
+	if got := Linspace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Linspace degenerate = %v", got)
+	}
+}
+
+// Property: dot product is symmetric.
+func TestDotSymmetryProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		x, y := Dot(a, b), Dot(b, a)
+		if math.IsNaN(x) && math.IsNaN(y) {
+			return true
+		}
+		return x == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ||a+b|| <= ||a|| + ||b|| (triangle inequality).
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		n := len(raw) / 2
+		a, b := raw[:n], raw[n:2*n]
+		for _, v := range raw[:2*n] {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true // skip pathological float inputs
+			}
+		}
+		return Norm2(Add(a, b)) <= Norm2(a)+Norm2(b)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package mlearn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// AdaBoost is the discrete AdaBoost.M1 classifier over decision stumps.
+// It is one of the two local-process alternatives the paper compares the SVM
+// against (§IV-B). Labels must be −1/+1.
+type AdaBoost struct {
+	// Rounds is the number of boosting rounds (weak learners).
+	Rounds int
+	// StumpDepth is the depth of each weak tree (1 = classic stump).
+	StumpDepth int
+
+	stumps []*Tree
+	alphas []float64
+	dim    int
+	fitted bool
+}
+
+// NewAdaBoost returns a booster with the defaults used in the experiments.
+func NewAdaBoost(rounds int) *AdaBoost {
+	return &AdaBoost{Rounds: rounds, StumpDepth: 1}
+}
+
+// Fit runs AdaBoost.M1 with exponential weight updates.
+func (a *AdaBoost) Fit(d *Dataset) error {
+	if d == nil || d.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	for i, y := range d.Y {
+		if y != -1 && y != 1 {
+			return fmt.Errorf("adaboost fit: label %v at row %d, want -1/+1: %w", y, i, ErrBadShape)
+		}
+	}
+	if a.Rounds < 1 {
+		a.Rounds = 1
+	}
+	if a.StumpDepth < 1 {
+		a.StumpDepth = 1
+	}
+	n := d.Len()
+	a.dim = d.Dim()
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1.0 / float64(n)
+	}
+	a.stumps = a.stumps[:0]
+	a.alphas = a.alphas[:0]
+	for round := 0; round < a.Rounds; round++ {
+		stump := &Tree{MaxDepth: a.StumpDepth, MinLeaf: 1, FeatureFrac: 1}
+		if err := stump.FitWeighted(d, w); err != nil {
+			return fmt.Errorf("adaboost round %d: %w", round, err)
+		}
+		// Weighted error of the hard classification.
+		var errw float64
+		preds := make([]float64, n)
+		for i, x := range d.X {
+			p, err := stump.Classify(x)
+			if err != nil {
+				return fmt.Errorf("adaboost round %d classify: %w", round, err)
+			}
+			preds[i] = p
+			if p != d.Y[i] {
+				errw += w[i]
+			}
+		}
+		const eps = 1e-10
+		errw = mathx.Clamp(errw, eps, 1-eps)
+		alpha := 0.5 * math.Log((1-errw)/errw)
+		a.stumps = append(a.stumps, stump)
+		a.alphas = append(a.alphas, alpha)
+		if errw >= 0.5 {
+			// Weak learner no better than chance; stop (its alpha ≈ 0).
+			break
+		}
+		// Reweight: misclassified samples up, correct ones down.
+		var z float64
+		for i := range w {
+			w[i] *= math.Exp(-alpha * d.Y[i] * preds[i])
+			z += w[i]
+		}
+		for i := range w {
+			w[i] /= z
+		}
+		if errw <= eps {
+			break // perfect weak learner; the ensemble is done
+		}
+	}
+	a.fitted = true
+	return nil
+}
+
+// Score returns Σ αₜ·hₜ(x), the signed ensemble margin.
+func (a *AdaBoost) Score(x []float64) (float64, error) {
+	if !a.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(x) != a.dim {
+		return 0, fmt.Errorf("adaboost score: %d features, want %d: %w", len(x), a.dim, ErrBadShape)
+	}
+	var s float64
+	for t, stump := range a.stumps {
+		h, err := stump.Classify(x)
+		if err != nil {
+			return 0, err
+		}
+		s += a.alphas[t] * h
+	}
+	return s, nil
+}
+
+// Classify thresholds the ensemble margin at zero.
+func (a *AdaBoost) Classify(x []float64) (float64, error) {
+	s, err := a.Score(x)
+	if err != nil {
+		return 0, err
+	}
+	if s >= 0 {
+		return 1, nil
+	}
+	return -1, nil
+}
+
+// Len returns the number of fitted weak learners.
+func (a *AdaBoost) Len() int { return len(a.stumps) }
+
+var _ Classifier = (*AdaBoost)(nil)

@@ -1,0 +1,59 @@
+package mlearn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mathx"
+)
+
+// KFoldSplit partitions [0, n) into k shuffled folds of near-equal size.
+// k is clamped to [2, n].
+func KFoldSplit(rng *rand.Rand, n, k int) [][]int {
+	if n < 2 {
+		return [][]int{{0}}
+	}
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)
+	folds := make([][]int, k)
+	for i, idx := range perm {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	return folds
+}
+
+// CrossValidateClassifier runs k-fold cross-validation: for each fold, a
+// fresh classifier from `factory` is trained on the other folds and scored
+// on the held-out one. It returns the mean and standard deviation of the
+// fold accuracies — the robust way to compare the §IV-B local-process
+// candidates when epochs are scarce.
+func CrossValidateClassifier(factory func() Classifier, d *Dataset, k int, seed int64) (mean, std float64, err error) {
+	if d == nil || d.Len() < 2 {
+		return 0, 0, ErrEmptyDataset
+	}
+	folds := KFoldSplit(mathx.NewRand(seed), d.Len(), k)
+	accs := make([]float64, 0, len(folds))
+	for fi, test := range folds {
+		var train []int
+		for fj, f := range folds {
+			if fj != fi {
+				train = append(train, f...)
+			}
+		}
+		c := factory()
+		if err := c.Fit(d.Subset(train)); err != nil {
+			return 0, 0, fmt.Errorf("fold %d fit: %w", fi, err)
+		}
+		acc, err := Accuracy(c, d.Subset(test))
+		if err != nil {
+			return 0, 0, fmt.Errorf("fold %d score: %w", fi, err)
+		}
+		accs = append(accs, acc)
+	}
+	return mathx.Mean(accs), mathx.StdDev(accs), nil
+}

@@ -1,0 +1,69 @@
+package mlearn
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestKFoldSplit(t *testing.T) {
+	rng := mathx.NewRand(1)
+	folds := KFoldSplit(rng, 10, 3)
+	if len(folds) != 3 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	seen := map[int]int{}
+	total := 0
+	for _, f := range folds {
+		total += len(f)
+		for _, i := range f {
+			seen[i]++
+		}
+	}
+	if total != 10 {
+		t.Fatalf("fold sizes sum to %d", total)
+	}
+	for i := 0; i < 10; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("index %d appears %d times", i, seen[i])
+		}
+	}
+	// Clamping.
+	if got := KFoldSplit(rng, 3, 100); len(got) != 3 {
+		t.Fatalf("k clamps to n: %d folds", len(got))
+	}
+	if got := KFoldSplit(rng, 10, 1); len(got) != 2 {
+		t.Fatalf("k clamps up to 2: %d folds", len(got))
+	}
+	if got := KFoldSplit(rng, 1, 5); len(got) != 1 || got[0][0] != 0 {
+		t.Fatalf("degenerate n=1: %v", got)
+	}
+}
+
+func TestCrossValidateClassifier(t *testing.T) {
+	d := linearlySeparable(9, 200, 0.5)
+	mean, std, err := CrossValidateClassifier(func() Classifier {
+		svm := NewSVM()
+		svm.Epochs = 30
+		return svm
+	}, d, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean < 0.9 {
+		t.Fatalf("CV accuracy = %v on separable data", mean)
+	}
+	if std < 0 || std > 0.5 {
+		t.Fatalf("CV std = %v", std)
+	}
+	// Degenerate inputs.
+	if _, _, err := CrossValidateClassifier(nil, &Dataset{}, 3, 1); !errors.Is(err, ErrEmptyDataset) {
+		t.Fatalf("empty err = %v", err)
+	}
+	// A factory whose model rejects the labels propagates the error.
+	bad, _ := NewDataset([][]float64{{1}, {2}, {3}}, []float64{0, 0, 0})
+	if _, _, err := CrossValidateClassifier(func() Classifier { return NewSVM() }, bad, 3, 1); err == nil {
+		t.Fatal("bad labels accepted")
+	}
+}

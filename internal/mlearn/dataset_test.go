@@ -1,0 +1,78 @@
+package mlearn
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestNewDataset(t *testing.T) {
+	d, err := NewDataset([][]float64{{1, 2}, {3, 4}}, []float64{1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Dim() != 2 {
+		t.Fatalf("Len/Dim = %d/%d", d.Len(), d.Dim())
+	}
+	if _, err := NewDataset([][]float64{{1}}, []float64{1, 2}); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("row/target mismatch err = %v", err)
+	}
+	if _, err := NewDataset([][]float64{{1}, {1, 2}}, []float64{1, 2}); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("ragged rows err = %v", err)
+	}
+	empty, err := NewDataset(nil, nil)
+	if err != nil || empty.Len() != 0 || empty.Dim() != 0 {
+		t.Fatalf("empty dataset: %v %v", empty, err)
+	}
+}
+
+func TestSubsetAndSplit(t *testing.T) {
+	d, _ := NewDataset([][]float64{{0}, {1}, {2}, {3}, {4}}, []float64{0, 1, 2, 3, 4})
+	sub := d.Subset([]int{4, 0})
+	if sub.Len() != 2 || sub.Y[0] != 4 || sub.Y[1] != 0 {
+		t.Fatalf("Subset = %+v", sub)
+	}
+	rng := mathx.NewRand(1)
+	train, test := d.Split(rng, 0.6)
+	if train.Len() != 3 || test.Len() != 2 {
+		t.Fatalf("Split sizes = %d/%d", train.Len(), test.Len())
+	}
+	// Union of the split must be the original multiset of targets.
+	seen := map[float64]int{}
+	for _, y := range append(append([]float64{}, train.Y...), test.Y...) {
+		seen[y]++
+	}
+	for _, y := range d.Y {
+		if seen[y] != 1 {
+			t.Fatalf("Split lost/duplicated target %v: %v", y, seen)
+		}
+	}
+	// Clamping.
+	tr, te := d.Split(mathx.NewRand(2), 1.5)
+	if tr.Len() != 5 || te.Len() != 0 {
+		t.Fatal("trainFrac should clamp to 1")
+	}
+	tr, te = d.Split(mathx.NewRand(2), -0.5)
+	if tr.Len() != 0 || te.Len() != 5 {
+		t.Fatal("trainFrac should clamp to 0")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	d, _ := NewDataset([][]float64{{-2}, {-1}, {1}, {2}}, []float64{-1, -1, 1, 1})
+	svm := NewSVM()
+	if err := svm.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(svm, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 1 {
+		t.Fatalf("separable accuracy = %v, want 1", acc)
+	}
+	if _, err := Accuracy(svm, &Dataset{}); !errors.Is(err, ErrEmptyDataset) {
+		t.Fatalf("empty accuracy err = %v", err)
+	}
+}

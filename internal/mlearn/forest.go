@@ -1,0 +1,105 @@
+package mlearn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Forest is a random forest over CART trees with bootstrap sampling and
+// per-split feature subsampling. It is the second local-process alternative
+// of §IV-B, and also serves as a general-purpose regressor in the MTL
+// substrate. For classification, labels must be −1/+1 and the forest votes
+// by averaging tree scores.
+type Forest struct {
+	// Trees is the ensemble size.
+	Trees int
+	// MaxDepth bounds each tree.
+	MaxDepth int
+	// MinLeaf is each tree's minimum leaf size.
+	MinLeaf int
+	// FeatureFrac is the per-split feature subsample fraction.
+	FeatureFrac float64
+	// Seed makes training reproducible.
+	Seed int64
+
+	ensemble []*Tree
+	dim      int
+	fitted   bool
+}
+
+// NewForest returns a forest with defaults tuned for the experiment scale.
+func NewForest(trees int) *Forest {
+	return &Forest{Trees: trees, MaxDepth: 6, MinLeaf: 2, FeatureFrac: 0.7, Seed: 1}
+}
+
+// Fit grows the ensemble on bootstrap resamples of d.
+func (f *Forest) Fit(d *Dataset) error {
+	if d == nil || d.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	if f.Trees < 1 {
+		f.Trees = 1
+	}
+	rng := rand.New(rand.NewSource(f.Seed))
+	n := d.Len()
+	f.dim = d.Dim()
+	f.ensemble = make([]*Tree, 0, f.Trees)
+	for t := 0; t < f.Trees; t++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		boot := d.Subset(idx)
+		tree := &Tree{
+			MaxDepth:    f.MaxDepth,
+			MinLeaf:     f.MinLeaf,
+			FeatureFrac: f.FeatureFrac,
+			Rng:         rand.New(rand.NewSource(rng.Int63())),
+		}
+		if err := tree.Fit(boot); err != nil {
+			return fmt.Errorf("forest tree %d: %w", t, err)
+		}
+		f.ensemble = append(f.ensemble, tree)
+	}
+	f.fitted = true
+	return nil
+}
+
+// Predict averages the trees' leaf values.
+func (f *Forest) Predict(x []float64) (float64, error) {
+	if !f.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(x) != f.dim {
+		return 0, fmt.Errorf("forest predict: %d features, want %d: %w", len(x), f.dim, ErrBadShape)
+	}
+	var s float64
+	for _, tree := range f.ensemble {
+		v, err := tree.Predict(x)
+		if err != nil {
+			return 0, err
+		}
+		s += v
+	}
+	return s / float64(len(f.ensemble)), nil
+}
+
+// Score is the average tree output (≈ vote share for −1/+1 labels).
+func (f *Forest) Score(x []float64) (float64, error) { return f.Predict(x) }
+
+// Classify thresholds the average vote at zero.
+func (f *Forest) Classify(x []float64) (float64, error) {
+	v, err := f.Predict(x)
+	if err != nil {
+		return 0, err
+	}
+	if v >= 0 {
+		return 1, nil
+	}
+	return -1, nil
+}
+
+var (
+	_ Regressor  = (*Forest)(nil)
+	_ Classifier = (*Forest)(nil)
+)

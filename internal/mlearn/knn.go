@@ -1,0 +1,103 @@
+package mlearn
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mathx"
+)
+
+// KNN is a k-nearest-neighbors model over Euclidean distance. The paper's
+// environment definition step (§III-C, "e = kNN(ℰ, Z)") and its online
+// sensing mode (§VII) are built on this type; it also doubles as a simple
+// regressor/classifier.
+type KNN struct {
+	// K is the number of neighbors consulted.
+	K int
+
+	points  [][]float64
+	targets []float64
+	fitted  bool
+}
+
+// NewKNN returns a kNN model with the given neighborhood size.
+func NewKNN(k int) *KNN { return &KNN{K: k} }
+
+// Fit memorizes the dataset (kNN is a lazy learner).
+func (k *KNN) Fit(d *Dataset) error {
+	if d == nil || d.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	if k.K < 1 {
+		k.K = 1
+	}
+	k.points = d.X
+	k.targets = d.Y
+	k.fitted = true
+	return nil
+}
+
+// Neighbor pairs a stored-sample index with its distance to the query.
+type Neighbor struct {
+	Index    int
+	Distance float64
+}
+
+// Neighbors returns the K nearest stored samples to x, closest first.
+func (k *KNN) Neighbors(x []float64) ([]Neighbor, error) {
+	if !k.fitted {
+		return nil, ErrNotFitted
+	}
+	if len(x) != len(k.points[0]) {
+		return nil, fmt.Errorf("knn: %d features, want %d: %w",
+			len(x), len(k.points[0]), ErrBadShape)
+	}
+	all := make([]Neighbor, len(k.points))
+	for i, p := range k.points {
+		all[i] = Neighbor{Index: i, Distance: mathx.EuclideanDistance(x, p)}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Distance != all[b].Distance {
+			return all[a].Distance < all[b].Distance
+		}
+		return all[a].Index < all[b].Index
+	})
+	kk := k.K
+	if kk > len(all) {
+		kk = len(all)
+	}
+	return all[:kk], nil
+}
+
+// Predict averages the K nearest targets (regression).
+func (k *KNN) Predict(x []float64) (float64, error) {
+	nb, err := k.Neighbors(x)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, n := range nb {
+		s += k.targets[n.Index]
+	}
+	return s / float64(len(nb)), nil
+}
+
+// Score is the average neighbor target (vote share for −1/+1 labels).
+func (k *KNN) Score(x []float64) (float64, error) { return k.Predict(x) }
+
+// Classify thresholds the neighbor vote at zero for −1/+1 labels.
+func (k *KNN) Classify(x []float64) (float64, error) {
+	v, err := k.Predict(x)
+	if err != nil {
+		return 0, err
+	}
+	if v >= 0 {
+		return 1, nil
+	}
+	return -1, nil
+}
+
+var (
+	_ Regressor  = (*KNN)(nil)
+	_ Classifier = (*KNN)(nil)
+)

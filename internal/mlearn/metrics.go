@@ -1,0 +1,52 @@
+package mlearn
+
+import "fmt"
+
+// BinaryMetrics summarizes a binary classifier's performance on −1/+1
+// labels.
+type BinaryMetrics struct {
+	// TP, FP, TN, FN are the confusion-matrix counts (+1 = positive).
+	TP, FP, TN, FN int
+	// Accuracy, Precision, Recall and F1 are the derived rates; ill-defined
+	// rates (zero denominators) are reported as 0.
+	Accuracy  float64
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// EvaluateBinary computes the confusion matrix and derived rates of c on d.
+func EvaluateBinary(c Classifier, d *Dataset) (*BinaryMetrics, error) {
+	if d == nil || d.Len() == 0 {
+		return nil, ErrEmptyDataset
+	}
+	m := &BinaryMetrics{}
+	for i, x := range d.X {
+		got, err := c.Classify(x)
+		if err != nil {
+			return nil, fmt.Errorf("classify row %d: %w", i, err)
+		}
+		switch {
+		case got == 1 && d.Y[i] == 1:
+			m.TP++
+		case got == 1 && d.Y[i] != 1:
+			m.FP++
+		case got != 1 && d.Y[i] != 1:
+			m.TN++
+		default:
+			m.FN++
+		}
+	}
+	total := float64(m.TP + m.FP + m.TN + m.FN)
+	m.Accuracy = float64(m.TP+m.TN) / total
+	if m.TP+m.FP > 0 {
+		m.Precision = float64(m.TP) / float64(m.TP+m.FP)
+	}
+	if m.TP+m.FN > 0 {
+		m.Recall = float64(m.TP) / float64(m.TP+m.FN)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m, nil
+}

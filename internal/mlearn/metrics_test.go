@@ -1,0 +1,79 @@
+package mlearn
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// fixedClassifier returns a canned label per row index via feature 0.
+type fixedClassifier struct{}
+
+func (fixedClassifier) Fit(*Dataset) error { return nil }
+func (fixedClassifier) Score(x []float64) (float64, error) {
+	return x[0], nil
+}
+func (fixedClassifier) Classify(x []float64) (float64, error) {
+	if x[0] >= 0 {
+		return 1, nil
+	}
+	return -1, nil
+}
+
+func TestEvaluateBinary(t *testing.T) {
+	// Predictions from sign(x0): rows are (pred, truth) pairs:
+	// (+1,+1)=TP, (+1,-1)=FP, (-1,-1)=TN, (-1,+1)=FN, (+1,+1)=TP.
+	d, _ := NewDataset(
+		[][]float64{{1}, {1}, {-1}, {-1}, {2}},
+		[]float64{1, -1, -1, 1, 1},
+	)
+	m, err := EvaluateBinary(fixedClassifier{}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TP != 2 || m.FP != 1 || m.TN != 1 || m.FN != 1 {
+		t.Fatalf("confusion = %+v", m)
+	}
+	if math.Abs(m.Accuracy-0.6) > 1e-12 {
+		t.Fatalf("accuracy = %v", m.Accuracy)
+	}
+	if math.Abs(m.Precision-2.0/3) > 1e-12 {
+		t.Fatalf("precision = %v", m.Precision)
+	}
+	if math.Abs(m.Recall-2.0/3) > 1e-12 {
+		t.Fatalf("recall = %v", m.Recall)
+	}
+	if math.Abs(m.F1-2.0/3) > 1e-12 {
+		t.Fatalf("f1 = %v", m.F1)
+	}
+}
+
+func TestEvaluateBinaryDegenerate(t *testing.T) {
+	if _, err := EvaluateBinary(fixedClassifier{}, &Dataset{}); !errors.Is(err, ErrEmptyDataset) {
+		t.Fatalf("empty err = %v", err)
+	}
+	// All-negative predictions and truths: precision/recall/F1 stay 0.
+	d, _ := NewDataset([][]float64{{-1}, {-2}}, []float64{-1, -1})
+	m, err := EvaluateBinary(fixedClassifier{}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accuracy != 1 || m.Precision != 0 || m.Recall != 0 || m.F1 != 0 {
+		t.Fatalf("degenerate metrics = %+v", m)
+	}
+}
+
+func TestEvaluateBinaryOnSVM(t *testing.T) {
+	d := linearlySeparable(31, 200, 0.5)
+	svm := NewSVM()
+	if err := svm.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	m, err := EvaluateBinary(svm, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.F1 < 0.95 {
+		t.Fatalf("separable F1 = %v", m.F1)
+	}
+}

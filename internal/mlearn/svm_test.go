@@ -1,0 +1,157 @@
+package mlearn
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// linearlySeparable builds a 2-D dataset split by the line x0 + x1 = 0 with
+// the given margin.
+func linearlySeparable(seed int64, n int, margin float64) *Dataset {
+	rng := mathx.NewRand(seed)
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lbl := 1.0
+		if i%2 == 0 {
+			lbl = -1
+		}
+		// Place points on the correct side, `margin` away from the boundary.
+		base := mathx.Uniform(rng, margin, margin+3) * lbl
+		x[i] = []float64{base/2 + rng.NormFloat64()*0.05, base/2 + rng.NormFloat64()*0.05}
+		y[i] = lbl
+	}
+	d, _ := NewDataset(x, y)
+	return d
+}
+
+func TestSVMSeparable(t *testing.T) {
+	d := linearlySeparable(1, 200, 0.5)
+	svm := NewSVM()
+	if err := svm.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(svm, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.98 {
+		t.Fatalf("separable accuracy = %v, want ≥ 0.98", acc)
+	}
+}
+
+func TestSVMGeneralizes(t *testing.T) {
+	train := linearlySeparable(2, 300, 0.3)
+	test := linearlySeparable(3, 100, 0.3)
+	svm := NewSVM()
+	if err := svm.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(svm, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("held-out accuracy = %v, want ≥ 0.95", acc)
+	}
+}
+
+func TestSVMDeterministicTraining(t *testing.T) {
+	d := linearlySeparable(4, 100, 0.5)
+	a, b := NewSVM(), NewSVM()
+	if err := a.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	wa, wb := a.Weights(), b.Weights()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatal("same seed must give identical weights")
+		}
+	}
+}
+
+func TestSVMLabelValidation(t *testing.T) {
+	d, _ := NewDataset([][]float64{{1}}, []float64{0})
+	if err := NewSVM().Fit(d); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("bad label err = %v", err)
+	}
+}
+
+func TestSVMErrors(t *testing.T) {
+	svm := NewSVM()
+	if err := svm.Fit(&Dataset{}); !errors.Is(err, ErrEmptyDataset) {
+		t.Fatalf("empty fit err = %v", err)
+	}
+	if _, err := svm.Score([]float64{1}); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("unfitted score err = %v", err)
+	}
+	if _, err := svm.Loss(&Dataset{}); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("unfitted loss err = %v", err)
+	}
+	d := linearlySeparable(5, 20, 0.5)
+	if err := svm.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svm.Score([]float64{1}); !errors.Is(err, ErrBadShape) {
+		t.Fatalf("dim mismatch err = %v", err)
+	}
+	if _, err := svm.Loss(&Dataset{}); !errors.Is(err, ErrEmptyDataset) {
+		t.Fatalf("empty loss err = %v", err)
+	}
+}
+
+func TestSVMProbabilityMonotone(t *testing.T) {
+	d := linearlySeparable(6, 200, 0.5)
+	svm := NewSVM()
+	if err := svm.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	pNeg, err := svm.Probability([]float64{-3, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pPos, err := svm.Probability([]float64{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pPos > 0.5 && pNeg < 0.5 && pPos > pNeg) {
+		t.Fatalf("probabilities: pos=%v neg=%v", pPos, pNeg)
+	}
+	if pPos < 0 || pPos > 1 || pNeg < 0 || pNeg > 1 {
+		t.Fatalf("probabilities out of [0,1]: %v %v", pPos, pNeg)
+	}
+}
+
+func TestSVMLossDecreasesWithTraining(t *testing.T) {
+	d := linearlySeparable(7, 200, 0.3)
+	short := NewSVM()
+	short.Epochs = 1
+	long := NewSVM()
+	long.Epochs = 60
+	if err := short.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := long.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	ls, err := short.Loss(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, err := long.Loss(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ll <= ls+1e-9) {
+		t.Fatalf("loss should not grow with training: 1 epoch %v vs 60 epochs %v", ls, ll)
+	}
+	if math.IsNaN(ll) {
+		t.Fatal("loss is NaN")
+	}
+}

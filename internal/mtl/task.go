@@ -1,0 +1,140 @@
+// Package mtl implements the multi-task transfer-learning engine of §II:
+// task enumeration over the building trace (one task per chiller × load
+// band, "COP prediction of a chiller for one particular load"), per-task
+// models with instance transfer from related tasks, the leave-one-out task
+// importance of Definition 1, and the long-tail analyses behind Figs. 2, 4
+// and 5.
+package mtl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/building"
+	"repro/internal/mlearn"
+)
+
+// Common errors.
+var (
+	// ErrUnknownTask is returned for task IDs outside the enumerated set.
+	ErrUnknownTask = errors.New("mtl: unknown task")
+	// ErrNotTrained is returned when importance is queried before Fit.
+	ErrNotTrained = errors.New("mtl: engine not trained")
+)
+
+// Task is one transfer-learning task: predicting a chiller's COP within a
+// load band.
+type Task struct {
+	// ID is the dense task index in [0, N).
+	ID int
+	// ChillerID and Band identify the (machine, operation) pair.
+	ChillerID int
+	Band      building.LoadBand
+	// Building and Model are denormalized for feature engineering.
+	Building int
+	Model    building.ModelType
+	// SampleCount is the number of trace records backing the task.
+	SampleCount int
+}
+
+// String renders a short task label.
+func (t Task) String() string {
+	return fmt.Sprintf("task%d(chiller=%d band=%s)", t.ID, t.ChillerID, t.Band)
+}
+
+// EnumerateTasks lists the (chiller, band) tasks of a trace in a stable
+// order, trimmed to maxTasks (0 means no trimming). With the default
+// three-building layout and maxTasks=50 this reproduces the paper's 50
+// tasks. Trimming drops the tasks with the fewest samples first, mirroring
+// the paper's observation that some context/task pairs barely occur.
+func EnumerateTasks(tr *building.Trace, maxTasks int) []Task {
+	var tasks []Task
+	for _, ch := range tr.Chillers() {
+		for _, band := range []building.LoadBand{building.BandLow, building.BandMid, building.BandHigh} {
+			tasks = append(tasks, Task{
+				ChillerID:   ch.ID,
+				Band:        band,
+				Building:    ch.Building,
+				Model:       ch.Model,
+				SampleCount: len(tr.RecordsFor(ch.ID, band)),
+			})
+		}
+	}
+	if maxTasks > 0 && len(tasks) > maxTasks {
+		// Drop the most data-starved tasks, keeping order stable otherwise.
+		for len(tasks) > maxTasks {
+			worst := 0
+			for i, t := range tasks {
+				if t.SampleCount < tasks[worst].SampleCount {
+					worst = i
+				}
+			}
+			tasks = append(tasks[:worst], tasks[worst+1:]...)
+		}
+	}
+	for i := range tasks {
+		tasks[i].ID = i
+	}
+	return tasks
+}
+
+// featureDim is the size of the COP-model feature vector.
+const featureDim = 4
+
+// copFeatures builds the regression features for a COP sample. The quadratic
+// PLR terms let a linear model track the concave part-load physics.
+func copFeatures(plr, outdoorC float64) []float64 {
+	return []float64{plr, plr * plr, outdoorC, plr * outdoorC}
+}
+
+// taskDataset extracts a task's supervised dataset from the trace.
+func taskDataset(tr *building.Trace, t Task) (*mlearn.Dataset, error) {
+	idx := tr.RecordsFor(t.ChillerID, t.Band)
+	x := make([][]float64, 0, len(idx))
+	y := make([]float64, 0, len(idx))
+	ch := tr.ChillerByID(t.ChillerID)
+	if ch == nil {
+		return nil, fmt.Errorf("%w: chiller %d", ErrUnknownTask, t.ChillerID)
+	}
+	capKW := ch.Model.CapacityKW()
+	for _, i := range idx {
+		r := tr.Records[i]
+		plr := r.CoolingLoadKW / capKW
+		x = append(x, copFeatures(plr, r.OutdoorTempC))
+		y = append(y, r.COP)
+	}
+	return mlearn.NewDataset(x, y)
+}
+
+// relatedDonors lists donor tasks for transfer, nearest first: same chiller
+// in other bands, then same model type elsewhere.
+func relatedDonors(tasks []Task, t Task) []Task {
+	var sameChiller, sameModel []Task
+	for _, o := range tasks {
+		if o.ID == t.ID {
+			continue
+		}
+		switch {
+		case o.ChillerID == t.ChillerID:
+			sameChiller = append(sameChiller, o)
+		case o.Model == t.Model:
+			sameModel = append(sameModel, o)
+		}
+	}
+	return append(sameChiller, sameModel...)
+}
+
+// clampCOP keeps predictions physically sane.
+func clampCOP(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	if v < 0.3 {
+		return 0.3
+	}
+	if v > 8 {
+		return 8
+	}
+	return v
+}

@@ -1,0 +1,361 @@
+package neural
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Layers: []int{3}}); !errors.Is(err, ErrBadTopology) {
+		t.Fatalf("single layer err = %v", err)
+	}
+	if _, err := New(Config{Layers: []int{3, 0, 1}}); !errors.Is(err, ErrBadTopology) {
+		t.Fatalf("zero-width layer err = %v", err)
+	}
+	n, err := New(Config{Layers: []int{4, 8, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.InputSize() != 4 || n.OutputSize() != 2 {
+		t.Fatalf("sizes = %d/%d", n.InputSize(), n.OutputSize())
+	}
+}
+
+func TestForwardShapeChecks(t *testing.T) {
+	n, _ := New(Config{Layers: []int{2, 4, 1}})
+	if _, err := n.Forward([]float64{1}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("bad input err = %v", err)
+	}
+	out, err := n.Forward([]float64{1, 2})
+	if err != nil || len(out) != 1 {
+		t.Fatalf("forward: %v %v", out, err)
+	}
+	if _, err := n.Train([]float64{1, 2}, []float64{1, 2}, nil); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("bad target err = %v", err)
+	}
+	if _, err := n.Train([]float64{1, 2}, []float64{1}, []float64{1, 0}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("bad mask err = %v", err)
+	}
+}
+
+func TestLearnsLinearFunction(t *testing.T) {
+	n, err := New(Config{Layers: []int{2, 16, 1}, LearningRate: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRand(2)
+	target := func(x []float64) float64 { return 0.3*x[0] - 0.7*x[1] + 0.2 }
+	for step := 0; step < 8000; step++ {
+		x := []float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		if _, err := n.Train(x, []float64{target(x)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var maxErr float64
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		out, err := n.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := math.Abs(out[0] - target(x)); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 0.15 {
+		t.Fatalf("linear fit max error = %v, want < 0.15", maxErr)
+	}
+}
+
+func TestLearnsXOR(t *testing.T) {
+	n, err := New(Config{
+		Layers: []int{2, 12, 1}, Hidden: ActTanh, Output: ActSigmoid,
+		LearningRate: 0.1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	labels := []float64{0, 1, 1, 0}
+	rng := mathx.NewRand(4)
+	for step := 0; step < 20000; step++ {
+		i := rng.Intn(4)
+		if _, err := n.Train(cases[i], []float64{labels[i]}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, c := range cases {
+		out, _ := n.Forward(c)
+		got := 0.0
+		if out[0] > 0.5 {
+			got = 1
+		}
+		if got != labels[i] {
+			t.Fatalf("XOR(%v) = %v (raw %v), want %v", c, got, out[0], labels[i])
+		}
+	}
+}
+
+func TestMaskedTraining(t *testing.T) {
+	n, _ := New(Config{Layers: []int{1, 8, 2}, LearningRate: 0.05, Seed: 5})
+	// Train only output 0 toward 1.0; output 1 stays wherever it was.
+	before, _ := n.Forward([]float64{1})
+	rawBefore1 := before[1]
+	for i := 0; i < 3000; i++ {
+		if _, err := n.Train([]float64{1}, []float64{1, 999}, []float64{1, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, _ := n.Forward([]float64{1})
+	if math.Abs(after[0]-1) > 0.05 {
+		t.Fatalf("masked output 0 = %v, want ≈1", after[0])
+	}
+	// Output 1 is reached through shared hidden weights, so it may drift,
+	// but it must not chase the absurd 999 target.
+	if math.Abs(after[1]-rawBefore1) > 50 {
+		t.Fatalf("masked-out output drifted to %v (was %v)", after[1], rawBefore1)
+	}
+}
+
+func TestTrainReturnsLoss(t *testing.T) {
+	n, _ := New(Config{Layers: []int{1, 4, 1}, Seed: 7})
+	loss1, err := n.Train([]float64{0.5}, []float64{0.7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss1 < 0 {
+		t.Fatalf("loss = %v, want ≥ 0", loss1)
+	}
+}
+
+func TestCopyWeightsAndClone(t *testing.T) {
+	a, _ := New(Config{Layers: []int{2, 6, 2}, Seed: 1})
+	b, _ := New(Config{Layers: []int{2, 6, 2}, Seed: 99})
+	x := []float64{0.3, -0.4}
+	oa, _ := a.Forward(x)
+	ob, _ := b.Forward(x)
+	if oa[0] == ob[0] {
+		t.Fatal("different seeds should give different nets")
+	}
+	if err := b.CopyWeightsFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	ob, _ = b.Forward(x)
+	if oa[0] != ob[0] || oa[1] != ob[1] {
+		t.Fatal("CopyWeightsFrom should make outputs identical")
+	}
+	c, err := a.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, _ := c.Forward(x)
+	if oc[0] != oa[0] {
+		t.Fatal("Clone should preserve outputs")
+	}
+	// Training the clone must not affect the original.
+	for i := 0; i < 100; i++ {
+		if _, err := c.Train(x, []float64{5, 5}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oa2, _ := a.Forward(x)
+	if oa2[0] != oa[0] {
+		t.Fatal("training a clone mutated the original")
+	}
+	// Mismatched topology errors.
+	d, _ := New(Config{Layers: []int{2, 5, 2}})
+	if err := d.CopyWeightsFrom(a); !errors.Is(err, ErrBadTopology) {
+		t.Fatalf("topology mismatch err = %v", err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	a, _ := New(Config{Layers: []int{3, 7, 2}, Hidden: ActTanh, Seed: 11})
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Network
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, 0.2, 0.3}
+	oa, _ := a.Forward(x)
+	ob, err := b.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range oa {
+		if oa[i] != ob[i] {
+			t.Fatalf("round trip changed outputs: %v vs %v", oa, ob)
+		}
+	}
+	if err := b.UnmarshalJSON([]byte(`{"config":{"Layers":[1]}}`)); err == nil {
+		t.Fatal("bad snapshot should error")
+	}
+	if err := b.UnmarshalJSON([]byte(`not json`)); err == nil {
+		t.Fatal("bad json should error")
+	}
+}
+
+func TestActivations(t *testing.T) {
+	tests := []struct {
+		act  Activation
+		in   float64
+		want float64
+	}{
+		{ActReLU, -1, 0},
+		{ActReLU, 2, 2},
+		{ActIdentity, -3, -3},
+		{ActSigmoid, 0, 0.5},
+		{ActTanh, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.act.apply(tt.in); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("act %v(%v) = %v, want %v", tt.act, tt.in, got, tt.want)
+		}
+	}
+	// Derivative sanity at post-activation values.
+	if d := ActReLU.derivative(2.0); d != 1 {
+		t.Errorf("relu' = %v", d)
+	}
+	if d := ActReLU.derivative(0.0); d != 0 {
+		t.Errorf("relu'(0) = %v", d)
+	}
+	if d := ActSigmoid.derivative(0.5); math.Abs(d-0.25) > 1e-12 {
+		t.Errorf("sigmoid' = %v", d)
+	}
+	if d := ActTanh.derivative(0.0); d != 1 {
+		t.Errorf("tanh' = %v", d)
+	}
+	if d := ActIdentity.derivative(123); d != 1 {
+		t.Errorf("identity' = %v", d)
+	}
+}
+
+func TestAdamLearnsFasterThanPlainSGDOnXOR(t *testing.T) {
+	train := func(opt Optimizer, steps int) float64 {
+		n, err := New(Config{
+			Layers: []int{2, 12, 1}, Hidden: ActTanh, Output: ActSigmoid,
+			LearningRate: 0.01, Optimizer: opt, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+		labels := []float64{0, 1, 1, 0}
+		rng := mathx.NewRand(4)
+		var loss float64
+		for step := 0; step < steps; step++ {
+			i := rng.Intn(4)
+			l, err := n.Train(cases[i], []float64{labels[i]}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loss = l
+		}
+		// Final mean loss over the four cases.
+		var total float64
+		for i, c := range cases {
+			out, _ := n.Forward(c)
+			d := out[0] - labels[i]
+			total += d * d
+		}
+		_ = loss
+		return total / 4
+	}
+	adam := train(OptAdam, 6000)
+	if adam > 0.05 {
+		t.Fatalf("Adam XOR loss = %v, want < 0.05", adam)
+	}
+}
+
+func TestAdamStateNotSharedAcrossClones(t *testing.T) {
+	a, err := New(Config{Layers: []int{1, 4, 1}, Optimizer: OptAdam, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Train([]float64{1}, []float64{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	c, err := a.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Training the clone must not disturb the original's weights.
+	before, _ := a.Forward([]float64{1})
+	for i := 0; i < 50; i++ {
+		if _, err := c.Train([]float64{1}, []float64{-5}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, _ := a.Forward([]float64{1})
+	if before[0] != after[0] {
+		t.Fatal("clone training affected the original")
+	}
+}
+
+// TestBackpropMatchesFiniteDifferences is the classic gradient check: the
+// analytic gradient implied by one Train step must match the numeric
+// ∂loss/∂w estimated by finite differences.
+func TestBackpropMatchesFiniteDifferences(t *testing.T) {
+	cfg := Config{
+		Layers: []int{3, 5, 2}, Hidden: ActTanh, Output: ActIdentity,
+		LearningRate: 1e-3, Momentum: 0, Seed: 21,
+	}
+	x := []float64{0.3, -0.7, 0.5}
+	target := []float64{0.2, -0.4}
+	lossAt := func(n *Network) float64 {
+		out, err := n.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var l float64
+		for i := range out {
+			d := out[i] - target[i]
+			l += 0.5 * d * d
+		}
+		return l
+	}
+	const h = 1e-6
+	// For a sample of weights: numeric gradient vs the weight delta applied
+	// by one plain-SGD step (delta = -lr × analytic gradient).
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []struct{ layer, idx int }{
+		{0, 0}, {0, 7}, {1, 0}, {1, 9},
+	} {
+		// Numeric gradient on a fresh copy.
+		a, err := ref.Clone()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w0 := a.layers[probe.layer].weights[probe.idx]
+		a.layers[probe.layer].weights[probe.idx] = w0 + h
+		lPlus := lossAt(a)
+		a.layers[probe.layer].weights[probe.idx] = w0 - h
+		lMinus := lossAt(a)
+		numericGrad := (lPlus - lMinus) / (2 * h)
+		// Analytic gradient from one training step on another copy.
+		b, err := ref.Clone()
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := b.layers[probe.layer].weights[probe.idx]
+		if _, err := b.Train(x, target, nil); err != nil {
+			t.Fatal(err)
+		}
+		after := b.layers[probe.layer].weights[probe.idx]
+		analyticGrad := (before - after) / cfg.LearningRate
+		if diff := math.Abs(numericGrad - analyticGrad); diff > 1e-4 {
+			t.Fatalf("layer %d weight %d: numeric %v vs analytic %v",
+				probe.layer, probe.idx, numericGrad, analyticGrad)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mathx"
+	"repro/internal/neural"
+)
+
+// DQNConfig parameterizes a DQN agent.
+type DQNConfig struct {
+	// Hidden lists hidden-layer widths (default [64, 64]).
+	Hidden []int
+	// Gamma is the discount factor λ of the paper's five-tuple (default 0.95).
+	Gamma float64
+	// LearningRate is the Q-network SGD step (default 0.005).
+	LearningRate float64
+	// Epsilon is the exploration schedule (default 1.0 → 0.05 over 2000 steps).
+	Epsilon EpsilonSchedule
+	// ReplayCapacity bounds the experience buffer (default 10000).
+	ReplayCapacity int
+	// BatchSize is the replay mini-batch per step (default 32).
+	BatchSize int
+	// TargetSyncEvery syncs the target net every so many steps (default 200).
+	TargetSyncEvery int
+	// WarmupSteps delays learning until the buffer has this many entries
+	// (default 100).
+	WarmupSteps int
+	// DoubleDQN selects the bootstrap action with the online network and
+	// evaluates it with the target network (van Hasselt's Double DQN),
+	// reducing the max-operator's overestimation bias. Off by default — the
+	// paper uses plain deep Q-learning.
+	DoubleDQN bool
+	// Seed drives all agent randomness.
+	Seed int64
+}
+
+func (c DQNConfig) withDefaults() DQNConfig {
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{64, 64}
+	}
+	if c.Gamma <= 0 || c.Gamma > 1 {
+		c.Gamma = 0.95
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.005
+	}
+	if c.Epsilon == (EpsilonSchedule{}) {
+		c.Epsilon = EpsilonSchedule{Start: 1.0, End: 0.05, DecaySteps: 2000}
+	}
+	if c.ReplayCapacity < 1 {
+		c.ReplayCapacity = 10000
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 32
+	}
+	if c.TargetSyncEvery < 1 {
+		c.TargetSyncEvery = 200
+	}
+	if c.WarmupSteps < 1 {
+		c.WarmupSteps = 100
+	}
+	return c
+}
+
+// DQN is a Deep Q-Network agent: an online Q-network trained against a
+// periodically synced target network from uniformly sampled replay
+// transitions — the optimization of the paper's Alg. 1 lines 3-6.
+type DQN struct {
+	cfg    DQNConfig
+	online *neural.Network
+	target *neural.Network
+	replay *ReplayBuffer
+	rng    *rand.Rand
+	steps  int
+}
+
+// NewDQN builds an agent for an environment with the given state/action
+// sizes.
+func NewDQN(stateSize, actionSize int, cfg DQNConfig) (*DQN, error) {
+	if stateSize < 1 || actionSize < 1 {
+		return nil, fmt.Errorf("dqn: state %d / action %d sizes", stateSize, actionSize)
+	}
+	cfg = cfg.withDefaults()
+	layers := append(append([]int{stateSize}, cfg.Hidden...), actionSize)
+	online, err := neural.New(neural.Config{
+		Layers:       layers,
+		LearningRate: cfg.LearningRate,
+		Momentum:     0, // plain SGD keeps Q-targets stable
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dqn online net: %w", err)
+	}
+	target, err := online.Clone()
+	if err != nil {
+		return nil, fmt.Errorf("dqn target net: %w", err)
+	}
+	return &DQN{
+		cfg:    cfg,
+		online: online,
+		target: target,
+		replay: NewReplayBuffer(cfg.ReplayCapacity),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// QValues returns the online network's Q estimates for state s.
+func (d *DQN) QValues(s []float64) ([]float64, error) {
+	q, err := d.online.Forward(s)
+	if err != nil {
+		return nil, fmt.Errorf("dqn q-values: %w", err)
+	}
+	return q, nil
+}
+
+// SelectAction picks ε-greedily among valid actions.
+func (d *DQN) SelectAction(s []float64, valid []int) (int, error) {
+	if len(valid) == 0 {
+		return 0, ErrNoActions
+	}
+	eps := d.cfg.Epsilon.At(d.steps)
+	if d.rng.Float64() < eps {
+		return valid[d.rng.Intn(len(valid))], nil
+	}
+	return d.GreedyAction(s, valid)
+}
+
+// GreedyAction picks the valid action with the highest Q estimate.
+func (d *DQN) GreedyAction(s []float64, valid []int) (int, error) {
+	q, err := d.QValues(s)
+	if err != nil {
+		return 0, err
+	}
+	return argmaxOver(q, valid)
+}
+
+// Observe records a transition and performs one learning step. It implements
+// the loss of Alg. 1 line 4: (r + max_a' Q_target(s',a') − Q(s,a))².
+func (d *DQN) Observe(t Transition) error {
+	d.replay.Add(t)
+	d.steps++
+	if d.replay.Len() < d.cfg.WarmupSteps {
+		return nil
+	}
+	batch := d.replay.Sample(d.rng, d.cfg.BatchSize)
+	for _, tr := range batch {
+		qNext := 0.0
+		if !tr.Done {
+			tq, err := d.target.Forward(tr.NextState)
+			if err != nil {
+				return fmt.Errorf("dqn target forward: %w", err)
+			}
+			if d.cfg.DoubleDQN {
+				oq, err := d.online.Forward(tr.NextState)
+				if err != nil {
+					return fmt.Errorf("dqn online forward: %w", err)
+				}
+				if a, err := argmaxOver(oq, tr.NextValid); err == nil {
+					qNext = tq[a]
+				}
+			} else {
+				qNext = maxOver(tq, tr.NextValid)
+			}
+		}
+		y := tr.Reward + d.cfg.Gamma*qNext
+		// Train only the taken action's output.
+		targetVec := make([]float64, d.online.OutputSize())
+		mask := make([]float64, d.online.OutputSize())
+		targetVec[tr.Action] = y
+		mask[tr.Action] = 1
+		if _, err := d.online.Train(tr.State, targetVec, mask); err != nil {
+			return fmt.Errorf("dqn train: %w", err)
+		}
+	}
+	if d.steps%d.cfg.TargetSyncEvery == 0 {
+		if err := d.target.CopyWeightsFrom(d.online); err != nil {
+			return fmt.Errorf("dqn target sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Steps returns the number of observed transitions.
+func (d *DQN) Steps() int { return d.steps }
+
+// TrainResult summarizes a training run.
+type TrainResult struct {
+	Episodes       int
+	MeanReward     float64
+	FinalReward    float64
+	RewardsPerEp   []float64
+	TotalSteps     int
+	GreedyEpisodes int
+}
+
+// Train runs the agent on env for the given number of episodes, learning
+// online. maxSteps bounds each episode's length (0 means StateSize²+1, a
+// safe upper bound for the allocation MDP).
+func (d *DQN) Train(env Environment, episodes, maxSteps int) (*TrainResult, error) {
+	if err := validateEnv(env); err != nil {
+		return nil, err
+	}
+	if maxSteps <= 0 {
+		maxSteps = env.StateSize()*env.StateSize() + 1
+	}
+	res := &TrainResult{Episodes: episodes}
+	for ep := 0; ep < episodes; ep++ {
+		state := env.Reset()
+		var total float64
+		for step := 0; step < maxSteps; step++ {
+			valid := env.ValidActions()
+			if len(valid) == 0 {
+				break
+			}
+			a, err := d.SelectAction(state, valid)
+			if err != nil {
+				return nil, fmt.Errorf("episode %d: %w", ep, err)
+			}
+			next, reward, done, err := env.Step(a)
+			if err != nil {
+				return nil, fmt.Errorf("episode %d step %d: %w", ep, step, err)
+			}
+			total += reward
+			tr := Transition{
+				State:     mathx.Clone(state),
+				Action:    a,
+				Reward:    reward,
+				NextState: mathx.Clone(next),
+				Done:      done,
+			}
+			if !done {
+				tr.NextValid = append([]int(nil), env.ValidActions()...)
+			}
+			if err := d.Observe(tr); err != nil {
+				return nil, fmt.Errorf("episode %d observe: %w", ep, err)
+			}
+			state = next
+			res.TotalSteps++
+			if done {
+				break
+			}
+		}
+		res.RewardsPerEp = append(res.RewardsPerEp, total)
+	}
+	if len(res.RewardsPerEp) > 0 {
+		res.MeanReward = mathx.Mean(res.RewardsPerEp)
+		res.FinalReward = res.RewardsPerEp[len(res.RewardsPerEp)-1]
+	}
+	return res, nil
+}
+
+// RunGreedy executes one fully greedy episode (prediction phase of Alg. 1)
+// and returns the actions taken and the total reward.
+func (d *DQN) RunGreedy(env Environment, maxSteps int) ([]int, float64, error) {
+	if err := validateEnv(env); err != nil {
+		return nil, 0, err
+	}
+	if maxSteps <= 0 {
+		maxSteps = env.StateSize()*env.StateSize() + 1
+	}
+	state := env.Reset()
+	var actions []int
+	var total float64
+	for step := 0; step < maxSteps; step++ {
+		valid := env.ValidActions()
+		if len(valid) == 0 {
+			break
+		}
+		a, err := d.GreedyAction(state, valid)
+		if err != nil {
+			return nil, 0, err
+		}
+		next, reward, done, err := env.Step(a)
+		if err != nil {
+			return nil, 0, fmt.Errorf("greedy step %d: %w", step, err)
+		}
+		actions = append(actions, a)
+		total += reward
+		state = next
+		if done {
+			break
+		}
+	}
+	return actions, total, nil
+}
+
+// MarshalJSON exports the online network (the trained policy).
+func (d *DQN) MarshalJSON() ([]byte, error) { return d.online.MarshalJSON() }
+
+// UnmarshalPolicy restores the online network from MarshalJSON output and
+// syncs the target network to it. The replay buffer and step counter are
+// not part of the policy and stay fresh.
+func (d *DQN) UnmarshalPolicy(data []byte) error {
+	if err := d.online.UnmarshalJSON(data); err != nil {
+		return fmt.Errorf("dqn unmarshal policy: %w", err)
+	}
+	target, err := d.online.Clone()
+	if err != nil {
+		return fmt.Errorf("dqn restore target: %w", err)
+	}
+	d.target = target
+	return nil
+}

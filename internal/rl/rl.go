@@ -1,0 +1,157 @@
+// Package rl provides the reinforcement-learning machinery behind the
+// paper's CRL model (§III): a Markov-decision-process abstraction, an
+// experience-replay buffer, an ε-greedy exploration schedule, a Deep
+// Q-Network agent over internal/neural, and a tabular Q-learning baseline
+// used by tests to validate the DQN against a known-convergent method.
+package rl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Common errors.
+var (
+	// ErrNoActions is returned when an environment exposes no valid action.
+	ErrNoActions = errors.New("rl: no valid actions")
+	// ErrEpisodeDone is returned when acting on a finished episode.
+	ErrEpisodeDone = errors.New("rl: episode already terminal")
+)
+
+// Environment is an episodic MDP with a fixed-size dense state encoding and
+// a discrete action space of constant size; invalid actions per state are
+// reported via ValidActions. This matches §III-D, where the state is the
+// N×M selection matrix and the action picks one task per step.
+type Environment interface {
+	// Reset starts a new episode and returns the initial state encoding.
+	Reset() []float64
+	// StateSize returns the length of state encodings.
+	StateSize() int
+	// ActionSize returns the number of discrete actions.
+	ActionSize() int
+	// ValidActions returns the currently admissible actions.
+	ValidActions() []int
+	// Step applies the action and returns (nextState, reward, done).
+	Step(action int) (state []float64, reward float64, done bool, err error)
+}
+
+// Transition is one replay-buffer record.
+type Transition struct {
+	State     []float64
+	Action    int
+	Reward    float64
+	NextState []float64
+	// NextValid lists the valid actions in NextState; the Bellman backup
+	// maxes only over these.
+	NextValid []int
+	Done      bool
+}
+
+// ReplayBuffer is a bounded FIFO of transitions with uniform sampling.
+type ReplayBuffer struct {
+	buf  []Transition
+	next int
+	full bool
+}
+
+// NewReplayBuffer creates a buffer holding up to capacity transitions.
+// capacity < 1 is treated as 1.
+func NewReplayBuffer(capacity int) *ReplayBuffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ReplayBuffer{buf: make([]Transition, capacity)}
+}
+
+// Add appends a transition, evicting the oldest when full.
+func (r *ReplayBuffer) Add(t Transition) {
+	r.buf[r.next] = t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len returns the number of stored transitions.
+func (r *ReplayBuffer) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Sample draws n transitions uniformly with replacement.
+// It returns fewer (possibly zero) entries only when the buffer is empty.
+func (r *ReplayBuffer) Sample(rng *rand.Rand, n int) []Transition {
+	sz := r.Len()
+	if sz == 0 {
+		return nil
+	}
+	out := make([]Transition, n)
+	for i := range out {
+		out[i] = r.buf[rng.Intn(sz)]
+	}
+	return out
+}
+
+// EpsilonSchedule is a linear ε decay from Start to End over DecaySteps.
+type EpsilonSchedule struct {
+	Start      float64
+	End        float64
+	DecaySteps int
+}
+
+// At returns ε after `step` agent steps.
+func (e EpsilonSchedule) At(step int) float64 {
+	if e.DecaySteps <= 0 || step >= e.DecaySteps {
+		return e.End
+	}
+	if step < 0 {
+		step = 0
+	}
+	frac := float64(step) / float64(e.DecaySteps)
+	return e.Start + (e.End-e.Start)*frac
+}
+
+// maxOver returns the maximum of q over the idx subset, or 0 for empty idx
+// (the convention for terminal states).
+func maxOver(q []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	best := q[idx[0]]
+	for _, i := range idx[1:] {
+		if q[i] > best {
+			best = q[i]
+		}
+	}
+	return best
+}
+
+// argmaxOver returns the idx element maximizing q, breaking ties toward the
+// lowest index. Empty idx returns an error.
+func argmaxOver(q []float64, idx []int) (int, error) {
+	if len(idx) == 0 {
+		return 0, ErrNoActions
+	}
+	best := idx[0]
+	for _, i := range idx[1:] {
+		if q[i] > q[best] {
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// validateEnv sanity-checks an environment's static contract.
+func validateEnv(env Environment) error {
+	if env.StateSize() < 1 {
+		return fmt.Errorf("rl: state size %d", env.StateSize())
+	}
+	if env.ActionSize() < 1 {
+		return fmt.Errorf("rl: action size %d", env.ActionSize())
+	}
+	return nil
+}
