@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/building"
+)
+
+// TestRunSmoke drives the command end to end at the acceptance-criteria
+// scale: one year of data to a file, non-empty, all three buildings present.
+func TestRunSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run(1, 3, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows[0], building.CSVHeader) {
+		t.Fatalf("header = %v", rows[0])
+	}
+	records := rows[1:]
+	if len(records) == 0 {
+		t.Fatal("no records written")
+	}
+	buildings := make(map[string]bool)
+	for _, row := range records {
+		buildings[row[1]] = true
+	}
+	if len(buildings) != 3 {
+		t.Fatalf("CSV covers %d buildings, want 3 (%v)", len(buildings), buildings)
+	}
+	// The row count matches the generator's own output for the same config.
+	tr, err := building.Generate(building.Config{Seed: 1, StartYear: 2015, Years: 1, StepHours: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(tr.Records) {
+		t.Fatalf("CSV has %d records, generator produced %d", len(records), len(tr.Records))
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run(0, 1, 1, filepath.Join(t.TempDir(), "x.csv")); err == nil {
+		t.Fatal("years=0 should fail")
+	}
+}
+
+func TestRunRejectsUnwritablePath(t *testing.T) {
+	if err := run(1, 6, 1, filepath.Join(t.TempDir(), "missing", "x.csv")); err == nil {
+		t.Fatal("unwritable path should fail")
+	}
+}

@@ -1,0 +1,137 @@
+package building
+
+import (
+	"bytes"
+	"encoding/csv"
+	"errors"
+	"io"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestWriteCSVEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Trace{}).WriteCSV(&buf); !errors.Is(err, ErrNoRecords) {
+		t.Fatalf("err = %v, want ErrNoRecords", err)
+	}
+}
+
+// TestWriteCSVGoldenHeader pins the exported schema: downstream notebooks
+// parse these column names.
+func TestWriteCSVGoldenHeader(t *testing.T) {
+	want := []string{
+		"time", "building", "chiller_id", "model", "band", "condition",
+		"outdoor_temp_c", "cooling_load_kw", "cop", "operating_power_kw",
+		"water_flow_kgs", "water_delta_t_c",
+	}
+	if !reflect.DeepEqual(CSVHeader, want) {
+		t.Fatalf("CSVHeader = %v", CSVHeader)
+	}
+}
+
+// TestWriteCSVRoundTrip re-parses the CSV and checks every field against the
+// originating records.
+func TestWriteCSVRoundTrip(t *testing.T) {
+	tr := testTrace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rd := csv.NewReader(&buf)
+	header, err := rd.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(header, CSVHeader) {
+		t.Fatalf("header = %v", header)
+	}
+	rows := 0
+	for {
+		row, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := tr.Records[rows]
+		ts, err := time.Parse(time.RFC3339, row[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ts.Equal(r.Time) {
+			t.Fatalf("row %d time %v, want %v", rows, ts, r.Time)
+		}
+		if row[1] != strconv.Itoa(r.Building) || row[2] != strconv.Itoa(r.ChillerID) {
+			t.Fatalf("row %d ids = %v/%v", rows, row[1], row[2])
+		}
+		if want := tr.ChillerByID(r.ChillerID).Model.String(); row[3] != want {
+			t.Fatalf("row %d model %q, want %q", rows, row[3], want)
+		}
+		if row[4] != r.Band.String() || row[5] != r.Condition.String() {
+			t.Fatalf("row %d band/condition = %q/%q", rows, row[4], row[5])
+		}
+		checks := []struct {
+			col  int
+			want float64
+		}{
+			{6, r.OutdoorTempC}, {7, r.CoolingLoadKW}, {8, r.COP},
+			{9, r.OperatingPowerKW}, {10, r.WaterFlowKgS}, {11, r.WaterDeltaTC},
+		}
+		for _, c := range checks {
+			got, err := strconv.ParseFloat(row[c.col], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := got - c.want; diff > 1e-3 || diff < -1e-3 {
+				t.Fatalf("row %d col %d = %v, want ≈%v", rows, c.col, got, c.want)
+			}
+		}
+		rows++
+	}
+	if rows != len(tr.Records) {
+		t.Fatalf("CSV has %d rows, trace has %d records", rows, len(tr.Records))
+	}
+}
+
+// TestWriteCSVDeterministic: the CSV doubles as a byte-level determinism
+// witness for the whole generator.
+func TestWriteCSVDeterministic(t *testing.T) {
+	tr := testTrace(t)
+	var a, b bytes.Buffer
+	if err := tr.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two serializations of one trace differ")
+	}
+}
+
+// failWriter errors after n bytes to exercise WriteCSV's error paths.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteCSVPropagatesWriteErrors(t *testing.T) {
+	tr := testTrace(t)
+	if err := tr.WriteCSV(&failWriter{n: 0}); err == nil {
+		t.Fatal("header write error swallowed")
+	}
+	if err := tr.WriteCSV(&failWriter{n: 500}); err == nil {
+		t.Fatal("row write error swallowed")
+	}
+}

@@ -1,0 +1,259 @@
+package building
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/mathx"
+)
+
+// Config parameterizes trace generation.
+type Config struct {
+	// Seed drives every stochastic component; identical configs generate
+	// identical traces.
+	Seed int64
+	// StartYear is the first simulated calendar year (default 2015).
+	StartYear int
+	// Years is the trace length (the paper's dataset spans 4 years).
+	Years int
+	// StepHours is the sampling period in hours (default 1). Use a divisor
+	// of 24 so daily decision epochs land on sampled instants.
+	StepHours int
+}
+
+// DefaultConfig mirrors the paper's dataset shape: 4 years of hourly
+// records for 3 buildings.
+func DefaultConfig() Config {
+	return Config{Seed: 1, StartYear: 2015, Years: 4, StepHours: 1}
+}
+
+// plantSpec is the fixed 3-building, 17-chiller plant layout. The mix of
+// model types within and across buildings is what makes tasks related
+// (shared physics → transferable knowledge).
+var plantSpec = []struct {
+	name    string
+	baseKW  float64
+	sensKW  float64
+	chiller []ModelType
+}{
+	{"tower-a", 900, 170, []ModelType{ModelCentrifugal, ModelCentrifugal, ModelCentrifugal, ModelScrew, ModelScrew, ModelAbsorption}},
+	{"tower-b", 850, 160, []ModelType{ModelCentrifugal, ModelCentrifugal, ModelScrew, ModelScrew, ModelAbsorption, ModelAbsorption}},
+	{"plaza-c", 700, 140, []ModelType{ModelCentrifugal, ModelCentrifugal, ModelScrew, ModelScrew, ModelAbsorption}},
+}
+
+// Physics and noise constants of the generator.
+const (
+	// weatherMeanC / seasonal / diurnal shape a subtropical climate.
+	weatherMeanC      = 23.0
+	weatherSeasonAmpC = 8.0
+	weatherDiurnalAmp = 4.2
+	// balancePointC is the outdoor temperature above which weather adds
+	// cooling load.
+	balancePointC = 14.0
+	// dispatchHeadroom derates nameplate capacity when staging chillers.
+	dispatchHeadroom = 0.92
+	// copNoiseStd is the relative sensor noise on recorded COP.
+	copNoiseStd = 0.04
+	// driftAmp is the seasonal per-chiller efficiency drift amplitude.
+	driftAmp = 0.03
+	// designDeltaTC is the chilled-water design temperature difference.
+	designDeltaTC = 5.5
+	// waterHeatCapacity is c_p of water in kJ/(kg·K).
+	waterHeatCapacity = 4.186
+)
+
+// Generate builds the synthetic multi-year operation trace. It is
+// deterministic in cfg.Seed: the single RNG is consumed in a fixed order
+// (plant parameters first, then per-timestep weather, load and sensor
+// noise).
+func Generate(cfg Config) (*Trace, error) {
+	if cfg.Years < 1 {
+		return nil, fmt.Errorf("building: years %d, need ≥ 1", cfg.Years)
+	}
+	if cfg.StepHours < 1 {
+		cfg.StepHours = 1
+	}
+	if cfg.StartYear == 0 {
+		cfg.StartYear = 2015
+	}
+	rng := mathx.NewRand(cfg.Seed)
+
+	tr := &Trace{Config: cfg}
+	for i, spec := range plantSpec {
+		tr.Buildings = append(tr.Buildings, Building{
+			ID:            i,
+			Name:          spec.name,
+			BaseLoadKW:    spec.baseKW,
+			WeatherKWPerC: spec.sensKW,
+		})
+	}
+	for bi, spec := range plantSpec {
+		for _, model := range spec.chiller {
+			tr.chillers = append(tr.chillers, Chiller{
+				ID:         len(tr.chillers),
+				Building:   bi,
+				Model:      model,
+				Efficiency: 0.85 + 0.30*rng.Float64(),
+				DriftPhase: 2 * math.Pi * rng.Float64(),
+			})
+		}
+	}
+
+	start := time.Date(cfg.StartYear, time.January, 1, 0, 0, 0, 0, time.UTC)
+	end := start.AddDate(cfg.Years, 0, 0)
+	step := time.Duration(cfg.StepHours) * time.Hour
+
+	// AR(1) states: one weather residual, one load residual per building.
+	var weatherAR float64
+	loadAR := make([]float64, len(tr.Buildings))
+
+	for t := start; t.Before(end); t = t.Add(step) {
+		weatherAR = 0.92*weatherAR + rng.NormFloat64()*0.9
+		outdoorC := trueWeather(t) + weatherAR
+		cond := ConditionOf(outdoorC)
+		for bi := range tr.Buildings {
+			loadAR[bi] = 0.8*loadAR[bi] + rng.NormFloat64()*0.02
+			demand := buildingDemand(&tr.Buildings[bi], t, outdoorC) * (1 + loadAR[bi])
+			if demand < 80 {
+				demand = 80
+			}
+			tr.dispatch(bi, t, demand, outdoorC, cond, rng)
+		}
+	}
+	if len(tr.Records) == 0 {
+		return nil, ErrNoRecords
+	}
+	tr.buildIndexes()
+	return tr, nil
+}
+
+// trueWeather is the deterministic seasonal + diurnal temperature component.
+func trueWeather(t time.Time) float64 {
+	yearFrac := float64(t.YearDay()-1) / 365
+	hour := float64(t.Hour())
+	// Season peaks in mid-July (day ~197), diurnal cycle peaks at 15:00.
+	season := weatherSeasonAmpC * math.Sin(2*math.Pi*(yearFrac-0.29))
+	diurnal := weatherDiurnalAmp * math.Cos(2*math.Pi*(hour-15)/24)
+	return weatherMeanC + season + diurnal
+}
+
+// occupancy is the schedule factor: office hours on weekdays dominate.
+func occupancy(t time.Time) float64 {
+	hour := t.Hour()
+	switch t.Weekday() {
+	case time.Saturday, time.Sunday:
+		if hour >= 8 && hour <= 19 {
+			return 0.85
+		}
+		return 0.35
+	default:
+		switch {
+		case hour >= 7 && hour <= 19:
+			return 1.0
+		case hour == 6 || hour == 20 || hour == 21:
+			return 0.60
+		default:
+			return 0.35
+		}
+	}
+}
+
+// buildingDemand is the noise-free cooling demand of one building.
+func buildingDemand(b *Building, t time.Time, outdoorC float64) float64 {
+	weather := outdoorC - balancePointC
+	if weather < 0 {
+		weather = 0
+	}
+	return occupancy(t) * (b.BaseLoadKW + b.WeatherKWPerC*weather)
+}
+
+// dispatch stages the building's chillers for one timestep and emits one
+// record per running machine. The staging rule is the plant's real-world
+// policy: run the fewest chillers (in a monthly-rotated priority order)
+// whose derated capacity covers the demand, and share load in proportion to
+// capacity so all running machines see the same part-load ratio.
+func (tr *Trace) dispatch(buildingID int, t time.Time, demandKW, outdoorC float64, cond WeatherCondition, rng *rand.Rand) {
+	var chs []*Chiller
+	for i := range tr.chillers {
+		if tr.chillers[i].Building == buildingID {
+			chs = append(chs, &tr.chillers[i])
+		}
+	}
+	if len(chs) == 0 {
+		return
+	}
+	// Monthly lead rotation balances machine wear — and spreads operating
+	// data across chillers and bands.
+	months := (t.Year()-tr.Config.StartYear)*12 + int(t.Month()) - 1
+	offset := months % len(chs)
+	order := make([]*Chiller, 0, len(chs))
+	order = append(order, chs[offset:]...)
+	order = append(order, chs[:offset]...)
+
+	var capSum float64
+	running := 0
+	for _, ch := range order {
+		capSum += ch.Model.CapacityKW()
+		running++
+		if demandKW <= dispatchHeadroom*capSum {
+			break
+		}
+	}
+	plr := demandKW / capSum
+	if plr > 1 {
+		plr = 1
+	}
+	band := BandOf(plr)
+	for _, ch := range order[:running] {
+		load := plr * ch.Model.CapacityKW()
+		cop := tr.trueCOP(ch, plr, outdoorC, t) * (1 + rng.NormFloat64()*copNoiseStd)
+		if cop < 0.3 {
+			cop = 0.3
+		}
+		deltaT := designDeltaTC + rng.NormFloat64()*0.4
+		if deltaT < 3 {
+			deltaT = 3
+		}
+		tr.Records = append(tr.Records, Record{
+			Time:             t,
+			Building:         buildingID,
+			ChillerID:        ch.ID,
+			Band:             band,
+			Condition:        cond,
+			OutdoorTempC:     outdoorC,
+			CoolingLoadKW:    load,
+			COP:              cop,
+			OperatingPowerKW: load / cop,
+			WaterFlowKgS:     load / (waterHeatCapacity * deltaT),
+			WaterDeltaTC:     deltaT,
+		})
+	}
+}
+
+// trueCOP is the hidden physics: model base curve × part-load quadratic ×
+// condenser-lift temperature factor × per-chiller efficiency × seasonal
+// maintenance drift.
+func (tr *Trace) trueCOP(ch *Chiller, plr, outdoorC float64, t time.Time) float64 {
+	spec := modelSpecs[ch.Model]
+	partLoad := 1 - spec.curvature*(plr-spec.optPLR)*(plr-spec.optPLR)
+	if partLoad < 0.25 {
+		partLoad = 0.25
+	}
+	tempFactor := 1 - spec.tempSens*(outdoorC-24)
+	if tempFactor < 0.6 {
+		tempFactor = 0.6
+	} else if tempFactor > 1.25 {
+		tempFactor = 1.25
+	}
+	yearFrac := float64(t.YearDay()-1) / 365
+	drift := 1 + driftAmp*math.Sin(2*math.Pi*yearFrac+ch.DriftPhase)
+	cop := spec.baseCOP * partLoad * tempFactor * ch.Efficiency * drift
+	if cop < 0.3 {
+		cop = 0.3
+	} else if cop > 8 {
+		cop = 8
+	}
+	return cop
+}

@@ -1,0 +1,220 @@
+package building
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Years != 4 || cfg.StepHours != 1 || cfg.StartYear != 2015 || cfg.Seed != 1 {
+		t.Fatalf("DefaultConfig = %+v", cfg)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Years: 0}); err == nil {
+		t.Fatal("Years=0 should be rejected")
+	}
+	if _, err := Generate(Config{Years: -3}); err == nil {
+		t.Fatal("negative Years should be rejected")
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	// Zero StepHours and StartYear fall back to 1h steps from 2015.
+	tr, err := Generate(Config{Seed: 5, Years: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Config.StepHours != 1 || tr.Config.StartYear != 2015 {
+		t.Fatalf("defaults not applied: %+v", tr.Config)
+	}
+	if got := tr.Records[0].Time; got != time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC) {
+		t.Fatalf("first record at %v", got)
+	}
+}
+
+// TestGenerateDeterminism locks the seeded-generation contract: identical
+// configs yield byte-identical traces, different seeds diverge.
+func TestGenerateDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, StartYear: 2016, Years: 1, StepHours: 6}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB bytes.Buffer
+	if err := a.WriteCSV(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteCSV(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("identical configs generated different traces")
+	}
+
+	c, err := Generate(Config{Seed: 43, StartYear: 2016, Years: 1, StepHours: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufC bytes.Buffer
+	if err := c.WriteCSV(&bufC); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(bufA.Bytes(), bufC.Bytes()) {
+		t.Fatal("different seeds generated identical traces")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	tr := testTrace(t)
+	if len(tr.Buildings) != 3 {
+		t.Fatalf("buildings = %d, want 3", len(tr.Buildings))
+	}
+	if len(tr.Chillers()) != 17 {
+		t.Fatalf("chillers = %d, want 17", len(tr.Chillers()))
+	}
+	if len(tr.Records) == 0 {
+		t.Fatal("no records")
+	}
+	// Every building contributes records.
+	seen := make(map[int]int)
+	for _, r := range tr.Records {
+		seen[r.Building]++
+	}
+	for _, b := range tr.Buildings {
+		if seen[b.ID] == 0 {
+			t.Errorf("building %d (%s) has no records", b.ID, b.Name)
+		}
+	}
+}
+
+func TestRecordsChronological(t *testing.T) {
+	tr := testTrace(t)
+	for i := 1; i < len(tr.Records); i++ {
+		if tr.Records[i].Time.Before(tr.Records[i-1].Time) {
+			t.Fatalf("records out of order at %d: %v before %v",
+				i, tr.Records[i].Time, tr.Records[i-1].Time)
+		}
+	}
+	last := tr.Records[len(tr.Records)-1].Time
+	end := time.Date(tr.Config.StartYear+tr.Config.Years, 1, 1, 0, 0, 0, 0, time.UTC)
+	if !last.Before(end) {
+		t.Fatalf("trace leaks past its horizon: %v ≥ %v", last, end)
+	}
+}
+
+// TestRecordInternalConsistency cross-checks each record's derived fields
+// against its primary ones: band vs part-load ratio, condition vs
+// temperature, power vs load/COP, and the chilled-water heat balance.
+func TestRecordInternalConsistency(t *testing.T) {
+	tr := testTrace(t)
+	for i, r := range tr.Records {
+		ch := tr.ChillerByID(r.ChillerID)
+		if ch == nil {
+			t.Fatalf("record %d references unknown chiller %d", i, r.ChillerID)
+		}
+		if ch.Building != r.Building {
+			t.Fatalf("record %d: chiller %d belongs to building %d, record says %d",
+				i, ch.ID, ch.Building, r.Building)
+		}
+		if r.CoolingLoadKW <= 0 || r.COP <= 0 || r.OperatingPowerKW <= 0 ||
+			r.WaterFlowKgS <= 0 || r.WaterDeltaTC <= 0 {
+			t.Fatalf("record %d has non-positive physics: %+v", i, r)
+		}
+		plr := r.CoolingLoadKW / ch.Model.CapacityKW()
+		if plr > 1+1e-9 {
+			t.Fatalf("record %d: PLR %v exceeds 1", i, plr)
+		}
+		if got := BandOf(plr); got != r.Band {
+			t.Fatalf("record %d: band %v but PLR %v is band %v", i, r.Band, plr, got)
+		}
+		if got := ConditionOf(r.OutdoorTempC); got != r.Condition {
+			t.Fatalf("record %d: condition %v but %v°C is %v", i, r.Condition, r.OutdoorTempC, got)
+		}
+		if math.Abs(r.OperatingPowerKW-r.CoolingLoadKW/r.COP) > 1e-6 {
+			t.Fatalf("record %d: power %v ≠ load/COP %v", i, r.OperatingPowerKW, r.CoolingLoadKW/r.COP)
+		}
+		// Q = ṁ·c_p·ΔT within rounding.
+		q := r.WaterFlowKgS * waterHeatCapacity * r.WaterDeltaTC
+		if math.Abs(q-r.CoolingLoadKW) > 1e-6*math.Max(1, r.CoolingLoadKW) {
+			t.Fatalf("record %d: heat balance %v ≠ load %v", i, q, r.CoolingLoadKW)
+		}
+	}
+}
+
+// TestEqualPLRWithinTimestep checks the load-sharing policy: all chillers
+// running in one building at one instant see the same part-load ratio.
+func TestEqualPLRWithinTimestep(t *testing.T) {
+	tr := testTrace(t)
+	type key struct {
+		ts       time.Time
+		building int
+	}
+	plrs := make(map[key]float64)
+	for _, r := range tr.Records {
+		ch := tr.ChillerByID(r.ChillerID)
+		plr := r.CoolingLoadKW / ch.Model.CapacityKW()
+		k := key{r.Time, r.Building}
+		if prev, ok := plrs[k]; ok {
+			if math.Abs(prev-plr) > 1e-9 {
+				t.Fatalf("unequal PLR at %v building %d: %v vs %v", r.Time, r.Building, prev, plr)
+			}
+		} else {
+			plrs[k] = plr
+		}
+	}
+}
+
+// TestAllBandsPopulated: the occupancy and weather cycles must exercise all
+// three load bands, or a third of the task set would be empty.
+func TestAllBandsPopulated(t *testing.T) {
+	tr := testTrace(t)
+	counts := make(map[LoadBand]int)
+	for _, r := range tr.Records {
+		counts[r.Band]++
+	}
+	for _, b := range []LoadBand{BandLow, BandMid, BandHigh} {
+		if counts[b] == 0 {
+			t.Errorf("band %v has no records", b)
+		}
+	}
+}
+
+// TestSeasonalTemperatures: records span meaningfully different weather
+// conditions over a year (the source of context-dependent importance).
+func TestSeasonalTemperatures(t *testing.T) {
+	tr := testTrace(t)
+	conds := make(map[WeatherCondition]int)
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	for _, r := range tr.Records {
+		conds[r.Condition]++
+		minT = math.Min(minT, r.OutdoorTempC)
+		maxT = math.Max(maxT, r.OutdoorTempC)
+	}
+	if len(conds) < 3 {
+		t.Errorf("only %d weather conditions over a full year: %v", len(conds), conds)
+	}
+	if maxT-minT < 10 {
+		t.Errorf("temperature range %v..%v too flat for a seasonal climate", minT, maxT)
+	}
+}
+
+func TestChillerParametersInRange(t *testing.T) {
+	tr := testTrace(t)
+	for _, ch := range tr.Chillers() {
+		if ch.Efficiency < 0.85 || ch.Efficiency > 1.15 {
+			t.Errorf("chiller %d efficiency %v outside spread", ch.ID, ch.Efficiency)
+		}
+		if ch.DriftPhase < 0 || ch.DriftPhase > 2*math.Pi {
+			t.Errorf("chiller %d drift phase %v outside [0, 2π]", ch.ID, ch.DriftPhase)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package building
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// DecisionContext is one sequencing decision for one building: meet the
+// current cooling demand under the current weather.
+type DecisionContext struct {
+	// Building is the plant being sequenced.
+	Building *Building
+	// DemandKW is the total cooling demand to serve.
+	DemandKW float64
+	// OutdoorC is the current outdoor temperature.
+	OutdoorC float64
+	// Time stamps the decision (drives the hidden efficiency drift).
+	Time time.Time
+}
+
+// Sequencer picks which chillers to run for a demand, minimizing estimated
+// input power. It queries a COPEstimator per (chiller, band) — the MTL task
+// models — and falls back to the nameplate prior for uncovered pairs, which
+// is precisely how "not conducting" a task degrades the decision.
+type Sequencer struct {
+	// MinPLR is the lowest viable part-load ratio; stagings below it are
+	// considered only when nothing else is feasible.
+	MinPLR float64
+	// PriorCOP estimates a chiller model's COP when no task model covers
+	// the pair. The default nameplate prior ignores load, weather and the
+	// machine's individual efficiency — crude on purpose.
+	PriorCOP func(ModelType) float64
+}
+
+// NewSequencer returns a sequencer with the plant's default policy.
+func NewSequencer() *Sequencer {
+	return &Sequencer{
+		MinPLR:   0.12,
+		PriorCOP: func(m ModelType) float64 { return m.RatedCOP() },
+	}
+}
+
+// Decision is one chosen staging.
+type Decision struct {
+	// ChillerIDs lists the running machines.
+	ChillerIDs []int
+	// PLR is the shared part-load ratio (load shared pro rata to capacity).
+	PLR float64
+	// EstimatedPowerKW is the input power the sequencer believed it chose.
+	EstimatedPowerKW float64
+}
+
+// candidate is one feasible staging during search.
+type candidate struct {
+	mask   int
+	capSum float64
+	plr    float64
+}
+
+// candidates enumerates the feasible stagings for a demand: every chiller
+// subset that can carry the load (PLR ≤ 1), preferring stagings at or above
+// MinPLR. The same candidate set backs both the estimated choice and the
+// true-physics optimum, so performance ratios stay in [0, 1].
+func (s *Sequencer) candidates(chs []Chiller, demandKW float64) []candidate {
+	var ok, low []candidate
+	n := len(chs)
+	for mask := 1; mask < 1<<n; mask++ {
+		var capSum float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				capSum += chs[i].Model.CapacityKW()
+			}
+		}
+		plr := demandKW / capSum
+		if plr > 1 {
+			continue
+		}
+		c := candidate{mask: mask, capSum: capSum, plr: plr}
+		if plr >= s.MinPLR {
+			ok = append(ok, c)
+		} else {
+			low = append(low, c)
+		}
+	}
+	if len(ok) > 0 {
+		return ok
+	}
+	return low
+}
+
+// Decide picks the staging with the lowest estimated input power.
+func (s *Sequencer) Decide(tr *Trace, ctx DecisionContext, est COPEstimator) (*Decision, error) {
+	chs, err := s.contextChillers(tr, ctx)
+	if err != nil {
+		return nil, err
+	}
+	cands := s.candidates(chs, ctx.DemandKW)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("%w: demand %.0f kW exceeds plant capacity", ErrBadContext, ctx.DemandKW)
+	}
+	best := -1
+	bestPower := math.Inf(1)
+	for i, c := range cands {
+		power := s.estimatedPower(chs, c, ctx, est)
+		if power < bestPower {
+			bestPower = power
+			best = i
+		}
+	}
+	chosen := cands[best]
+	d := &Decision{PLR: chosen.plr, EstimatedPowerKW: bestPower}
+	for i := range chs {
+		if chosen.mask&(1<<i) != 0 {
+			d.ChillerIDs = append(d.ChillerIDs, chs[i].ID)
+		}
+	}
+	return d, nil
+}
+
+// estimatedPower scores a staging with the estimator's band-granular COPs
+// (prior fallback per uncovered pair).
+func (s *Sequencer) estimatedPower(chs []Chiller, c candidate, ctx DecisionContext, est COPEstimator) float64 {
+	band := BandOf(c.plr)
+	var power float64
+	for i := range chs {
+		if c.mask&(1<<i) == 0 {
+			continue
+		}
+		cop, ok := est.Estimate(chs[i].ID, band, ctx.OutdoorC)
+		if !ok || cop <= 0 {
+			cop = s.PriorCOP(chs[i].Model)
+		}
+		if cop < 0.3 {
+			cop = 0.3
+		}
+		power += c.plr * chs[i].Model.CapacityKW() / cop
+	}
+	return power
+}
+
+// truePower scores a staging with the hidden physics at the exact PLR.
+func truePower(tr *Trace, chs []Chiller, c candidate, ctx DecisionContext) float64 {
+	var power float64
+	for i := range chs {
+		if c.mask&(1<<i) == 0 {
+			continue
+		}
+		cop := tr.trueCOP(&chs[i], c.plr, ctx.OutdoorC, ctx.Time)
+		power += c.plr * chs[i].Model.CapacityKW() / cop
+	}
+	return power
+}
+
+// contextChillers validates a context and resolves its building's plant.
+func (s *Sequencer) contextChillers(tr *Trace, ctx DecisionContext) ([]Chiller, error) {
+	if tr == nil || len(tr.Records) == 0 {
+		return nil, ErrNoRecords
+	}
+	if ctx.Building == nil {
+		return nil, fmt.Errorf("%w: nil building", ErrBadContext)
+	}
+	if ctx.DemandKW <= 0 {
+		return nil, fmt.Errorf("%w: demand %.2f kW", ErrBadContext, ctx.DemandKW)
+	}
+	chs := tr.ChillersOf(ctx.Building.ID)
+	if len(chs) == 0 {
+		return nil, fmt.Errorf("%w: building %d has no chillers", ErrBadContext, ctx.Building.ID)
+	}
+	return chs, nil
+}
+
+// DecisionPerformance is the decision function's H for one context: the
+// true input power of the physics-optimal staging divided by the true input
+// power of the staging the sequencer chose from the estimates. H ∈ (0, 1];
+// H = 1 means the estimates led to the genuinely best decision.
+func DecisionPerformance(tr *Trace, seq *Sequencer, ctx DecisionContext, est COPEstimator) (float64, error) {
+	chosen, opt, _, err := evaluate(tr, seq, ctx, est)
+	if err != nil {
+		return 0, err
+	}
+	return opt / chosen, nil
+}
+
+// SavingPerformance scores a decision on the Fig. 3 energy-saving scale:
+// the share of the achievable saving (running all chillers vs the optimal
+// staging) that the chosen staging realizes, clamped to [0, 1].
+func SavingPerformance(tr *Trace, seq *Sequencer, ctx DecisionContext, est COPEstimator) (float64, error) {
+	chosen, opt, all, err := evaluate(tr, seq, ctx, est)
+	if err != nil {
+		return 0, err
+	}
+	achievable := all - opt
+	if achievable < 1e-9 {
+		return 1, nil
+	}
+	sv := (all - chosen) / achievable
+	if sv < 0 {
+		sv = 0
+	} else if sv > 1 {
+		sv = 1
+	}
+	return sv, nil
+}
+
+// evaluate runs one decision and returns the true powers of the chosen
+// staging, the physics-optimal staging, and the all-chillers-on baseline.
+func evaluate(tr *Trace, seq *Sequencer, ctx DecisionContext, est COPEstimator) (chosenKW, optKW, allOnKW float64, err error) {
+	chs, err := seq.contextChillers(tr, ctx)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	cands := seq.candidates(chs, ctx.DemandKW)
+	if len(cands) == 0 {
+		return 0, 0, 0, fmt.Errorf("%w: demand %.0f kW exceeds plant capacity", ErrBadContext, ctx.DemandKW)
+	}
+	best := -1
+	bestEst := math.Inf(1)
+	optKW = math.Inf(1)
+	for i, c := range cands {
+		if p := seq.estimatedPower(chs, c, ctx, est); p < bestEst {
+			bestEst = p
+			best = i
+		}
+		if p := truePower(tr, chs, c, ctx); p < optKW {
+			optKW = p
+		}
+	}
+	chosenKW = truePower(tr, chs, cands[best], ctx)
+
+	var capSum float64
+	for i := range chs {
+		capSum += chs[i].Model.CapacityKW()
+	}
+	allOnKW = truePower(tr, chs, candidate{mask: 1<<len(chs) - 1, capSum: capSum, plr: ctx.DemandKW / capSum}, ctx)
+	return chosenKW, optKW, allOnKW, nil
+}

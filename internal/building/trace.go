@@ -1,0 +1,120 @@
+package building
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Trace is a generated multi-year chiller-plant operation dataset: the
+// substitute for the paper's proprietary traces. Records are chronological;
+// the query indexes are built once by Generate.
+type Trace struct {
+	// Config is the generation configuration (for provenance).
+	Config Config
+	// Buildings is the fixed plant layout.
+	Buildings []Building
+	// Records holds every chiller operating sample, time-ordered.
+	Records []Record
+
+	chillers []Chiller
+	// byTask indexes record positions by (chiller, band); byChillerTime by
+	// chiller only, time-ordered.
+	byTask        map[taskKey][]int
+	byChillerTime map[int][]int
+}
+
+type taskKey struct {
+	chiller int
+	band    LoadBand
+}
+
+// buildIndexes precomputes the (chiller, band) and per-chiller lookups.
+func (tr *Trace) buildIndexes() {
+	tr.byTask = make(map[taskKey][]int)
+	tr.byChillerTime = make(map[int][]int)
+	for i, r := range tr.Records {
+		k := taskKey{r.ChillerID, r.Band}
+		tr.byTask[k] = append(tr.byTask[k], i)
+		tr.byChillerTime[r.ChillerID] = append(tr.byChillerTime[r.ChillerID], i)
+	}
+	// Generate appends chronologically, but keep the invariant explicit for
+	// any future out-of-order producer.
+	for id := range tr.byChillerTime {
+		idx := tr.byChillerTime[id]
+		sort.SliceStable(idx, func(a, b int) bool {
+			return tr.Records[idx[a]].Time.Before(tr.Records[idx[b]].Time)
+		})
+	}
+}
+
+// Chillers lists the plant's machines (a copy; the trace stays immutable).
+func (tr *Trace) Chillers() []Chiller {
+	out := make([]Chiller, len(tr.chillers))
+	copy(out, tr.chillers)
+	return out
+}
+
+// ChillerByID resolves a chiller, or nil when unknown.
+func (tr *Trace) ChillerByID(id int) *Chiller {
+	if id < 0 || id >= len(tr.chillers) {
+		return nil
+	}
+	return &tr.chillers[id]
+}
+
+// BuildingByID resolves a building, or nil when unknown.
+func (tr *Trace) BuildingByID(id int) *Building {
+	if id < 0 || id >= len(tr.Buildings) {
+		return nil
+	}
+	return &tr.Buildings[id]
+}
+
+// ChillersOf lists the machines of one building, in plant order.
+func (tr *Trace) ChillersOf(buildingID int) []Chiller {
+	var out []Chiller
+	for _, ch := range tr.chillers {
+		if ch.Building == buildingID {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+// RecordsFor returns the positions (into Records) of one chiller's samples
+// within one load band — a task's training data.
+func (tr *Trace) RecordsFor(chillerID int, band LoadBand) []int {
+	return tr.byTask[taskKey{chillerID, band}]
+}
+
+// LatestBefore returns the chiller's newest record at or before t, or nil
+// when no history exists yet. Records after t are invisible: time-bounded
+// lookups never peek into the future.
+func (tr *Trace) LatestBefore(chillerID int, t time.Time) *Record {
+	idx := tr.byChillerTime[chillerID]
+	lo := sort.Search(len(idx), func(i int) bool {
+		return tr.Records[idx[i]].Time.After(t)
+	})
+	if lo == 0 {
+		return nil
+	}
+	return &tr.Records[idx[lo-1]]
+}
+
+// TrueCOPFor evaluates the hidden physics for one chiller at an exact
+// part-load ratio and outdoor temperature — ground truth for validating the
+// learned task models. A zero t evaluates the drift-cycle at its calendar
+// origin.
+func (tr *Trace) TrueCOPFor(chillerID int, plr, outdoorC float64, t time.Time) (float64, error) {
+	ch := tr.ChillerByID(chillerID)
+	if ch == nil {
+		return 0, fmt.Errorf("%w: id %d", ErrUnknownChiller, chillerID)
+	}
+	if plr < 0 {
+		plr = 0
+	} else if plr > 1 {
+		plr = 1
+	}
+	return tr.trueCOP(ch, plr, outdoorC, t), nil
+}

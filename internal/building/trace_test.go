@@ -1,0 +1,175 @@
+package building
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestChillersReturnsCopy(t *testing.T) {
+	tr := testTrace(t)
+	chs := tr.Chillers()
+	orig := chs[0].Efficiency
+	chs[0].Efficiency = -99
+	if tr.Chillers()[0].Efficiency != orig {
+		t.Fatal("Chillers() exposed internal state")
+	}
+}
+
+func TestChillerByID(t *testing.T) {
+	tr := testTrace(t)
+	if ch := tr.ChillerByID(0); ch == nil || ch.ID != 0 {
+		t.Fatalf("ChillerByID(0) = %v", ch)
+	}
+	if ch := tr.ChillerByID(-1); ch != nil {
+		t.Fatalf("ChillerByID(-1) = %v, want nil", ch)
+	}
+	if ch := tr.ChillerByID(len(tr.Chillers())); ch != nil {
+		t.Fatalf("out-of-range ChillerByID = %v, want nil", ch)
+	}
+}
+
+func TestBuildingByID(t *testing.T) {
+	tr := testTrace(t)
+	if b := tr.BuildingByID(2); b == nil || b.ID != 2 {
+		t.Fatalf("BuildingByID(2) = %v", b)
+	}
+	if b := tr.BuildingByID(-1); b != nil {
+		t.Fatalf("BuildingByID(-1) = %v, want nil", b)
+	}
+	if b := tr.BuildingByID(3); b != nil {
+		t.Fatalf("BuildingByID(3) = %v, want nil", b)
+	}
+}
+
+func TestChillersOf(t *testing.T) {
+	tr := testTrace(t)
+	total := 0
+	for _, b := range tr.Buildings {
+		chs := tr.ChillersOf(b.ID)
+		if len(chs) == 0 {
+			t.Fatalf("building %d has no chillers", b.ID)
+		}
+		for _, ch := range chs {
+			if ch.Building != b.ID {
+				t.Fatalf("ChillersOf(%d) returned chiller of building %d", b.ID, ch.Building)
+			}
+		}
+		total += len(chs)
+	}
+	if total != len(tr.Chillers()) {
+		t.Fatalf("buildings partition %d chillers, plant has %d", total, len(tr.Chillers()))
+	}
+	if chs := tr.ChillersOf(99); chs != nil {
+		t.Fatalf("ChillersOf(99) = %v, want nil", chs)
+	}
+}
+
+// TestRecordsForPartition: per chiller, the three bands partition exactly the
+// chiller's records — disjoint, complete, and correctly labelled.
+func TestRecordsForPartition(t *testing.T) {
+	tr := testTrace(t)
+	perChiller := make(map[int]int)
+	for _, r := range tr.Records {
+		perChiller[r.ChillerID]++
+	}
+	for _, ch := range tr.Chillers() {
+		seen := make(map[int]bool)
+		total := 0
+		for _, band := range []LoadBand{BandLow, BandMid, BandHigh} {
+			for _, i := range tr.RecordsFor(ch.ID, band) {
+				r := tr.Records[i]
+				if r.ChillerID != ch.ID || r.Band != band {
+					t.Fatalf("RecordsFor(%d, %v) returned record %+v", ch.ID, band, r)
+				}
+				if seen[i] {
+					t.Fatalf("record %d appears in two bands", i)
+				}
+				seen[i] = true
+				total++
+			}
+		}
+		if total != perChiller[ch.ID] {
+			t.Fatalf("chiller %d: bands cover %d of %d records", ch.ID, total, perChiller[ch.ID])
+		}
+	}
+}
+
+func TestRecordsForUnknown(t *testing.T) {
+	tr := testTrace(t)
+	if idx := tr.RecordsFor(9999, BandLow); len(idx) != 0 {
+		t.Fatalf("unknown chiller has %d records", len(idx))
+	}
+}
+
+// TestLatestBeforeNoFuturePeeking: time-bounded lookups never return a
+// record newer than the query time, and return the newest one at or before
+// it.
+func TestLatestBeforeNoFuturePeeking(t *testing.T) {
+	tr := testTrace(t)
+	ch := tr.Chillers()[0]
+	first := tr.Records[0].Time
+
+	if r := tr.LatestBefore(ch.ID, first.Add(-time.Hour)); r != nil {
+		t.Fatalf("lookup before trace start returned %+v", r)
+	}
+	probes := []time.Time{
+		first.Add(24 * time.Hour),
+		first.Add(31 * 24 * time.Hour),
+		first.Add(200*24*time.Hour + 90*time.Minute), // off-grid instant
+		tr.Records[len(tr.Records)-1].Time.Add(time.Hour),
+	}
+	for _, probe := range probes {
+		r := tr.LatestBefore(ch.ID, probe)
+		if r == nil {
+			t.Fatalf("no record found at %v", probe)
+		}
+		if r.ChillerID != ch.ID {
+			t.Fatalf("wrong chiller: %+v", r)
+		}
+		if r.Time.After(probe) {
+			t.Fatalf("future peek: record at %v for query %v", r.Time, probe)
+		}
+		// No newer record of this chiller in (r.Time, probe].
+		for _, other := range tr.Records {
+			if other.ChillerID == ch.ID && other.Time.After(r.Time) && !other.Time.After(probe) {
+				t.Fatalf("missed newer record at %v (returned %v, query %v)",
+					other.Time, r.Time, probe)
+			}
+		}
+	}
+}
+
+func TestLatestBeforeUnknownChiller(t *testing.T) {
+	tr := testTrace(t)
+	if r := tr.LatestBefore(9999, tr.Records[len(tr.Records)-1].Time); r != nil {
+		t.Fatalf("unknown chiller returned %+v", r)
+	}
+}
+
+func TestTrueCOPForErrors(t *testing.T) {
+	tr := testTrace(t)
+	if _, err := tr.TrueCOPFor(-1, 0.5, 24, time.Time{}); !errors.Is(err, ErrUnknownChiller) {
+		t.Fatalf("err = %v, want ErrUnknownChiller", err)
+	}
+	if _, err := tr.TrueCOPFor(len(tr.Chillers()), 0.5, 24, time.Time{}); !errors.Is(err, ErrUnknownChiller) {
+		t.Fatalf("err = %v, want ErrUnknownChiller", err)
+	}
+}
+
+func TestTrueCOPForClampsPLR(t *testing.T) {
+	tr := testTrace(t)
+	at := func(plr float64) float64 {
+		cop, err := tr.TrueCOPFor(0, plr, 24, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cop
+	}
+	if at(-0.5) != at(0) {
+		t.Fatal("negative PLR should clamp to 0")
+	}
+	if at(1.5) != at(1) {
+		t.Fatal("PLR above 1 should clamp to 1")
+	}
+}

@@ -22,7 +22,9 @@ var ErrUnknownTask = errors.New("features: unknown task")
 
 // Dim is the feature vector length:
 // 2 general + building-id + 3 model one-hot + power + condition + outdoor
-// temp + latest load + flow + ΔT + band midpoint.
+// temp + latest load + flow + ΔT. There is no separate band column: the
+// task's load band is encoded as a bias added onto the latest-cooling-load
+// feature (see bandBias), so the vector stays at 12 columns.
 const Dim = 12
 
 // Names lists the feature vector's columns in order (for documentation and

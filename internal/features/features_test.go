@@ -46,6 +46,57 @@ func TestNamesMatchDim(t *testing.T) {
 	}
 }
 
+func TestNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, n := range Names() {
+		if seen[n] {
+			t.Fatalf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+// TestBandBiasInLoadColumn pins where the band encoding lives: two tasks of
+// the same chiller in different bands differ exactly at the
+// latest_cooling_load column (index 9), by the band-bias delta.
+func TestBandBiasInLoadColumn(t *testing.T) {
+	tr, engine, ex := fixture(t)
+	ctx := midTraceContext(tr)
+	tasks := engine.Tasks()
+	for i := range tasks {
+		for j := i + 1; j < len(tasks); j++ {
+			if tasks[i].ChillerID != tasks[j].ChillerID || tasks[i].Band == tasks[j].Band {
+				continue
+			}
+			vi, err := ex.Vector(tasks[i].ID, ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vj, err := ex.Vector(tasks[j].ID, ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := range vi {
+				switch k {
+				case 0, 1:
+					// past_success and prediction_accuracy are per-task.
+				case 9:
+					want := bandBias(tasks[i].Band) - bandBias(tasks[j].Band)
+					if got := vi[k] - vj[k]; got != want {
+						t.Fatalf("column 9 delta = %v, want band bias delta %v", got, want)
+					}
+				default:
+					if vi[k] != vj[k] {
+						t.Fatalf("column %d differs (%v vs %v); only column 9 encodes the band", k, vi[k], vj[k])
+					}
+				}
+			}
+			return
+		}
+	}
+	t.Skip("no same-chiller band pair in task set")
+}
+
 func TestVectorShapeAndContent(t *testing.T) {
 	tr, _, ex := fixture(t)
 	ctx := midTraceContext(tr)

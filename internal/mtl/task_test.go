@@ -1,0 +1,102 @@
+package mtl
+
+import (
+	"testing"
+
+	"repro/internal/building"
+)
+
+// TestEnumerateTasksTrimming locks the trimming contract table-driven:
+// maxTasks ≤ 0 disables trimming, otherwise the lowest-sample tasks are
+// dropped first, survivors keep their relative order, and IDs are re-dense.
+func TestEnumerateTasksTrimming(t *testing.T) {
+	tr := testTrace(t, 1)
+	full := EnumerateTasks(tr, 0)
+	if len(full) != 51 {
+		t.Fatalf("full enumeration = %d", len(full))
+	}
+	cases := []struct {
+		name     string
+		maxTasks int
+		want     int
+	}{
+		{"no-trim", 0, 51},
+		{"negative-no-trim", -7, 51},
+		{"limit-above-count", 1000, 51},
+		{"limit-at-count", 51, 51},
+		{"paper-fifty", 50, 50},
+		{"heavy-trim", 10, 10},
+		{"single", 1, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := EnumerateTasks(tr, c.maxTasks)
+			if len(got) != c.want {
+				t.Fatalf("len = %d, want %d", len(got), c.want)
+			}
+			// IDs dense 0..k-1.
+			for i, task := range got {
+				if task.ID != i {
+					t.Fatalf("task %d has ID %d", i, task.ID)
+				}
+			}
+			// Survivors preserve the untrimmed relative order.
+			pos := -1
+			for _, task := range got {
+				p := taskIndexOf(full, task.ChillerID, task.Band)
+				if p < 0 {
+					t.Fatalf("task (%d, %v) not in full enumeration", task.ChillerID, task.Band)
+				}
+				if p <= pos {
+					t.Fatalf("relative order not stable at (%d, %v)", task.ChillerID, task.Band)
+				}
+				pos = p
+			}
+			// Every dropped task has at most the samples of every kept task.
+			kept := make(map[int]bool)
+			for _, task := range got {
+				kept[taskIndexOf(full, task.ChillerID, task.Band)] = true
+			}
+			minKept := -1
+			for _, task := range got {
+				if minKept < 0 || task.SampleCount < minKept {
+					minKept = task.SampleCount
+				}
+			}
+			for i, task := range full {
+				if !kept[i] && task.SampleCount > minKept {
+					t.Fatalf("dropped task with %d samples while keeping one with %d",
+						task.SampleCount, minKept)
+				}
+			}
+		})
+	}
+}
+
+func taskIndexOf(tasks []Task, chillerID int, band building.LoadBand) int {
+	for i, task := range tasks {
+		if task.ChillerID == chillerID && task.Band == band {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestEnumerateTasksDenormalizedFields: the Building/Model shortcuts on each
+// task must agree with the plant layout.
+func TestEnumerateTasksDenormalizedFields(t *testing.T) {
+	tr := testTrace(t, 1)
+	for _, task := range EnumerateTasks(tr, 0) {
+		ch := tr.ChillerByID(task.ChillerID)
+		if ch == nil {
+			t.Fatalf("task references unknown chiller %d", task.ChillerID)
+		}
+		if task.Building != ch.Building || task.Model != ch.Model {
+			t.Fatalf("task %+v disagrees with chiller %+v", task, ch)
+		}
+		if task.SampleCount != len(tr.RecordsFor(task.ChillerID, task.Band)) {
+			t.Fatalf("task %v sample count %d, trace has %d",
+				task, task.SampleCount, len(tr.RecordsFor(task.ChillerID, task.Band)))
+		}
+	}
+}
