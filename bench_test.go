@@ -6,6 +6,7 @@
 package dcta_test
 
 import (
+	"strconv"
 	"sync"
 	"testing"
 
@@ -393,19 +394,7 @@ func BenchmarkSolverScaling(b *testing.B) {
 	}
 	for _, p := range points {
 		if p.ExactMicros > 0 {
-			b.ReportMetric(p.ExactMicros, "exact_us_n"+itoa(p.Tasks))
+			b.ReportMetric(p.ExactMicros, "exact_us_n"+strconv.Itoa(p.Tasks))
 		}
 	}
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var digits []byte
-	for n > 0 {
-		digits = append([]byte{byte('0' + n%10)}, digits...)
-		n /= 10
-	}
-	return string(digits)
 }

@@ -19,11 +19,19 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: 2,3,45,9,10,11,mismatch,table1,models,modes,mtl,scaling,robustness,all")
-		seed  = flag.Int64("seed", 1, "experiment seed")
-		scale = flag.String("scale", "default", "scenario scale: fast, default, full")
+		fig       = flag.String("fig", "all", "figure to regenerate: 2,3,45,9,10,11,mismatch,table1,models,modes,mtl,scaling,robustness,all")
+		seed      = flag.Int64("seed", 1, "experiment seed")
+		scale     = flag.String("scale", "default", "scenario scale: fast, default, full")
+		benchJSON = flag.String("bench-json", "", "run the key microbenchmarks and write their metrics to this JSON file instead of printing figures")
 	)
 	flag.Parse()
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "dcta-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*fig, *seed, *scale); err != nil {
 		fmt.Fprintln(os.Stderr, "dcta-bench:", err)
 		os.Exit(1)

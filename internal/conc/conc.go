@@ -8,19 +8,28 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// Workers resolves a worker-count argument: values < 1 select GOMAXPROCS.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
 
 // ForEach runs fn(i) for every i in [0, n) on up to `workers` goroutines
 // (workers < 1 selects GOMAXPROCS) and returns the first error encountered,
-// after all workers have exited. A panic in fn is recovered and reported as
-// an error rather than crashing the process.
+// after all workers have exited. Once an error is recorded the remaining
+// indices are abandoned (fast fail): results are invalid on error anyway, so
+// draining them would only delay the caller. A panic in fn is recovered and
+// reported as an error rather than crashing the process.
 func ForEach(n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
@@ -36,6 +45,7 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		wg     sync.WaitGroup
 		mu     sync.Mutex
 		first  error
+		failed atomic.Bool
 		next   int
 		nextMu sync.Mutex
 	)
@@ -48,8 +58,12 @@ func ForEach(n, workers int, fn func(i int) error) error {
 			first = err
 		}
 		mu.Unlock()
+		failed.Store(true)
 	}
 	take := func() (int, bool) {
+		if failed.Load() {
+			return 0, false
+		}
 		nextMu.Lock()
 		defer nextMu.Unlock()
 		if next >= n {
@@ -68,9 +82,6 @@ func ForEach(n, workers int, fn func(i int) error) error {
 				if !ok {
 					return
 				}
-				// Keep draining even after an error so indices are not
-				// silently skipped mid-structure; callers treat results
-				// as invalid once an error is reported.
 				record(call(fn, i))
 			}
 		}()

@@ -83,6 +83,44 @@ func TestForEachSequentialPath(t *testing.T) {
 	}
 }
 
+func TestForEachFastFailSkipsLateIndices(t *testing.T) {
+	// Index 0 fails immediately; the other indices block until the errored
+	// state is visible, so workers that consult take() afterwards must stop
+	// handing out work. With 2 workers and 1000 indices, far fewer than 1000
+	// may run: the failing index, plus at most the few in flight before the
+	// failure landed.
+	const n = 1000
+	var ran int64
+	failed := make(chan struct{})
+	err := ForEach(n, 2, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		if i == 0 {
+			close(failed)
+			return errors.New("early failure")
+		}
+		<-failed // wait until the error is definitely recorded
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "early failure") {
+		t.Fatalf("err = %v, want the early failure", err)
+	}
+	// take() refuses new indices once the failure is recorded, so only the
+	// failing call plus a handful claimed in the recording window may run —
+	// nowhere near all n. (Without fast fail this is exactly n.)
+	if got := atomic.LoadInt64(&ran); got > n/10 {
+		t.Fatalf("fast fail ran %d of %d indices, want far fewer", got, n)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("Workers(3) != 3")
+	}
+	if Workers(0) < 1 || Workers(-2) < 1 {
+		t.Fatal("Workers(<1) must resolve to ≥1")
+	}
+}
+
 func TestMapOrdering(t *testing.T) {
 	out, err := Map(20, 4, func(i int) (int, error) { return i * i, nil })
 	if err != nil {

@@ -98,18 +98,27 @@ func (c *CRL) problemFor(env *Environment) (*Problem, error) {
 func (c *CRL) Train() (*rl.TrainResult, error) {
 	rng := mathx.NewRand(c.cfg.Seed)
 	envs := c.store.All()
+	// Each store environment keeps one AllocEnv for the whole run: the
+	// problem structure is fixed and Train resets the env per episode, so
+	// rebuilding the problem clone and MDP every episode is pure overhead.
+	cache := make([]*AllocEnv, len(envs))
 	agg := &rl.TrainResult{}
 	for ep := 0; ep < c.cfg.Episodes; ep++ {
-		env := envs[rng.Intn(len(envs))]
-		prob, err := c.problemFor(env)
-		if err != nil {
-			return nil, err
+		ei := rng.Intn(len(envs))
+		alloc := cache[ei]
+		if alloc == nil {
+			env := envs[ei]
+			prob, err := c.problemFor(env)
+			if err != nil {
+				return nil, err
+			}
+			alloc, err = NewAllocEnv(prob, env.Signature)
+			if err != nil {
+				return nil, err
+			}
+			alloc.DenseReward = c.cfg.DenseReward
+			cache[ei] = alloc
 		}
-		alloc, err := NewAllocEnv(prob, env.Signature)
-		if err != nil {
-			return nil, err
-		}
-		alloc.DenseReward = c.cfg.DenseReward
 		res, err := c.agent.Train(alloc, 1, alloc.N()+alloc.M()+1)
 		if err != nil {
 			return nil, fmt.Errorf("crl episode %d: %w", ep, err)

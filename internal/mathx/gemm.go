@@ -1,0 +1,276 @@
+package mathx
+
+import (
+	"fmt"
+
+	"repro/internal/conc"
+)
+
+// GEMM-shaped kernels for the batched neural/RL training hot path. Three
+// layouts cover everything a dense-layer forward/backward needs without ever
+// materializing a transpose:
+//
+//	MatMul       dst = a·b    — back-propagated deltas (Δ_next · W_next)
+//	MatMulTransA dst = aᵀ·b   — gradient accumulation (Δᵀ · activations)
+//	MatMulTransB dst = a·bᵀ   — batched forward (X · Wᵀ, W row-major out×in)
+//
+// All kernels overwrite dst, validate shapes, allocate nothing, and use a
+// fixed, deterministic accumulation order (ascending k per output element) so
+// seeded training runs are bit-for-bit reproducible at a given size. Inputs
+// are assumed finite: exact zeros in the streamed operand are skipped, which
+// turns the structural sparsity of RL state encodings (binary selection
+// matrices, masked Q-targets, dead ReLU units) into proportional time savings
+// without changing the result.
+//
+// Work above parallelThreshold multiply-adds is split row-wise across
+// GOMAXPROCS goroutines via conc.ForEach ("optional parallel outer loop");
+// below it the kernels run serially and allocation-free, which keeps
+// DQN-scale mini-batches suitable for ReportAllocs-verified steady state.
+
+// parallelThreshold is the multiply-add count above which the kernels spread
+// dst rows across goroutines. DQN-scale batches (32×900×64 ≈ 1.8M) stay just
+// below; bulk evaluation batches go parallel.
+const parallelThreshold = 1 << 21
+
+// gemmWorkers returns the worker count for a kernel of the given flop count
+// and dst row count: 0 (meaning GOMAXPROCS) above the threshold, 1 otherwise.
+func gemmWorkers(flops, rows int) int {
+	if flops >= parallelThreshold && rows > 1 {
+		return 0
+	}
+	return 1
+}
+
+// MatMul computes dst = a·b. Shapes: a is n×k, b is k×m, dst must be n×m.
+func MatMul(dst, a, b *Matrix) error {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		return fmt.Errorf("matmul: (%dx%d)·(%dx%d)→(%dx%d): %w",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols, ErrDimensionMismatch)
+	}
+	workers := gemmWorkers(a.Rows*a.Cols*b.Cols, dst.Rows)
+	if workers == 1 {
+		matMulRows(dst, a, b, 0, dst.Rows)
+		return nil
+	}
+	return blockedRows(dst.Rows, workers, func(r0, r1 int) {
+		matMulRows(dst, a, b, r0, r1)
+	})
+}
+
+// matMulRows computes dst rows [r0, r1) of a·b in row-axpy (ikj) form:
+// dst[i,:] accumulates a[i,k]·b[k,:] for ascending k, skipping zero a[i,k].
+func matMulRows(dst, a, b *Matrix, r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		drow := dst.Row(i)
+		for j := range drow {
+			drow[j] = 0
+		}
+		arow := a.Row(i)
+		for k, v := range arow {
+			if v == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				drow[j] += v * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA computes dst = aᵀ·b. Shapes: a is k×n, b is k×m, dst must be
+// n×m. Rows of a are streamed once (ascending k), so zero entries of a — e.g.
+// masked or dead-unit delta columns — cost one compare each.
+func MatMulTransA(dst, a, b *Matrix) error {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		return fmt.Errorf("matmul transA: (%dx%d)ᵀ·(%dx%d)→(%dx%d): %w",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols, ErrDimensionMismatch)
+	}
+	workers := gemmWorkers(a.Rows*a.Cols*b.Cols, dst.Rows)
+	if workers == 1 {
+		transARows(dst, a, b, 0, dst.Rows)
+		return nil
+	}
+	return blockedRows(dst.Rows, workers, func(r0, r1 int) {
+		transARows(dst, a, b, r0, r1)
+	})
+}
+
+// transARows computes dst rows [r0, r1) of aᵀ·b: dst[i,:] += a[k,i]·b[k,:]
+// for ascending k, restricted to the row range so parallel workers never
+// share output rows.
+func transARows(dst, a, b *Matrix, r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		drow := dst.Row(i)
+		for j := range drow {
+			drow[j] = 0
+		}
+	}
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i := r0; i < r1; i++ {
+			v := arow[i]
+			if v == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j, bv := range brow {
+				drow[j] += v * bv
+			}
+		}
+	}
+}
+
+// MatMulTransB computes dst = a·bᵀ. Shapes: a is n×k, b is m×k, dst must be
+// n×m. This is the batched dense-layer forward X·Wᵀ with W stored row-major
+// out×in; both operands stream contiguous rows.
+func MatMulTransB(dst, a, b *Matrix) error {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		return fmt.Errorf("matmul transB: (%dx%d)·(%dx%d)ᵀ→(%dx%d): %w",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols, ErrDimensionMismatch)
+	}
+	workers := gemmWorkers(a.Rows*a.Cols*b.Rows, dst.Rows)
+	if workers == 1 {
+		transBRows(dst, a, b, nil, 0, dst.Rows)
+		return nil
+	}
+	return blockedRows(dst.Rows, workers, func(r0, r1 int) {
+		transBRows(dst, a, b, nil, r0, r1)
+	})
+}
+
+// MatMulTransBCols computes dst = a·bᵀ like MatMulTransB but sums only over
+// the given ascending k-column subset, which must index only columns of a
+// that are zero elsewhere for the result to equal the full product. The
+// batched forward pass uses this to skip input columns that are zero across
+// the whole mini-batch (untouched cells of the allocation selection matrix).
+// A nil cols is the dense product.
+func MatMulTransBCols(dst, a, b *Matrix, cols []int) error {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		return fmt.Errorf("matmul transB cols: (%dx%d)·(%dx%d)ᵀ→(%dx%d): %w",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols, ErrDimensionMismatch)
+	}
+	inner := a.Cols
+	if cols != nil {
+		inner = len(cols)
+	}
+	workers := gemmWorkers(a.Rows*inner*b.Rows, dst.Rows)
+	if workers == 1 {
+		transBRows(dst, a, b, cols, 0, dst.Rows)
+		return nil
+	}
+	return blockedRows(dst.Rows, workers, func(r0, r1 int) {
+		transBRows(dst, a, b, cols, r0, r1)
+	})
+}
+
+// transBRows computes dst rows [r0, r1) of a·bᵀ with a 2×2 register tile:
+// two a-rows × two b-rows per pass, four independent accumulator chains, all
+// operand streams contiguous (or forward-strided gathers under a cols
+// subset). Remainder rows fall back to single-row dot products.
+func transBRows(dst, a, b *Matrix, cols []int, r0, r1 int) {
+	i := r0
+	for ; i+1 < r1; i += 2 {
+		a0, a1 := a.Row(i), a.Row(i+1)
+		d0, d1 := dst.Row(i), dst.Row(i+1)
+		j := 0
+		for ; j+1 < b.Rows; j += 2 {
+			b0, b1 := b.Row(j), b.Row(j+1)
+			var s00, s01, s10, s11 float64
+			if cols == nil {
+				for k, bv0 := range b0 {
+					bv1 := b1[k]
+					av0, av1 := a0[k], a1[k]
+					s00 += av0 * bv0
+					s01 += av0 * bv1
+					s10 += av1 * bv0
+					s11 += av1 * bv1
+				}
+			} else {
+				for _, k := range cols {
+					av0, av1 := a0[k], a1[k]
+					bv0, bv1 := b0[k], b1[k]
+					s00 += av0 * bv0
+					s01 += av0 * bv1
+					s10 += av1 * bv0
+					s11 += av1 * bv1
+				}
+			}
+			d0[j], d0[j+1] = s00, s01
+			d1[j], d1[j+1] = s10, s11
+		}
+		for ; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s0, s1 float64
+			if cols == nil {
+				for k, bv := range brow {
+					s0 += a0[k] * bv
+					s1 += a1[k] * bv
+				}
+			} else {
+				for _, k := range cols {
+					s0 += a0[k] * brow[k]
+					s1 += a1[k] * brow[k]
+				}
+			}
+			d0[j], d1[j] = s0, s1
+		}
+	}
+	for ; i < r1; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			if cols == nil {
+				for k, bv := range brow {
+					s += arow[k] * bv
+				}
+			} else {
+				for _, k := range cols {
+					s += arow[k] * brow[k]
+				}
+			}
+			drow[j] = s
+		}
+	}
+}
+
+// NonzeroColumns appends to buf[:0] the ascending indices of columns of m
+// that hold at least one nonzero, and returns the extended slice. It is the
+// sparsity probe the batched forward uses to decide between the dense and
+// column-subset kernels.
+func NonzeroColumns(m *Matrix, buf []int) []int {
+	buf = buf[:0]
+	for j := 0; j < m.Cols; j++ {
+		for i := 0; i < m.Rows; i++ {
+			if m.Data[i*m.Cols+j] != 0 {
+				buf = append(buf, j)
+				break
+			}
+		}
+	}
+	return buf
+}
+
+// blockedRows splits [0, rows) into one contiguous block per worker and runs
+// fn on each block via conc.ForEach.
+func blockedRows(rows, workers int, fn func(r0, r1 int)) error {
+	blocks := conc.Workers(workers)
+	if blocks > rows {
+		blocks = rows
+	}
+	per := (rows + blocks - 1) / blocks
+	return conc.ForEach(blocks, blocks, func(w int) error {
+		r0 := w * per
+		r1 := r0 + per
+		if r1 > rows {
+			r1 = rows
+		}
+		if r0 < r1 {
+			fn(r0, r1)
+		}
+		return nil
+	})
+}

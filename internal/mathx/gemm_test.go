@@ -1,0 +1,267 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveMatMul is the reference triple loop for dst = a·b.
+func naiveMatMul(a, b *Matrix) *Matrix {
+	dst := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			dst.Set(i, j, s)
+		}
+	}
+	return dst
+}
+
+// naiveTransA is the reference triple loop for dst = aᵀ·b.
+func naiveTransA(a, b *Matrix) *Matrix {
+	dst := NewMatrix(a.Cols, b.Cols)
+	for i := 0; i < a.Cols; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Rows; k++ {
+				s += a.At(k, i) * b.At(k, j)
+			}
+			dst.Set(i, j, s)
+		}
+	}
+	return dst
+}
+
+// naiveTransB is the reference triple loop for dst = a·bᵀ.
+func naiveTransB(a, b *Matrix) *Matrix {
+	dst := NewMatrix(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(j, k)
+			}
+			dst.Set(i, j, s)
+		}
+	}
+	return dst
+}
+
+// randMatrix fills a matrix with values in [-1, 1), zeroing a sparseFrac
+// fraction so the zero-skip paths are exercised.
+func randMatrix(rng *rand.Rand, rows, cols int, sparseFrac float64) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		if rng.Float64() < sparseFrac {
+			continue
+		}
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+	return m
+}
+
+func matricesClose(t *testing.T, got, want *Matrix, tol float64) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("shape %dx%d, want %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i, v := range got.Data {
+		if math.Abs(v-want.Data[i]) > tol {
+			t.Fatalf("element %d: got %v, want %v", i, v, want.Data[i])
+		}
+	}
+}
+
+// gemmShapes covers odd/even and degenerate sizes so the 2×2 tile remainder
+// paths all run.
+var gemmShapes = []struct{ n, k, m int }{
+	{1, 1, 1}, {1, 5, 3}, {2, 4, 2}, {3, 7, 5}, {4, 9, 1},
+	{5, 3, 8}, {8, 16, 8}, {7, 11, 13}, {16, 30, 17},
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, sh := range gemmShapes {
+		for _, sparse := range []float64{0, 0.5, 0.95} {
+			a := randMatrix(rng, sh.n, sh.k, sparse)
+			b := randMatrix(rng, sh.k, sh.m, sparse)
+			dst := NewMatrix(sh.n, sh.m)
+			dst.Fill(math.NaN()) // kernels must fully overwrite dst
+			if err := MatMul(dst, a, b); err != nil {
+				t.Fatalf("MatMul %+v: %v", sh, err)
+			}
+			matricesClose(t, dst, naiveMatMul(a, b), 1e-12)
+		}
+	}
+}
+
+func TestMatMulTransAMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, sh := range gemmShapes {
+		for _, sparse := range []float64{0, 0.5, 0.95} {
+			a := randMatrix(rng, sh.k, sh.n, sparse)
+			b := randMatrix(rng, sh.k, sh.m, sparse)
+			dst := NewMatrix(sh.n, sh.m)
+			dst.Fill(math.NaN())
+			if err := MatMulTransA(dst, a, b); err != nil {
+				t.Fatalf("MatMulTransA %+v: %v", sh, err)
+			}
+			matricesClose(t, dst, naiveTransA(a, b), 1e-12)
+		}
+	}
+}
+
+func TestMatMulTransBMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, sh := range gemmShapes {
+		for _, sparse := range []float64{0, 0.5} {
+			a := randMatrix(rng, sh.n, sh.k, sparse)
+			b := randMatrix(rng, sh.m, sh.k, sparse)
+			dst := NewMatrix(sh.n, sh.m)
+			dst.Fill(math.NaN())
+			if err := MatMulTransB(dst, a, b); err != nil {
+				t.Fatalf("MatMulTransB %+v: %v", sh, err)
+			}
+			matricesClose(t, dst, naiveTransB(a, b), 1e-12)
+		}
+	}
+}
+
+func TestMatMulTransBColsMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, sh := range gemmShapes {
+		// Column-sparse a: the subset product over a's nonzero columns must
+		// equal the dense product.
+		a := NewMatrix(sh.n, sh.k)
+		for j := 0; j < sh.k; j++ {
+			if rng.Float64() < 0.6 {
+				continue // whole column stays zero
+			}
+			for i := 0; i < sh.n; i++ {
+				a.Set(i, j, rng.Float64()*2-1)
+			}
+		}
+		b := randMatrix(rng, sh.m, sh.k, 0)
+		cols := NonzeroColumns(a, nil)
+		dst := NewMatrix(sh.n, sh.m)
+		dst.Fill(math.NaN())
+		if err := MatMulTransBCols(dst, a, b, cols); err != nil {
+			t.Fatalf("MatMulTransBCols %+v: %v", sh, err)
+		}
+		matricesClose(t, dst, naiveTransB(a, b), 1e-12)
+	}
+}
+
+func TestGemmDimensionMismatch(t *testing.T) {
+	a := NewMatrix(3, 4)
+	b := NewMatrix(5, 6)
+	dst := NewMatrix(3, 6)
+	for name, err := range map[string]error{
+		"MatMul":           MatMul(dst, a, b),
+		"MatMulTransA":     MatMulTransA(dst, a, b),
+		"MatMulTransB":     MatMulTransB(dst, a, b),
+		"MatMulTransBCols": MatMulTransBCols(dst, a, b, nil),
+	} {
+		if !errors.Is(err, ErrDimensionMismatch) {
+			t.Errorf("%s: got %v, want ErrDimensionMismatch", name, err)
+		}
+	}
+	// dst shape must match too, even when a·b is conformable.
+	if err := MatMul(NewMatrix(3, 5), NewMatrix(4, 2), NewMatrix(2, 6)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("MatMul wrong dst: got %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestNonzeroColumns(t *testing.T) {
+	m := NewMatrix(3, 5)
+	m.Set(0, 1, 2)
+	m.Set(2, 1, -1)
+	m.Set(1, 4, 0.5)
+	got := NonzeroColumns(m, nil)
+	want := []int{1, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Reuse path: a larger buffer is truncated and refilled.
+	buf := make([]int, 0, 16)
+	buf = append(buf, 9, 9, 9)
+	if again := NonzeroColumns(m, buf); len(again) != 2 || again[0] != 1 || again[1] != 4 {
+		t.Fatalf("reused buffer: got %v", again)
+	}
+	if empty := NonzeroColumns(NewMatrix(2, 3), nil); len(empty) != 0 {
+		t.Fatalf("zero matrix: got %v", empty)
+	}
+}
+
+// TestGemmParallelPath pushes all kernels past parallelThreshold so the
+// conc.ForEach row-partitioned path runs (and is exercised under -race), and
+// checks the parallel result is identical to the serial one.
+func TestGemmParallelPath(t *testing.T) {
+	// 260×130 · 130×130 ≈ 4.4M multiply-adds > 1<<21.
+	const n, k, m = 260, 130, 130
+	rng := rand.New(rand.NewSource(5))
+	a := randMatrix(rng, n, k, 0.2)
+	b := randMatrix(rng, k, m, 0.2)
+	if n*k*m < parallelThreshold {
+		t.Fatalf("test shape below parallelThreshold; enlarge it")
+	}
+
+	par := NewMatrix(n, m)
+	if err := MatMul(par, a, b); err != nil {
+		t.Fatal(err)
+	}
+	ser := NewMatrix(n, m)
+	matMulRows(ser, a, b, 0, n)
+	matricesClose(t, par, ser, 0) // deterministic: bit-identical
+
+	at := randMatrix(rng, k, n, 0.2)
+	parA := NewMatrix(n, m)
+	if err := MatMulTransA(parA, at, b); err != nil {
+		t.Fatal(err)
+	}
+	serA := NewMatrix(n, m)
+	transARows(serA, at, b, 0, n)
+	matricesClose(t, parA, serA, 0)
+
+	bt := randMatrix(rng, m, k, 0.2)
+	parB := NewMatrix(n, m)
+	if err := MatMulTransB(parB, a, bt); err != nil {
+		t.Fatal(err)
+	}
+	serB := NewMatrix(n, m)
+	transBRows(serB, a, bt, nil, 0, n)
+	matricesClose(t, parB, serB, 0)
+}
+
+// TestGemmDeterministic re-runs a kernel and requires bit-identical output —
+// the contract seeded DQN training relies on.
+func TestGemmDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randMatrix(rng, 9, 31, 0.3)
+	b := randMatrix(rng, 17, 31, 0.3)
+	d1 := NewMatrix(9, 17)
+	d2 := NewMatrix(9, 17)
+	for i := 0; i < 2; i++ {
+		if err := MatMulTransB(d1, a, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := MatMulTransB(d2, a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.Data {
+		if d1.Data[i] != d2.Data[i] {
+			t.Fatalf("nondeterministic element %d: %v vs %v", i, d1.Data[i], d2.Data[i])
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package neural
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// testConfigs spans the optimizer settings whose batch-1 step must reproduce
+// Train exactly.
+func testConfigs() map[string]Config {
+	return map[string]Config{
+		"sgd-plain":    {Layers: []int{6, 10, 4}, Momentum: 0, LearningRate: 0.05, Seed: 11},
+		"sgd-momentum": {Layers: []int{6, 10, 4}, Momentum: 0.9, LearningRate: 0.05, Seed: 12},
+		"adam":         {Layers: []int{6, 10, 4}, Optimizer: OptAdam, LearningRate: 0.01, Seed: 13},
+		"tanh-deep":    {Layers: []int{5, 8, 8, 3}, Hidden: ActTanh, LearningRate: 0.02, Seed: 14},
+	}
+}
+
+func randVec(rng *rand.Rand, n int, sparseFrac float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		if rng.Float64() < sparseFrac {
+			continue
+		}
+		v[i] = rng.Float64()*2 - 1
+	}
+	return v
+}
+
+func maxWeightDiff(a, b *Network) float64 {
+	var worst float64
+	for li := range a.layers {
+		for k, w := range a.layers[li].weights {
+			if d := math.Abs(w - b.layers[li].weights[k]); d > worst {
+				worst = d
+			}
+		}
+		for k, w := range a.layers[li].bias {
+			if d := math.Abs(w - b.layers[li].bias[k]); d > worst {
+				worst = d
+			}
+		}
+		for k, w := range a.layers[li].vWeights {
+			if d := math.Abs(w - b.layers[li].vWeights[k]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// TestForwardBatchMatchesForward checks the batched forward against per-row
+// scalar Forward on dense and sparse inputs.
+func TestForwardBatchMatchesForward(t *testing.T) {
+	for name, cfg := range testConfigs() {
+		t.Run(name, func(t *testing.T) {
+			n, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(21))
+			for _, sparse := range []float64{0, 0.7, 1} {
+				x := mathx.NewMatrix(5, n.InputSize())
+				for r := 0; r < x.Rows; r++ {
+					copy(x.Row(r), randVec(rng, n.InputSize(), sparse))
+				}
+				out, err := n.ForwardBatch(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for r := 0; r < x.Rows; r++ {
+					// Copy: Forward below reuses the network scratch.
+					brow := append([]float64(nil), out.Row(r)...)
+					want, err := n.Forward(x.Row(r))
+					if err != nil {
+						t.Fatal(err)
+					}
+					for o := range want {
+						if math.Abs(brow[o]-want[o]) > 1e-12 {
+							t.Fatalf("sparse=%v row %d out %d: batch %v, scalar %v",
+								sparse, r, o, brow[o], want[o])
+						}
+					}
+					// Re-run the batch since Forward may have clobbered scratch.
+					if out, err = n.ForwardBatch(x); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTrainBatchOneRowMatchesTrain pins the core equivalence: a 1-row
+// TrainBatch takes the same optimizer step as Train, with and without masks,
+// across many consecutive steps (so momentum/Adam state stays in lockstep).
+func TestTrainBatchOneRowMatchesTrain(t *testing.T) {
+	for name, cfg := range testConfigs() {
+		t.Run(name, func(t *testing.T) {
+			a, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := New(cfg) // same seed → identical init
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(31))
+			x := mathx.NewMatrix(1, a.InputSize())
+			tg := mathx.NewMatrix(1, a.OutputSize())
+			mk := mathx.NewMatrix(1, a.OutputSize())
+			for step := 0; step < 50; step++ {
+				xv := randVec(rng, a.InputSize(), 0.5)
+				tv := randVec(rng, a.OutputSize(), 0)
+				var mv []float64
+				var mkArg *mathx.Matrix
+				if step%2 == 1 {
+					mv = make([]float64, a.OutputSize())
+					mv[rng.Intn(len(mv))] = 1
+					copy(mk.Row(0), mv)
+					mkArg = mk
+				}
+				lossA, err := a.Train(xv, tv, mv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				copy(x.Row(0), xv)
+				copy(tg.Row(0), tv)
+				lossB, err := b.TrainBatch(x, tg, mkArg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(lossA-lossB) > 1e-12 {
+					t.Fatalf("step %d: loss %v vs %v", step, lossA, lossB)
+				}
+			}
+			if d := maxWeightDiff(a, b); d > 1e-12 {
+				t.Fatalf("parameters diverged by %v after 50 steps", d)
+			}
+		})
+	}
+}
+
+// TestTrainBatchLearnsXOR checks that genuinely batched gradients optimize:
+// the canonical non-linearly-separable task driven only through TrainBatch.
+func TestTrainBatchLearnsXOR(t *testing.T) {
+	n, err := New(Config{
+		Layers: []int{2, 8, 1}, Hidden: ActTanh, Output: ActSigmoid,
+		LearningRate: 0.5, Momentum: 0.9, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := mathx.MatrixFromRows([][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+	y, _ := mathx.MatrixFromRows([][]float64{{0}, {1}, {1}, {0}})
+	var loss float64
+	for epoch := 0; epoch < 2000; epoch++ {
+		if loss, err = n.TrainBatch(x, y, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if loss > 0.05 {
+		t.Fatalf("XOR loss %v after training, want < 0.05", loss)
+	}
+	out, err := n.ForwardBatch(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		got := out.Row(r)[0]
+		if math.Abs(got-y.Row(r)[0]) > 0.3 {
+			t.Fatalf("XOR row %d: predicted %v, want %v", r, got, y.Row(r)[0])
+		}
+	}
+}
+
+// TestTrainBatchSteadyStateAllocs verifies the zero-allocation contract once
+// the scratch workspace has warmed up.
+func TestTrainBatchSteadyStateAllocs(t *testing.T) {
+	n, err := New(Config{Layers: []int{30, 16, 8}, Optimizer: OptAdam, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	x := mathx.NewMatrix(8, n.InputSize())
+	tg := mathx.NewMatrix(8, n.OutputSize())
+	mk := mathx.NewMatrix(8, n.OutputSize())
+	for r := 0; r < 8; r++ {
+		copy(x.Row(r), randVec(rng, n.InputSize(), 0.5))
+		copy(tg.Row(r), randVec(rng, n.OutputSize(), 0))
+		mk.Row(r)[rng.Intn(n.OutputSize())] = 1
+	}
+	if _, err := n.TrainBatch(x, tg, mk); err != nil { // warm up scratch + Adam buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := n.TrainBatch(x, tg, mk); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state TrainBatch allocates %v objects/run, want 0", allocs)
+	}
+}
+
+// TestTrainBatchGrowsAndShrinksBatch checks scratch reuse across varying
+// batch sizes (grow then shrink) stays correct versus Train on a twin.
+func TestTrainBatchGrowsAndShrinksBatch(t *testing.T) {
+	cfg := Config{Layers: []int{4, 6, 2}, LearningRate: 0.05, Momentum: 0, Seed: 9}
+	a, _ := New(cfg)
+	b, _ := New(cfg)
+	rng := rand.New(rand.NewSource(51))
+	for _, rows := range []int{1, 4, 2, 8, 1} {
+		x := mathx.NewMatrix(rows, 4)
+		tg := mathx.NewMatrix(rows, 2)
+		for r := 0; r < rows; r++ {
+			copy(x.Row(r), randVec(rng, 4, 0))
+			copy(tg.Row(r), randVec(rng, 2, 0))
+		}
+		if _, err := a.TrainBatch(x, tg, nil); err != nil {
+			t.Fatal(err)
+		}
+		// Twin: accumulate the same summed gradient by hand via batch-1 calls
+		// is NOT equivalent for rows > 1 (one step vs many), so instead check
+		// the batched forward of both networks only at rows == 1 steps.
+		if rows == 1 {
+			if _, err := b.Train(x.Row(0), tg.Row(0), nil); err != nil {
+				t.Fatal(err)
+			}
+			if d := maxWeightDiff(a, b); d > 1e-12 {
+				t.Fatalf("rows=1 interleaved: diverged by %v", d)
+			}
+		} else {
+			// Keep the twin in sync by copying parameters.
+			if err := b.CopyWeightsFrom(a); err != nil {
+				t.Fatal(err)
+			}
+			for li := range a.layers {
+				copy(b.layers[li].vWeights, a.layers[li].vWeights)
+				copy(b.layers[li].vBias, a.layers[li].vBias)
+			}
+		}
+	}
+}
+
+// TestOptimizerStateRoundTrip trains, snapshots mid-run, restores, and checks
+// the restored network continues bit-for-bit identically to the original —
+// the property the serialized momentum/Adam state exists to provide.
+func TestOptimizerStateRoundTrip(t *testing.T) {
+	for name, cfg := range testConfigs() {
+		t.Run(name, func(t *testing.T) {
+			n, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(61))
+			step := func(net *Network, r *rand.Rand) {
+				x := randVec(r, net.InputSize(), 0.3)
+				tg := randVec(r, net.OutputSize(), 0)
+				if _, err := net.Train(x, tg, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 20; i++ {
+				step(n, rng)
+			}
+			blob, err := n.MarshalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var restored Network
+			if err := restored.UnmarshalJSON(blob); err != nil {
+				t.Fatal(err)
+			}
+			// Drive both with identical data streams.
+			rngA := rand.New(rand.NewSource(62))
+			rngB := rand.New(rand.NewSource(62))
+			for i := 0; i < 20; i++ {
+				step(n, rngA)
+				step(&restored, rngB)
+			}
+			if d := maxWeightDiff(n, &restored); d != 0 {
+				t.Fatalf("restored network diverged by %v; optimizer state lost", d)
+			}
+		})
+	}
+}
+
+// TestLegacySnapshotLoads checks a pre-optimizer-state snapshot (weights and
+// biases only) still restores, with fresh optimizer state.
+func TestLegacySnapshotLoads(t *testing.T) {
+	legacy := []byte(`{
+		"config": {"Layers": [2, 3, 1], "LearningRate": 0.1, "Seed": 1},
+		"weights": [[1, 2, 3, 4, 5, 6], [7, 8, 9]],
+		"biases": [[0.1, 0.2, 0.3], [0.4]]
+	}`)
+	var n Network
+	if err := n.UnmarshalJSON(legacy); err != nil {
+		t.Fatalf("legacy snapshot rejected: %v", err)
+	}
+	if n.layers[0].weights[5] != 6 || n.layers[1].bias[0] != 0.4 {
+		t.Fatal("legacy parameters not restored")
+	}
+	for li, l := range n.layers {
+		for _, v := range l.vWeights {
+			if v != 0 {
+				t.Fatalf("layer %d: optimizer state not fresh", li)
+			}
+		}
+		if l.mWeights != nil {
+			t.Fatalf("layer %d: unexpected Adam buffers", li)
+		}
+	}
+	if _, err := n.Forward([]float64{1, 1}); err != nil {
+		t.Fatalf("restored network unusable: %v", err)
+	}
+}
+
+// TestBatchShapeErrors checks the input validation of the batched entry
+// points.
+func TestBatchShapeErrors(t *testing.T) {
+	n, err := New(Config{Layers: []int{3, 4, 2}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ForwardBatch(mathx.NewMatrix(2, 5)); err == nil {
+		t.Error("ForwardBatch accepted wrong input width")
+	}
+	if _, err := n.ForwardBatch(mathx.NewMatrix(0, 3)); err == nil {
+		t.Error("ForwardBatch accepted empty batch")
+	}
+	x := mathx.NewMatrix(2, 3)
+	if _, err := n.TrainBatch(x, mathx.NewMatrix(2, 5), nil); err == nil {
+		t.Error("TrainBatch accepted wrong target width")
+	}
+	if _, err := n.TrainBatch(x, mathx.NewMatrix(3, 2), nil); err == nil {
+		t.Error("TrainBatch accepted mismatched target rows")
+	}
+	if _, err := n.TrainBatch(x, mathx.NewMatrix(2, 2), mathx.NewMatrix(1, 2)); err == nil {
+		t.Error("TrainBatch accepted mismatched mask rows")
+	}
+}

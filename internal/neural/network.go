@@ -119,6 +119,8 @@ type Network struct {
 	// Scratch buffers reused across Forward/Train calls.
 	activations [][]float64
 	deltas      [][]float64
+	// batch is the reusable workspace behind ForwardBatch/TrainBatch.
+	batch batchScratch
 }
 
 // New builds a network from cfg with He-style weight initialization.
@@ -341,25 +343,72 @@ func (n *Network) Clone() (*Network, error) {
 	return c, nil
 }
 
-// snapshot is the JSON wire format for Marshal/Unmarshal.
+// snapshot is the JSON wire format for Marshal/Unmarshal. Optimizer state
+// (momentum / Adam moment buffers and the Adam step counter) rides along so
+// a round-tripped network resumes training exactly where it left off instead
+// of silently restarting Adam bias correction; older snapshots without those
+// fields load with fresh optimizer state.
 type snapshot struct {
-	Config  Config      `json:"config"`
-	Weights [][]float64 `json:"weights"`
-	Biases  [][]float64 `json:"biases"`
+	Config   Config      `json:"config"`
+	Weights  [][]float64 `json:"weights"`
+	Biases   [][]float64 `json:"biases"`
+	AdamStep int         `json:"adam_step,omitempty"`
+	VWeights [][]float64 `json:"v_weights,omitempty"`
+	VBiases  [][]float64 `json:"v_biases,omitempty"`
+	MWeights [][]float64 `json:"m_weights,omitempty"`
+	MBiases  [][]float64 `json:"m_biases,omitempty"`
 }
 
-// MarshalJSON serializes the network's config and parameters.
+func cloneVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// MarshalJSON serializes the network's config, parameters and optimizer
+// state.
 func (n *Network) MarshalJSON() ([]byte, error) {
-	s := snapshot{Config: n.cfg}
+	s := snapshot{Config: n.cfg, AdamStep: n.adamStep}
+	hasAdam := false
 	for _, l := range n.layers {
-		w := make([]float64, len(l.weights))
-		copy(w, l.weights)
-		b := make([]float64, len(l.bias))
-		copy(b, l.bias)
-		s.Weights = append(s.Weights, w)
-		s.Biases = append(s.Biases, b)
+		s.Weights = append(s.Weights, cloneVec(l.weights))
+		s.Biases = append(s.Biases, cloneVec(l.bias))
+		s.VWeights = append(s.VWeights, cloneVec(l.vWeights))
+		s.VBiases = append(s.VBiases, cloneVec(l.vBias))
+		if l.mWeights != nil {
+			hasAdam = true
+		}
+	}
+	if hasAdam {
+		for _, l := range n.layers {
+			s.MWeights = append(s.MWeights, cloneVec(l.mWeights))
+			s.MBiases = append(s.MBiases, cloneVec(l.mBias))
+		}
 	}
 	return json.Marshal(s)
+}
+
+// restoreBlocks copies per-layer vectors from a snapshot field into the
+// destination selected by pick, validating counts and lengths. A nil src is
+// accepted (legacy snapshots without optimizer state).
+func restoreBlocks(layers []*layer, src [][]float64, name string,
+	pick func(l *layer) []float64) error {
+	if src == nil {
+		return nil
+	}
+	if len(src) != len(layers) {
+		return fmt.Errorf("neural unmarshal: %d %s blocks for %d layers: %w",
+			len(src), name, len(layers), ErrBadTopology)
+	}
+	for i, l := range layers {
+		dst := pick(l)
+		if len(src[i]) != len(dst) {
+			return fmt.Errorf("neural unmarshal: layer %d %s size mismatch: %w",
+				i, name, ErrBadTopology)
+		}
+		copy(dst, src[i])
+	}
+	return nil
 }
 
 // UnmarshalJSON restores a network serialized with MarshalJSON.
@@ -372,17 +421,32 @@ func (n *Network) UnmarshalJSON(data []byte) error {
 	if err != nil {
 		return fmt.Errorf("neural unmarshal: %w", err)
 	}
-	if len(s.Weights) != len(restored.layers) || len(s.Biases) != len(restored.layers) {
-		return fmt.Errorf("neural unmarshal: %d weight blocks for %d layers: %w",
-			len(s.Weights), len(restored.layers), ErrBadTopology)
+	if s.Weights == nil || s.Biases == nil {
+		return fmt.Errorf("neural unmarshal: missing parameter blocks: %w", ErrBadTopology)
 	}
-	for i, l := range restored.layers {
-		if len(s.Weights[i]) != len(l.weights) || len(s.Biases[i]) != len(l.bias) {
-			return fmt.Errorf("neural unmarshal: layer %d size mismatch: %w", i, ErrBadTopology)
+	if s.MWeights != nil {
+		for _, l := range restored.layers {
+			l.mWeights = make([]float64, len(l.weights))
+			l.mBias = make([]float64, len(l.bias))
 		}
-		copy(l.weights, s.Weights[i])
-		copy(l.bias, s.Biases[i])
 	}
+	for _, blk := range []struct {
+		src  [][]float64
+		name string
+		pick func(l *layer) []float64
+	}{
+		{s.Weights, "weight", func(l *layer) []float64 { return l.weights }},
+		{s.Biases, "bias", func(l *layer) []float64 { return l.bias }},
+		{s.VWeights, "v_weight", func(l *layer) []float64 { return l.vWeights }},
+		{s.VBiases, "v_bias", func(l *layer) []float64 { return l.vBias }},
+		{s.MWeights, "m_weight", func(l *layer) []float64 { return l.mWeights }},
+		{s.MBiases, "m_bias", func(l *layer) []float64 { return l.mBias }},
+	} {
+		if err := restoreBlocks(restored.layers, blk.src, blk.name, blk.pick); err != nil {
+			return err
+		}
+	}
+	restored.adamStep = s.AdamStep
 	*n = *restored
 	return nil
 }

@@ -66,7 +66,10 @@ func (c DQNConfig) withDefaults() DQNConfig {
 
 // DQN is a Deep Q-Network agent: an online Q-network trained against a
 // periodically synced target network from uniformly sampled replay
-// transitions — the optimization of the paper's Alg. 1 lines 3-6.
+// transitions — the optimization of the paper's Alg. 1 lines 3-6. Each
+// learning step evaluates the whole replay mini-batch in one target-network
+// ForwardBatch and applies one accumulated TrainBatch optimizer step, so the
+// per-step cost is a handful of GEMMs instead of 2×BatchSize scalar passes.
 type DQN struct {
 	cfg    DQNConfig
 	online *neural.Network
@@ -74,6 +77,16 @@ type DQN struct {
 	replay *ReplayBuffer
 	rng    *rand.Rand
 	steps  int
+
+	// Reusable mini-batch scratch: sampled transitions plus the state,
+	// next-state, target and mask matrices handed to the batched network
+	// kernels. Sized once from cfg.BatchSize, so steady-state Observe calls
+	// allocate nothing.
+	batchTr []Transition
+	states  *mathx.Matrix
+	nexts   *mathx.Matrix
+	targets *mathx.Matrix
+	mask    *mathx.Matrix
 }
 
 // NewDQN builds an agent for an environment with the given state/action
@@ -136,43 +149,91 @@ func (d *DQN) GreedyAction(s []float64, valid []int) (int, error) {
 	return argmaxOver(q, valid)
 }
 
+// ensureBatch sizes the reusable mini-batch scratch.
+func (d *DQN) ensureBatch() {
+	if d.batchTr != nil {
+		return
+	}
+	b := d.cfg.BatchSize
+	d.batchTr = make([]Transition, b)
+	d.states = mathx.NewMatrix(b, d.online.InputSize())
+	d.nexts = mathx.NewMatrix(b, d.online.InputSize())
+	d.targets = mathx.NewMatrix(b, d.online.OutputSize())
+	d.mask = mathx.NewMatrix(b, d.online.OutputSize())
+}
+
 // Observe records a transition and performs one learning step. It implements
-// the loss of Alg. 1 line 4: (r + max_a' Q_target(s',a') − Q(s,a))².
+// the loss of Alg. 1 line 4: (r + max_a' Q_target(s',a') − Q(s,a))², batched:
+// all sampled next-states go through the target network in one ForwardBatch,
+// and the online network takes a single optimizer step on the accumulated
+// mini-batch gradient instead of BatchSize sequential updates.
 func (d *DQN) Observe(t Transition) error {
 	d.replay.Add(t)
 	d.steps++
 	if d.replay.Len() < d.cfg.WarmupSteps {
 		return nil
 	}
-	batch := d.replay.Sample(d.rng, d.cfg.BatchSize)
-	for _, tr := range batch {
+	d.ensureBatch()
+	d.replay.SampleInto(d.rng, d.batchTr)
+	stateSize := d.online.InputSize()
+	for i, tr := range d.batchTr {
+		srow := d.states.Row(i)
+		if len(tr.State) != stateSize {
+			return fmt.Errorf("dqn observe: state size %d, want %d: %w",
+				len(tr.State), stateSize, neural.ErrBadInput)
+		}
+		copy(srow, tr.State)
+		nrow := d.nexts.Row(i)
+		if tr.Done || tr.NextState == nil {
+			// Terminal rows bootstrap to 0; feed a zero row so the batch
+			// stays rectangular.
+			for k := range nrow {
+				nrow[k] = 0
+			}
+			continue
+		}
+		if len(tr.NextState) != stateSize {
+			return fmt.Errorf("dqn observe: next state size %d, want %d: %w",
+				len(tr.NextState), stateSize, neural.ErrBadInput)
+		}
+		copy(nrow, tr.NextState)
+	}
+	tq, err := d.target.ForwardBatch(d.nexts)
+	if err != nil {
+		return fmt.Errorf("dqn target forward: %w", err)
+	}
+	var oq *mathx.Matrix
+	if d.cfg.DoubleDQN {
+		// Select the bootstrap action with the online network, evaluate it
+		// with the target network (van Hasselt). oq and tq live in the two
+		// networks' separate scratch spaces, so both stay valid here.
+		oq, err = d.online.ForwardBatch(d.nexts)
+		if err != nil {
+			return fmt.Errorf("dqn online forward: %w", err)
+		}
+	}
+	for i, tr := range d.batchTr {
 		qNext := 0.0
 		if !tr.Done {
-			tq, err := d.target.Forward(tr.NextState)
-			if err != nil {
-				return fmt.Errorf("dqn target forward: %w", err)
-			}
-			if d.cfg.DoubleDQN {
-				oq, err := d.online.Forward(tr.NextState)
-				if err != nil {
-					return fmt.Errorf("dqn online forward: %w", err)
-				}
-				if a, err := argmaxOver(oq, tr.NextValid); err == nil {
-					qNext = tq[a]
+			if oq != nil {
+				if a, err := argmaxOver(oq.Row(i), tr.NextValid); err == nil {
+					qNext = tq.Row(i)[a]
 				}
 			} else {
-				qNext = maxOver(tq, tr.NextValid)
+				qNext = maxOver(tq.Row(i), tr.NextValid)
 			}
 		}
 		y := tr.Reward + d.cfg.Gamma*qNext
 		// Train only the taken action's output.
-		targetVec := make([]float64, d.online.OutputSize())
-		mask := make([]float64, d.online.OutputSize())
-		targetVec[tr.Action] = y
-		mask[tr.Action] = 1
-		if _, err := d.online.Train(tr.State, targetVec, mask); err != nil {
-			return fmt.Errorf("dqn train: %w", err)
+		trow, mrow := d.targets.Row(i), d.mask.Row(i)
+		for k := range trow {
+			trow[k], mrow[k] = 0, 0
 		}
+		trow[tr.Action] = y
+		mrow[tr.Action] = 1
+	}
+	if _, err := d.online.TrainBatch(d.states, d.targets, d.mask); err != nil {
+		return fmt.Errorf("dqn train: %w", err)
 	}
 	if d.steps%d.cfg.TargetSyncEvery == 0 {
 		if err := d.target.CopyWeightsFrom(d.online); err != nil {

@@ -90,10 +90,22 @@ func (r *ReplayBuffer) Sample(rng *rand.Rand, n int) []Transition {
 		return nil
 	}
 	out := make([]Transition, n)
-	for i := range out {
-		out[i] = r.buf[rng.Intn(sz)]
-	}
+	r.SampleInto(rng, out)
 	return out
+}
+
+// SampleInto fills dst with uniformly sampled transitions (with replacement)
+// without allocating, the hot-path variant of Sample. It reports how many
+// entries were filled: len(dst), or 0 when the buffer is empty.
+func (r *ReplayBuffer) SampleInto(rng *rand.Rand, dst []Transition) int {
+	sz := r.Len()
+	if sz == 0 {
+		return 0
+	}
+	for i := range dst {
+		dst[i] = r.buf[rng.Intn(sz)]
+	}
+	return len(dst)
 }
 
 // EpsilonSchedule is a linear ε decay from Start to End over DecaySteps.
