@@ -1,0 +1,174 @@
+// Command dcta-server runs the online allocation service: an HTTP/JSON
+// front-end over the per-cluster policy cache in internal/serve, deployed on
+// the same experimental world as dcta-bench.
+//
+//	dcta-server -addr :8080 -scale fast
+//	dcta-server -checkpoint policies.json      # warm-start across restarts
+//
+// Endpoints: POST /v1/allocate, POST /v1/feedback, GET /v1/stats,
+// GET /healthz. SIGINT/SIGTERM drains gracefully: /healthz flips to 503, new
+// requests fail fast, in-flight ones get -drain-timeout to finish, and the
+// policy cache is checkpointed on the way out when -checkpoint is set.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		scale        = flag.String("scale", "fast", "scenario scale: fast, default, full")
+		seed         = flag.Int64("seed", 1, "scenario and policy seed")
+		checkpoint   = flag.String("checkpoint", "", "policy-cache checkpoint file: loaded on start when present, saved on shutdown")
+		neighborhood = flag.Int("neighborhood", 5, "stored environments per cluster training sub-store")
+		capacity     = flag.Int("cache-capacity", 64, "max resident cluster policies (LRU beyond)")
+		ttl          = flag.Duration("policy-ttl", 0, "retrain policies older than this (0 = never)")
+		drift        = flag.Float64("drift-threshold", 0.35, "relative importance drift that invalidates a policy (<0 disables)")
+		replicas     = flag.Int("replicas", 8, "pooled inference replicas per cached policy")
+		refitEvery   = flag.Int("refit-every", 256, "feedback samples between local-model refits")
+		reqTimeout   = flag.Duration("request-timeout", 120*time.Second, "per-request deadline (cold paths train)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+		episodes     = flag.Int("crl-episodes", 0, "per-cluster CRL training episodes (0 = scale default)")
+	)
+	flag.Parse()
+	if err := run(*addr, *scale, *seed, *checkpoint, serveConfig(
+		*neighborhood, *capacity, *ttl, *drift, *replicas, *refitEvery, *seed, *episodes,
+	), serve.HTTPOptions{RequestTimeout: *reqTimeout, DrainTimeout: *drainTimeout}); err != nil {
+		fmt.Fprintln(os.Stderr, "dcta-server:", err)
+		os.Exit(1)
+	}
+}
+
+func serveConfig(neighborhood, capacity int, ttl time.Duration, drift float64,
+	replicas, refitEvery int, seed int64, episodes int) serve.Config {
+	cfg := serve.DefaultConfig()
+	cfg.ClusterNeighborhood = neighborhood
+	cfg.CacheCapacity = capacity
+	cfg.PolicyTTL = ttl
+	cfg.DriftThreshold = drift
+	cfg.Replicas = replicas
+	cfg.RefitEvery = refitEvery
+	cfg.Seed = seed
+	cfg.CRL.Episodes = episodes
+	return cfg
+}
+
+// scenarioConfig mirrors dcta-bench's -scale presets.
+func scenarioConfig(seed int64, scale string) (dcta.ScenarioConfig, error) {
+	cfg := dcta.DefaultScenarioConfig(seed)
+	switch scale {
+	case "fast":
+		cfg.Years = 1
+		cfg.Tasks = 24
+		cfg.HistoryContexts = 20
+		cfg.EvalContexts = 4
+		cfg.Workers = 5
+		cfg.CRLEpisodes = 10
+	case "default":
+	case "full":
+		cfg.Years = 4
+		cfg.StepHours = 1
+		cfg.HistoryContexts = 120
+		cfg.EvalContexts = 24
+		cfg.CRLEpisodes = 150
+	default:
+		return cfg, fmt.Errorf("unknown scale %q (fast, default, full)", scale)
+	}
+	return cfg, nil
+}
+
+func run(addr, scale string, seed int64, checkpoint string, cfg serve.Config, opts serve.HTTPOptions) error {
+	scnCfg, err := scenarioConfig(seed, scale)
+	if err != nil {
+		return err
+	}
+	if cfg.CRL.Episodes < 1 {
+		cfg.CRL.Episodes = scnCfg.CRLEpisodes
+	}
+	log.Printf("building scenario (seed=%d scale=%s: %d tasks, %d workers, %d stored environments)...",
+		seed, scale, scnCfg.Tasks, scnCfg.Workers, scnCfg.HistoryContexts)
+	scn, err := dcta.NewScenario(scnCfg)
+	if err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	s, err := serve.NewServer(scn.Template, scn.Store, scn.Local, cfg)
+	if err != nil {
+		return err
+	}
+	if checkpoint != "" {
+		if err := loadCheckpoint(s, checkpoint); err != nil {
+			return err
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	err = serve.ListenAndServe(ctx, addr, s, opts, func(a net.Addr) {
+		log.Printf("serving on %s (store=%d clusters, cache=%d, ttl=%v, drift=%.2f)",
+			a, scn.Store.Len(), cfg.CacheCapacity, cfg.PolicyTTL, cfg.DriftThreshold)
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("drained; final stats: %+v", s.Stats().Cache)
+	if checkpoint != "" {
+		if err := saveCheckpoint(s, checkpoint); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadCheckpoint(s *serve.Server, path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		log.Printf("checkpoint %s absent; starting cold", path)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := s.LoadCheckpoint(f)
+	if err != nil {
+		return fmt.Errorf("checkpoint load: %w", err)
+	}
+	log.Printf("warm-started %d cluster policies from %s", n, path)
+	return nil
+}
+
+func saveCheckpoint(s *serve.Server, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.SaveCheckpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint save: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	log.Printf("checkpointed policy cache to %s", path)
+	return nil
+}

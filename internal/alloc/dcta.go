@@ -3,6 +3,7 @@ package alloc
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/features"
@@ -15,6 +16,10 @@ import (
 // are the *clustered* importance estimates — when the defined environment
 // mismatches reality, those priorities mis-rank tasks, which is the failure
 // mode DCTA's local process corrects.
+//
+// Concurrency: NOT goroutine-safe. The greedy rollout forwards through the
+// DQN's shared activation scratch, so concurrent Allocate calls must each
+// wrap their own core.CRL.Clone replica (how internal/serve fans out).
 type CRLAllocator struct {
 	model *core.CRL
 }
@@ -189,6 +194,16 @@ func SamplesFromDecision(featureVecs [][]float64, allocation core.Allocation) []
 // process (trained on scarce real-world data). The combined per-task scores
 // drive a constraint-respecting greedy packing that keeps only the most
 // important work (§V: DCTA "merely performs the most important tasks").
+//
+// Concurrency: with GeneralFromQ off (the default), Allocate only reads the
+// CRL's environment store (goroutine-safe), scores through an
+// immutable-after-Fit LocalModel, and packs with pure local state, so any
+// number of goroutines may call Allocate on one DCTA. Online feedback must
+// not Fit the live local model — Fit mutates the SVM and scaler under
+// in-flight Score calls — instead fit a fresh LocalModel and SetLocal it;
+// in-flight requests finish on the model they started with. GeneralFromQ
+// routes through the DQN's shared activation scratch and therefore needs an
+// exclusive CRL replica per goroutine (see core.CRL.Clone).
 type DCTA struct {
 	// W1 and W2 weight the general and local processes.
 	W1, W2 float64
@@ -202,8 +217,12 @@ type DCTA struct {
 	// (see the ablation bench).
 	GeneralFromQ bool
 
-	crl   *core.CRL
-	local *LocalModel
+	crl *core.CRL
+
+	// localMu guards the local-model pointer only: Allocate snapshots it
+	// once per request, so SetLocal swaps never race in-progress scoring.
+	localMu sync.RWMutex
+	local   *LocalModel
 }
 
 // NewDCTA combines a trained CRL model with a trained local model using the
@@ -218,13 +237,33 @@ func NewDCTA(crl *core.CRL, local *LocalModel) (*DCTA, error) {
 // Name implements Allocator.
 func (d *DCTA) Name() string { return "DCTA" }
 
+// LocalModel returns the local process currently answering requests.
+func (d *DCTA) LocalModel() *LocalModel {
+	d.localMu.RLock()
+	defer d.localMu.RUnlock()
+	return d.local
+}
+
+// SetLocal swaps in a replacement local process — the online-feedback path:
+// fit a fresh model on the grown sample window, then publish it here.
+func (d *DCTA) SetLocal(local *LocalModel) error {
+	if local == nil {
+		return fmt.Errorf("alloc: nil local model")
+	}
+	d.localMu.Lock()
+	d.local = local
+	d.localMu.Unlock()
+	return nil
+}
+
 // Allocate implements Allocator. The request must carry per-task feature
 // vectors for the local process.
 func (d *DCTA) Allocate(req Request) (*Result, error) {
 	if err := validate(req); err != nil {
 		return nil, err
 	}
-	if !d.crl.Trained() || !d.local.Fitted() {
+	local := d.LocalModel()
+	if !d.crl.Trained() || !local.Fitted() {
 		return nil, ErrNotReady
 	}
 	n := len(req.Problem.Tasks)
@@ -256,7 +295,7 @@ func (d *DCTA) Allocate(req Request) (*Result, error) {
 	// Local process F₂: SVM selection scores from runtime features.
 	combined := make([]float64, n)
 	for j := 0; j < n; j++ {
-		localScore, err := d.local.Score(req.Features[j])
+		localScore, err := local.Score(req.Features[j])
 		if err != nil {
 			return nil, fmt.Errorf("dcta local process task %d: %w", j, err)
 		}

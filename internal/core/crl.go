@@ -216,8 +216,31 @@ func (c *CRL) TaskScores(z []float64) ([]float64, *Environment, error) {
 	return scores, env, nil
 }
 
+// Clone returns an independent inference replica of the model: the agent's
+// networks are deep-copied while the (concurrency-safe, append-only)
+// environment store is shared. A CRL is not goroutine-safe — Predict,
+// PredictWithEnvironment and TaskScores run forward passes through the
+// agent's shared activation scratch — so concurrent serving uses one clone
+// per in-flight rollout (see internal/serve's per-cluster replica pools).
+func (c *CRL) Clone() (*CRL, error) {
+	agent, err := c.agent.Clone()
+	if err != nil {
+		return nil, fmt.Errorf("crl clone: %w", err)
+	}
+	return &CRL{
+		cfg:      c.cfg,
+		template: c.template.Clone(),
+		store:    c.store,
+		agent:    agent,
+		trained:  c.trained,
+	}, nil
+}
+
 // Template returns the problem structure the model allocates for.
 func (c *CRL) Template() *Problem { return c.template }
+
+// Store returns the historical environment store predictions cluster over.
+func (c *CRL) Store() *EnvironmentStore { return c.store }
 
 // Trained reports whether Train has completed.
 func (c *CRL) Trained() bool { return c.trained }

@@ -2,7 +2,9 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -325,6 +327,55 @@ func TestCRLPersistence(t *testing.T) {
 	}
 	if _, err := LoadCRL([]byte(`{"trained":true}`), crl.store); err == nil {
 		t.Fatal("missing template accepted")
+	}
+}
+
+// TestCRLCloneReplicas verifies Clone produces independent inference
+// replicas: identical predictions, and (under -race) safe concurrent
+// rollouts when each goroutine owns its own clone — the serving layer's
+// replica-pool contract.
+func TestCRLCloneReplicas(t *testing.T) {
+	crl := crlFixture(t)
+	if _, err := crl.Train(); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := crl.Predict([]float64{0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const replicas = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, replicas)
+	for r := 0; r < replicas; r++ {
+		clone, err := crl.Clone()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !clone.Trained() {
+			t.Fatal("clone lost trained flag")
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				got, _, err := clone.Predict([]float64{0.4})
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						errs <- fmt.Errorf("clone allocation differs at task %d", j)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/mathx"
 )
@@ -9,7 +10,14 @@ import (
 // EnvironmentStore is the historical environment set ℰ of §III-C. Each entry
 // pairs a sensing signature Z with the environment observed under it. The
 // store answers the environment-definition query e = kNN(ℰ, Z).
+//
+// The store is safe for concurrent use: Add may race with any number of
+// Nearest/Define/All readers (the serving path queries the store from many
+// goroutines while feedback appends fresh history). Entries themselves are
+// treated as immutable once added — callers must not mutate an *Environment
+// after handing it to Add.
 type EnvironmentStore struct {
+	mu      sync.RWMutex
 	entries []*Environment
 }
 
@@ -22,6 +30,8 @@ func (s *EnvironmentStore) Add(e *Environment) error {
 	if e == nil || len(e.Importance) == 0 || len(e.Capacity) == 0 {
 		return fmt.Errorf("core: empty environment")
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.entries) > 0 {
 		first := s.entries[0]
 		if len(e.Signature) != len(first.Signature) ||
@@ -35,15 +45,44 @@ func (s *EnvironmentStore) Add(e *Environment) error {
 }
 
 // Len returns the number of stored environments.
-func (s *EnvironmentStore) Len() int { return len(s.entries) }
+func (s *EnvironmentStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
 
-// All returns the stored environments (shared, not copied).
-func (s *EnvironmentStore) All() []*Environment { return s.entries }
+// All returns a copy of the stored environment slice, so callers may iterate
+// (or mutate the slice itself) without racing concurrent Adds. The pointed-to
+// environments are shared and must be treated as read-only.
+func (s *EnvironmentStore) All() []*Environment {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*Environment(nil), s.entries...)
+}
+
+// At returns the i-th stored environment. Indices are stable: the store is
+// append-only, so an index observed via NearestIndex keeps naming the same
+// environment for the lifetime of the store.
+func (s *EnvironmentStore) At(i int) (*Environment, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if i < 0 || i >= len(s.entries) {
+		return nil, fmt.Errorf("core: environment index %d outside [0,%d)", i, len(s.entries))
+	}
+	return s.entries[i], nil
+}
 
 // Nearest returns the k stored environments whose signatures are closest to
 // Z in Euclidean distance, nearest first — the clustering step of Alg. 1
 // line 2.
 func (s *EnvironmentStore) Nearest(z []float64, k int) ([]*Environment, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nearestLocked(z, k)
+}
+
+// nearestLocked implements Nearest; the caller holds at least a read lock.
+func (s *EnvironmentStore) nearestLocked(z []float64, k int) ([]*Environment, error) {
 	if len(s.entries) == 0 {
 		return nil, ErrEmptyStore
 	}
@@ -82,6 +121,29 @@ func (s *EnvironmentStore) Nearest(z []float64, k int) ([]*Environment, error) {
 	return out, nil
 }
 
+// NearestIndex returns the store index and environment nearest to Z. The
+// index is the serving layer's cluster key: append-only storage keeps it
+// stable, so a policy trained for index i keeps answering for the same
+// historical environment even as feedback grows the store.
+func (s *EnvironmentStore) NearestIndex(z []float64) (int, *Environment, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.entries) == 0 {
+		return 0, nil, ErrEmptyStore
+	}
+	if len(z) != len(s.entries[0].Signature) {
+		return 0, nil, fmt.Errorf("core: signature length %d, want %d",
+			len(z), len(s.entries[0].Signature))
+	}
+	best, bestDist := 0, mathx.EuclideanDistance(z, s.entries[0].Signature)
+	for i := 1; i < len(s.entries); i++ {
+		if d := mathx.EuclideanDistance(z, s.entries[i].Signature); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best, s.entries[best], nil
+}
+
 // Define answers e = kNN(ℰ, Z) with k=1: the single most similar historical
 // environment.
 func (s *EnvironmentStore) Define(z []float64) (*Environment, error) {
@@ -96,7 +158,9 @@ func (s *EnvironmentStore) Define(z []float64) (*Environment, error) {
 // environments, inverse-distance weighted. Blending softens the cliff when
 // the store is sparse; k=1 degenerates to Define.
 func (s *EnvironmentStore) DefineBlended(z []float64, k int) (*Environment, error) {
-	nearest, err := s.Nearest(z, k)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	nearest, err := s.nearestLocked(z, k)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// storeEnv builds a store environment whose signature encodes its index.
+func storeEnv(i int) *Environment {
+	return &Environment{
+		Importance: []float64{float64(i%10) / 10, 0.5},
+		Capacity:   []float64{2, 2},
+		Signature:  []float64{float64(i), float64(i) / 2},
+	}
+}
+
+func TestStoreAllReturnsCopy(t *testing.T) {
+	s := NewEnvironmentStore()
+	for i := 0; i < 4; i++ {
+		if err := s.Add(storeEnv(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := s.All()
+	if len(all) != 4 {
+		t.Fatalf("All len = %d", len(all))
+	}
+	// Mutating the returned slice must not disturb the store.
+	all[0] = nil
+	all = all[:1]
+	fresh := s.All()
+	if len(fresh) != 4 || fresh[0] == nil {
+		t.Fatalf("store aliased its internal slice: %v", fresh)
+	}
+}
+
+func TestStoreAtAndNearestIndex(t *testing.T) {
+	s := NewEnvironmentStore()
+	for i := 0; i < 8; i++ {
+		if err := s.Add(storeEnv(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.At(-1); err == nil {
+		t.Fatal("At(-1) accepted")
+	}
+	if _, err := s.At(8); err == nil {
+		t.Fatal("At(8) accepted")
+	}
+	for i := 0; i < 8; i++ {
+		e, err := s.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, got, err := s.NearestIndex(e.Signature)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != i || got != e {
+			t.Fatalf("NearestIndex(sig %d) = %d, %p (want %d, %p)", i, idx, got, i, e)
+		}
+	}
+	if _, _, err := s.NearestIndex([]float64{1}); err == nil {
+		t.Fatal("bad signature length accepted")
+	}
+	empty := NewEnvironmentStore()
+	if _, _, err := empty.NearestIndex([]float64{0, 0}); err == nil {
+		t.Fatal("empty store accepted")
+	}
+}
+
+// TestStoreConcurrentAddAndQuery races Add against every read path; run with
+// -race it verifies the serving-side guarantee that kNN queries never tear
+// while feedback appends fresh history.
+func TestStoreConcurrentAddAndQuery(t *testing.T) {
+	s := NewEnvironmentStore()
+	// Seed a first entry so dimensions are pinned and reads never hit an
+	// empty store.
+	if err := s.Add(storeEnv(0)); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 4
+		readers = 8
+		perGoro = 200
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perGoro; i++ {
+				if err := s.Add(storeEnv(w*perGoro + i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			z := []float64{float64(r), 1}
+			for i := 0; i < perGoro; i++ {
+				if _, err := s.Nearest(z, 3); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := s.DefineBlended(z, 2); err != nil {
+					errs <- err
+					return
+				}
+				if _, env, err := s.NearestIndex(z); err != nil || env == nil {
+					errs <- fmt.Errorf("nearest index: %v", err)
+					return
+				}
+				if got := s.All(); len(got) < 1 {
+					errs <- fmt.Errorf("All shrank to %d", len(got))
+					return
+				}
+				_ = s.Len()
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if want := 1 + writers*perGoro; s.Len() != want {
+		t.Fatalf("store len = %d, want %d", s.Len(), want)
+	}
+}

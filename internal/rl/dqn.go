@@ -246,6 +246,30 @@ func (d *DQN) Observe(t Transition) error {
 // Steps returns the number of observed transitions.
 func (d *DQN) Steps() int { return d.steps }
 
+// Clone returns an independent copy of the agent's policy: online and target
+// networks are deep-copied, the replay buffer and RNG start fresh. A DQN is
+// not goroutine-safe — even read-only inference (QValues, GreedyAction,
+// RunGreedy) writes into the networks' shared activation scratch — so
+// concurrent inference must run on per-goroutine clones.
+func (d *DQN) Clone() (*DQN, error) {
+	online, err := d.online.Clone()
+	if err != nil {
+		return nil, fmt.Errorf("dqn clone online: %w", err)
+	}
+	target, err := d.target.Clone()
+	if err != nil {
+		return nil, fmt.Errorf("dqn clone target: %w", err)
+	}
+	return &DQN{
+		cfg:    d.cfg,
+		online: online,
+		target: target,
+		replay: NewReplayBuffer(d.cfg.ReplayCapacity),
+		rng:    rand.New(rand.NewSource(d.cfg.Seed)),
+		steps:  d.steps,
+	}, nil
+}
+
 // TrainResult summarizes a training run.
 type TrainResult struct {
 	Episodes       int

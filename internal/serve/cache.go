@@ -1,0 +1,337 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Cache outcomes reported per allocation (AllocateResponse.Cache).
+const (
+	// CacheHit served from a resident, fresh policy.
+	CacheHit = "hit"
+	// CacheMiss trained the cluster's policy on this request (the leader).
+	CacheMiss = "miss"
+	// CacheCoalesced joined a training already in flight (singleflight).
+	CacheCoalesced = "coalesced"
+	// CacheExpired retrained a policy older than the TTL.
+	CacheExpired = "expired"
+	// CacheDrift retrained a policy invalidated by importance drift.
+	CacheDrift = "drift"
+	// CacheWarm served from a checkpoint-restored policy that has not been
+	// retrained in this process.
+	CacheWarm = "warm"
+)
+
+// trainFunc trains the policy for one cluster, returning the model and the
+// train-time importance snapshot used for drift detection.
+type trainFunc func(cluster int) (*core.CRL, []float64, error)
+
+// policyEntry is one cached cluster policy. Its lifecycle is
+// singleflight-shaped: the creating goroutine (the leader) trains and then
+// closes ready; joiners block on ready (or their context) and share the
+// result. Entries are immutable once resolved except for the stale marker
+// and the replica pool.
+type policyEntry struct {
+	key  int
+	elem *list.Element
+
+	ready chan struct{} // closed once crl/err are set
+	crl   *core.CRL
+	imp   []float64 // train-time importance snapshot (drift baseline)
+	err   error
+	// trainedAt and warm describe provenance: warm entries were restored
+	// from a checkpoint rather than trained in this process.
+	trainedAt time.Time
+	warm      bool
+	resolved  bool // guarded by the cache mutex
+	trainDur  time.Duration
+
+	stale atomic.Bool // set by drift detection; next get retrains
+
+	// replicas pools inference clones: every rollout runs on an exclusive
+	// clone because DQN forwards mutate shared activation scratch.
+	replicas chan *core.CRL
+}
+
+// acquire returns an inference replica, cloning when the pool is dry.
+func (e *policyEntry) acquire() (*core.CRL, error) {
+	select {
+	case r := <-e.replicas:
+		return r, nil
+	default:
+		return e.crl.Clone()
+	}
+}
+
+// release returns a replica to the pool, dropping it when full.
+func (e *policyEntry) release(r *core.CRL) {
+	select {
+	case e.replicas <- r:
+	default:
+	}
+}
+
+// policyCache is the per-cluster policy cache: key = nearest stored
+// environment (the cluster of Alg. 1 line 2), value = trained policy
+// snapshot. Resident entries are bounded by an LRU; entries retrain on TTL
+// expiry or importance drift; cold clusters train exactly once under
+// concurrent identical requests.
+type policyCache struct {
+	capacity int
+	ttl      time.Duration
+	drift    float64
+	replicas int
+	now      func() time.Time
+	train    trainFunc
+
+	mu      sync.Mutex
+	entries map[int]*policyEntry
+	lru     *list.List // front = most recently used; values are *policyEntry
+
+	// counters (atomics so Stats never contends with the serving path)
+	hits, misses, coalesced  atomic.Int64
+	expired, driftRetrains   atomic.Int64
+	evictions, trainings     atomic.Int64
+	trainNanos, warmRestores atomic.Int64
+}
+
+func newPolicyCache(cfg Config, train trainFunc) *policyCache {
+	return &policyCache{
+		capacity: cfg.CacheCapacity,
+		ttl:      cfg.PolicyTTL,
+		drift:    cfg.DriftThreshold,
+		replicas: cfg.Replicas,
+		now:      cfg.Now,
+		train:    train,
+		entries:  make(map[int]*policyEntry),
+		lru:      list.New(),
+	}
+}
+
+func (c *policyCache) newEntryLocked(key int) *policyEntry {
+	e := &policyEntry{
+		key:      key,
+		ready:    make(chan struct{}),
+		replicas: make(chan *core.CRL, c.replicas),
+	}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.evictLocked()
+	return e
+}
+
+// evictLocked drops least-recently-used resolved entries beyond capacity.
+// In-flight entries are skipped: their leader still needs to publish, and
+// being freshly created they sit near the front anyway.
+func (c *policyCache) evictLocked() {
+	for len(c.entries) > c.capacity {
+		victim := (*policyEntry)(nil)
+		for el := c.lru.Back(); el != nil; el = el.Prev() {
+			if e := el.Value.(*policyEntry); e.resolved {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			return // everything over capacity is in flight
+		}
+		c.removeLocked(victim)
+		c.evictions.Add(1)
+	}
+}
+
+func (c *policyCache) removeLocked(e *policyEntry) {
+	if c.entries[e.key] == e {
+		delete(c.entries, e.key)
+	}
+	if e.elem != nil {
+		c.lru.Remove(e.elem)
+		e.elem = nil
+	}
+}
+
+// get returns the resolved entry for a cluster, training it when cold,
+// expired or drift-invalidated. The outcome string is one of the Cache*
+// constants. Joiners honor ctx while waiting; the leader ignores ctx so a
+// canceled joiner never wastes the training the rest of the queue shares.
+func (c *policyCache) get(ctx context.Context, key int) (*policyEntry, string, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		if !e.resolved {
+			// Training in flight: join it.
+			c.mu.Unlock()
+			c.coalesced.Add(1)
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				return nil, CacheCoalesced, ctx.Err()
+			}
+			if e.err != nil {
+				return nil, CacheCoalesced, e.err
+			}
+			return e, CacheCoalesced, nil
+		}
+		outcome := CacheHit
+		switch {
+		case e.err != nil:
+			// A failed training left a tombstone; retrain below.
+			c.removeLocked(e)
+		case c.ttl > 0 && c.now().Sub(e.trainedAt) > c.ttl:
+			outcome = CacheExpired
+			c.expired.Add(1)
+			c.removeLocked(e)
+		case e.stale.Load():
+			outcome = CacheDrift
+			c.driftRetrains.Add(1)
+			c.removeLocked(e)
+		default:
+			c.lru.MoveToFront(e.elem)
+			c.mu.Unlock()
+			c.hits.Add(1)
+			if e.warm {
+				outcome = CacheWarm
+			}
+			return e, outcome, nil
+		}
+		e = c.newEntryLocked(key)
+		c.mu.Unlock()
+		return c.lead(e, outcome)
+	}
+	e := c.newEntryLocked(key)
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return c.lead(e, CacheMiss)
+}
+
+// lead runs the training for a fresh entry in the calling goroutine and
+// publishes the result to every joiner.
+func (c *policyCache) lead(e *policyEntry, outcome string) (*policyEntry, string, error) {
+	start := c.now()
+	crl, imp, err := c.train(e.key)
+	e.crl, e.imp, e.err = crl, imp, err
+	e.trainedAt = c.now()
+	e.trainDur = e.trainedAt.Sub(start)
+	c.trainings.Add(1)
+	c.trainNanos.Add(int64(e.trainDur))
+	c.mu.Lock()
+	e.resolved = true
+	if err != nil {
+		// Leave no tombstone: the next request retries the training.
+		c.removeLocked(e)
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	if err != nil {
+		return nil, outcome, fmt.Errorf("serve: train cluster %d: %w", e.key, err)
+	}
+	return e, outcome, nil
+}
+
+// install publishes a checkpoint-restored policy without training. It
+// overwrites any resident entry for the cluster.
+func (c *policyCache) install(key int, crl *core.CRL, imp []float64, trainedAt time.Time) {
+	e := &policyEntry{
+		key:       key,
+		ready:     make(chan struct{}),
+		replicas:  make(chan *core.CRL, c.replicas),
+		crl:       crl,
+		imp:       imp,
+		trainedAt: trainedAt,
+		warm:      true,
+		resolved:  true,
+	}
+	close(e.ready)
+	c.mu.Lock()
+	if old, ok := c.entries[key]; ok && old.resolved {
+		c.removeLocked(old)
+	}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.evictLocked()
+	c.mu.Unlock()
+	c.warmRestores.Add(1)
+}
+
+// noteImportance feeds an observed importance vector for a cluster into
+// drift detection, returning true when it invalidated the resident policy.
+// The distance is relative L2: ‖obs − trained‖ / (‖trained‖ + ε).
+func (c *policyCache) noteImportance(key int, observed []float64) bool {
+	if c.drift < 0 {
+		return false
+	}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	resolved := ok && e.resolved
+	c.mu.Unlock()
+	if !resolved || e.err != nil || e.stale.Load() {
+		return false
+	}
+	if len(e.imp) == 0 || len(observed) != len(e.imp) {
+		return false
+	}
+	var dd, base float64
+	for i, v := range e.imp {
+		d := observed[i] - v
+		dd += d * d
+		base += v * v
+	}
+	if math.Sqrt(dd)/(math.Sqrt(base)+1e-9) > c.drift {
+		return !e.stale.Swap(true)
+	}
+	return false
+}
+
+// snapshot returns the resolved, healthy entries for checkpointing, most
+// recently used first.
+func (c *policyCache) snapshot() []*policyEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*policyEntry, 0, len(c.entries))
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		if e := el.Value.(*policyEntry); e.resolved && e.err == nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CacheStats is the cache's counter snapshot.
+type CacheStats struct {
+	Size               int   `json:"size"`
+	Capacity           int   `json:"capacity"`
+	Hits               int64 `json:"hits"`
+	Misses             int64 `json:"misses"`
+	Coalesced          int64 `json:"coalesced"`
+	Expired            int64 `json:"expired"`
+	DriftInvalidations int64 `json:"drift_invalidations"`
+	Evictions          int64 `json:"evictions"`
+	Trainings          int64 `json:"trainings"`
+	TrainNanosTotal    int64 `json:"train_ns_total"`
+	WarmRestores       int64 `json:"warm_restores"`
+}
+
+func (c *policyCache) stats() CacheStats {
+	c.mu.Lock()
+	size := len(c.entries)
+	c.mu.Unlock()
+	return CacheStats{
+		Size:               size,
+		Capacity:           c.capacity,
+		Hits:               c.hits.Load(),
+		Misses:             c.misses.Load(),
+		Coalesced:          c.coalesced.Load(),
+		Expired:            c.expired.Load(),
+		DriftInvalidations: c.driftRetrains.Load(),
+		Evictions:          c.evictions.Load(),
+		Trainings:          c.trainings.Load(),
+		TrainNanosTotal:    c.trainNanos.Load(),
+		WarmRestores:       c.warmRestores.Load(),
+	}
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+)
+
+// checkpointVersion guards the wire format.
+const checkpointVersion = 1
+
+// checkpoint is the persisted form of the policy cache. Each entry carries a
+// full core.CRL snapshot (config + template + policy weights), so a restart
+// resumes serving warm without retraining ("the training phase merely needs
+// to be conducted once in advance" — paper footnote 1). The historical store
+// itself is the deployment's data and is reattached on load, exactly like
+// core.LoadCRL.
+type checkpoint struct {
+	Version int               `json:"version"`
+	SavedAt time.Time         `json:"saved_at"`
+	Entries []checkpointEntry `json:"entries"`
+}
+
+type checkpointEntry struct {
+	Cluster    int             `json:"cluster"`
+	TrainedAt  time.Time       `json:"trained_at"`
+	Importance []float64       `json:"importance"`
+	Policy     json.RawMessage `json:"policy"`
+}
+
+// SaveCheckpoint serializes every resident, healthy cache entry, most
+// recently used first.
+func (s *Server) SaveCheckpoint(w io.Writer) error {
+	entries := s.cache.snapshot()
+	ck := checkpoint{
+		Version: checkpointVersion,
+		SavedAt: s.cfg.Now(),
+		Entries: make([]checkpointEntry, 0, len(entries)),
+	}
+	for _, e := range entries {
+		policy, err := e.crl.MarshalJSON()
+		if err != nil {
+			return fmt.Errorf("serve: checkpoint cluster %d: %w", e.key, err)
+		}
+		ck.Entries = append(ck.Entries, checkpointEntry{
+			Cluster:    e.key,
+			TrainedAt:  e.trainedAt,
+			Importance: e.imp,
+			Policy:     policy,
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(ck); err != nil {
+		return fmt.Errorf("serve: checkpoint encode: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint restores cache entries saved by SaveCheckpoint, returning
+// how many were installed. Entries whose cluster index no longer exists in
+// the store are skipped (the checkpoint outlived its history); a decode
+// error fails the whole load so a corrupt file never half-restores.
+func (s *Server) LoadCheckpoint(r io.Reader) (int, error) {
+	var ck checkpoint
+	if err := json.NewDecoder(r).Decode(&ck); err != nil {
+		return 0, fmt.Errorf("serve: checkpoint decode: %w", err)
+	}
+	if ck.Version != checkpointVersion {
+		return 0, fmt.Errorf("serve: checkpoint version %d, want %d", ck.Version, checkpointVersion)
+	}
+	restored := 0
+	for _, e := range ck.Entries {
+		if _, err := s.store.At(e.Cluster); err != nil {
+			continue
+		}
+		sub, err := s.clusterStore(e.Cluster)
+		if err != nil {
+			return restored, fmt.Errorf("serve: checkpoint cluster %d store: %w", e.Cluster, err)
+		}
+		crl, err := core.LoadCRL(e.Policy, sub)
+		if err != nil {
+			return restored, fmt.Errorf("serve: checkpoint cluster %d: %w", e.Cluster, err)
+		}
+		s.cache.install(e.Cluster, crl, e.Importance, e.TrainedAt)
+		restored++
+	}
+	return restored, nil
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestCheckpointWarmStart is satellite 2's end-to-end check: a full CRL
+// snapshot survives the serve warm-start path. Allocations after restore
+// must match the pre-checkpoint ones exactly, with zero retraining.
+func TestCheckpointWarmStart(t *testing.T) {
+	ctx := context.Background()
+	s := newTestServer(t, fastConfig())
+	reqs := []AllocateRequest{
+		{Signature: []float64{0.05}},
+		{Signature: []float64{0.95}},
+	}
+	var before []*AllocateResponse
+	for _, req := range reqs {
+		resp, err := s.Allocate(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before = append(before, resp)
+	}
+
+	var buf bytes.Buffer
+	if err := s.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh process: same template, same store, cold cache.
+	s2 := newTestServer(t, fastConfig())
+	restored, err := s2.LoadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 2 {
+		t.Fatalf("restored %d entries, want 2", restored)
+	}
+	for i, req := range reqs {
+		resp, err := s2.Allocate(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Cache != CacheWarm {
+			t.Fatalf("request %d: cache = %q, want %q", i, resp.Cache, CacheWarm)
+		}
+		if resp.Cluster != before[i].Cluster {
+			t.Fatalf("request %d: cluster %d vs %d", i, resp.Cluster, before[i].Cluster)
+		}
+		for j := range resp.Allocation {
+			if resp.Allocation[j] != before[i].Allocation[j] {
+				t.Fatalf("request %d: allocation diverges at task %d: %v vs %v",
+					i, j, resp.Allocation, before[i].Allocation)
+			}
+		}
+	}
+	stats := s2.Stats().Cache
+	if stats.Trainings != 0 {
+		t.Fatalf("warm start trained %d policies, want 0", stats.Trainings)
+	}
+	if stats.WarmRestores != 2 {
+		t.Fatalf("warm restores = %d, want 2", stats.WarmRestores)
+	}
+
+	// A warm policy still expires/retrains through the normal lifecycle: a
+	// drifted importance report invalidates it.
+	fb, err := s2.Feedback(ctx, FeedbackRequest{
+		Signature:  []float64{0.05},
+		Features:   mkFeatures(clusterImportance(1), 0.05, 77),
+		Allocation: []int{core.Unassigned, core.Unassigned, 0, 0, 1, 1},
+		Importance: clusterImportance(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fb.DriftInvalidated {
+		t.Fatal("drift not detected on warm entry")
+	}
+}
+
+func TestCheckpointRejectsCorruptInput(t *testing.T) {
+	s := newTestServer(t, fastConfig())
+	if _, err := s.LoadCheckpoint(strings.NewReader("{not json")); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+	if _, err := s.LoadCheckpoint(strings.NewReader(`{"version":99,"entries":[]}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+// TestCheckpointSkipsOutOfRangeClusters covers a checkpoint that outlived
+// its store: entries keyed past the store length are skipped, not fatal.
+func TestCheckpointSkipsOutOfRangeClusters(t *testing.T) {
+	ctx := context.Background()
+	s := newTestServer(t, fastConfig())
+	if _, err := s.Allocate(ctx, AllocateRequest{Signature: []float64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the world: a store with a single environment. Cluster 0's entry
+	// restores; anything else would be skipped.
+	data := bytes.ReplaceAll(buf.Bytes(), []byte(`"cluster":0`), []byte(`"cluster":7`))
+	s2 := newTestServer(t, fastConfig())
+	restored, err := s2.LoadCheckpoint(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 0 {
+		t.Fatalf("restored %d out-of-range entries, want 0", restored)
+	}
+}

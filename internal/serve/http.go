@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// maxBodyBytes bounds request bodies; feature matrices for paper-scale
+// problems are well under a megabyte.
+const maxBodyBytes = 8 << 20
+
+// HTTPOptions tunes the HTTP front-end.
+type HTTPOptions struct {
+	// RequestTimeout bounds each request's handling, including any policy
+	// training it leads (default 120s — cold paths train).
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown once the serve context is
+	// canceled (default 10s).
+	DrainTimeout time.Duration
+	// ReadHeaderTimeout guards against slowloris clients (default 5s).
+	ReadHeaderTimeout time.Duration
+}
+
+func (o HTTPOptions) withDefaults() HTTPOptions {
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 120 * time.Second
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 10 * time.Second
+	}
+	if o.ReadHeaderTimeout <= 0 {
+		o.ReadHeaderTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// NewHandler wires the service's HTTP/JSON API:
+//
+//	POST /v1/allocate  — AllocateRequest  → AllocateResponse
+//	POST /v1/feedback  — FeedbackRequest  → FeedbackResponse
+//	GET  /v1/stats     — Stats
+//	GET  /healthz      — liveness
+func NewHandler(s *Server, opts HTTPOptions) http.Handler {
+	opts = opts.withDefaults()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/allocate", func(w http.ResponseWriter, r *http.Request) {
+		handleJSON(w, r, func(ctx context.Context, req AllocateRequest) (*AllocateResponse, error) {
+			return s.Allocate(ctx, req)
+		})
+	})
+	mux.HandleFunc("/v1/feedback", func(w http.ResponseWriter, r *http.Request) {
+		handleJSON(w, r, func(ctx context.Context, req FeedbackRequest) (*FeedbackResponse, error) {
+			return s.Feedback(ctx, req)
+		})
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		status := "ok"
+		code := http.StatusOK
+		if s.draining.Load() {
+			status, code = "draining", http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, map[string]string{"status": status})
+	})
+	return withTimeout(mux, opts.RequestTimeout)
+}
+
+// withTimeout attaches a per-request deadline to the request context. The
+// handlers run in the request goroutine, so a coalesced allocate waiting on
+// a slow training gives up when the deadline fires.
+func withTimeout(next http.Handler, d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// handleJSON decodes a POSTed request, runs fn, and encodes its response.
+func handleJSON[Req any, Resp any](w http.ResponseWriter, r *http.Request,
+	fn func(context.Context, Req) (Resp, error)) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	var req Req
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	resp, err := fn(r.Context(), req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// ServeListener runs the HTTP front-end on an existing listener until ctx is
+// canceled, then drains gracefully: the server flips into draining mode (new
+// requests fail fast, /healthz reports draining so load balancers stop
+// routing), and in-flight requests get DrainTimeout to finish.
+func ServeListener(ctx context.Context, ln net.Listener, s *Server, opts HTTPOptions) error {
+	opts = opts.withDefaults()
+	hs := &http.Server{
+		Handler:           NewHandler(s, opts),
+		ReadHeaderTimeout: opts.ReadHeaderTimeout,
+		BaseContext:       func(net.Listener) context.Context { return context.Background() },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.Drain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), opts.DrainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("serve: drain: %w", err)
+	}
+	return nil
+}
+
+// ListenAndServe binds addr and calls ServeListener. The bound address is
+// reported through the optional ready callback (useful with ":0").
+func ListenAndServe(ctx context.Context, addr string, s *Server, opts HTTPOptions, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	return ServeListener(ctx, ln, s, opts)
+}

@@ -1,0 +1,115 @@
+// Package serve turns the one-shot TATIM pipeline into a long-running
+// allocation service: the serve-side shape of Alg. 1. A request carries the
+// sensing signature Z observed right now; the service clusters it onto the
+// nearest historical environment (§III-C's e = kNN(ℰ, Z)), looks the cluster
+// up in a per-cluster policy cache, and rolls the cached policy to a
+// feasible allocation. Cold clusters train exactly once under concurrent
+// identical requests (singleflight); warm answers are a kNN probe plus a
+// greedy DQN rollout on a pooled inference replica. Feedback requests stream
+// alloc.LocalModel samples online and may append observed environments to
+// the historical store, so the service keeps re-solving TATIM as importance
+// drifts — the paper's motivating loop (§III, Theorem 1) — without ever
+// retraining from scratch: entries retrain per cluster on TTL expiry or
+// observed importance drift, and checkpoints serialize the cache through
+// core.CRL.MarshalJSON so a restarted server resumes warm.
+//
+// The package splits into:
+//
+//   - cache.go      — the per-cluster policy cache (LRU + TTL + drift +
+//     singleflight + inference-replica pools)
+//   - server.go     — Server: allocate/feedback/stats against a template,
+//     store and local model
+//   - http.go       — the HTTP/JSON API (/v1/allocate, /v1/feedback,
+//     /v1/stats, /healthz) with request timeouts and graceful drain
+//   - checkpoint.go — warm-start snapshots of the policy cache
+package serve
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Common errors.
+var (
+	// ErrBadRequest is returned for malformed allocation/feedback requests.
+	ErrBadRequest = errors.New("serve: bad request")
+	// ErrDraining is returned once the server has begun shutting down.
+	ErrDraining = errors.New("serve: draining")
+)
+
+// Config tunes the allocation service.
+type Config struct {
+	// ClusterNeighborhood is the number of nearest stored environments that
+	// form a cluster's training sub-store — the per-cluster slice of history
+	// the policy generalizes over (default 5).
+	ClusterNeighborhood int
+	// CRL is the per-cluster training configuration (episode budget, kNN
+	// blending, DQN shape). Zero values fall back to core defaults.
+	CRL core.CRLConfig
+	// CacheCapacity bounds resident cluster policies; least-recently-used
+	// entries are evicted beyond it (default 64).
+	CacheCapacity int
+	// PolicyTTL retrains entries older than this on their next use.
+	// 0 disables age-based retraining.
+	PolicyTTL time.Duration
+	// DriftThreshold invalidates a cluster's policy when feedback reports an
+	// observed importance whose relative L2 distance from the policy's
+	// train-time importance exceeds it (default 0.35; <0 disables).
+	DriftThreshold float64
+	// Replicas bounds each entry's pool of inference clones; excess
+	// concurrent rollouts clone on demand and the extras are dropped
+	// (default 8).
+	Replicas int
+	// RefitEvery refits the local model after this many fresh feedback
+	// samples (default 256).
+	RefitEvery int
+	// MaxFeedback bounds the retained feedback sample window (default 4096).
+	MaxFeedback int
+	// W1, W2 and CoverageTarget mirror the alloc.DCTA knobs for requests
+	// that carry per-task features (defaults 0.5 / 0.5 / 0.9).
+	W1, W2         float64
+	CoverageTarget float64
+	// Seed derives deterministic per-cluster training seeds.
+	Seed int64
+	// Now is the service clock (tests inject a fake; default time.Now).
+	Now func() time.Time
+}
+
+// DefaultConfig returns the serving defaults.
+func DefaultConfig() Config { return Config{}.withDefaults() }
+
+func (c Config) withDefaults() Config {
+	if c.ClusterNeighborhood < 1 {
+		c.ClusterNeighborhood = 5
+	}
+	if c.CacheCapacity < 1 {
+		c.CacheCapacity = 64
+	}
+	if c.DriftThreshold == 0 {
+		c.DriftThreshold = 0.35
+	}
+	if c.Replicas < 1 {
+		c.Replicas = 8
+	}
+	if c.RefitEvery < 1 {
+		c.RefitEvery = 256
+	}
+	if c.MaxFeedback < 1 {
+		c.MaxFeedback = 4096
+	}
+	if c.W1 == 0 && c.W2 == 0 {
+		c.W1, c.W2 = 0.5, 0.5
+	}
+	if c.CoverageTarget <= 0 || c.CoverageTarget > 1 {
+		c.CoverageTarget = 0.9
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}

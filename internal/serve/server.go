@@ -1,0 +1,466 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/mathx"
+)
+
+// latencyWindow bounds the ring of recent allocate latencies kept for
+// quantile reporting.
+const latencyWindow = 4096
+
+// Server is the online allocation service: a concurrent front-end over the
+// per-cluster policy cache, the shared historical store and the online local
+// model. One Server handles any number of concurrent Allocate and Feedback
+// calls; the HTTP layer in http.go is a thin JSON adapter over it.
+type Server struct {
+	cfg      Config
+	template *core.Problem
+	store    *core.EnvironmentStore
+	cache    *policyCache
+
+	// localMu guards the local-model pointer; the model itself is immutable
+	// after Fit, so requests snapshot the pointer and score lock-free.
+	localMu sync.RWMutex
+	local   *alloc.LocalModel
+
+	// fbMu serializes the feedback window and refit bookkeeping.
+	fbMu     sync.Mutex
+	window   []alloc.LocalSample
+	sinceFit int
+
+	started   time.Time
+	draining  atomic.Bool
+	allocates atomic.Int64
+	feedbacks atomic.Int64
+	refits    atomic.Int64
+	storeAdds atomic.Int64
+
+	latMu   sync.Mutex
+	lat     []int64 // ns ring, most recent latencyWindow allocates
+	latNext int
+	latFull bool
+}
+
+// NewServer builds a service over a problem template (structure only — the
+// importance the service estimates lives in the store) and a non-empty
+// historical environment store. local may be nil: feature-carrying requests
+// then fall back to the CRL path until feedback accumulates a window.
+func NewServer(template *core.Problem, store *core.EnvironmentStore, local *alloc.LocalModel, cfg Config) (*Server, error) {
+	if template == nil {
+		return nil, fmt.Errorf("serve: nil template")
+	}
+	if err := template.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: template: %w", err)
+	}
+	if store == nil || store.Len() == 0 {
+		return nil, core.ErrEmptyStore
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		template: template.Clone(),
+		store:    store,
+		local:    local,
+		started:  cfg.Now(),
+		lat:      make([]int64, latencyWindow),
+	}
+	s.cache = newPolicyCache(cfg, s.trainCluster)
+	return s, nil
+}
+
+// Store returns the historical environment store the service clusters over.
+func (s *Server) Store() *core.EnvironmentStore { return s.store }
+
+// Template returns (a clone of) the problem structure being served.
+func (s *Server) Template() *core.Problem { return s.template.Clone() }
+
+// Drain flips the server into draining mode: subsequent requests fail fast
+// with ErrDraining while in-flight ones finish. The HTTP layer calls this
+// before shutting the listener down.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// clusterStore builds the training sub-store for a cluster: the
+// ClusterNeighborhood stored environments nearest the cluster
+// representative's signature — Alg. 1's per-cluster history.
+func (s *Server) clusterStore(cluster int) (*core.EnvironmentStore, error) {
+	rep, err := s.store.At(cluster)
+	if err != nil {
+		return nil, err
+	}
+	neighbors, err := s.store.Nearest(rep.Signature, s.cfg.ClusterNeighborhood)
+	if err != nil {
+		return nil, err
+	}
+	sub := core.NewEnvironmentStore()
+	for _, env := range neighbors {
+		if err := sub.Add(env); err != nil {
+			return nil, err
+		}
+	}
+	return sub, nil
+}
+
+// trainCluster is the cache's trainFunc: train a CRL over the cluster's
+// neighborhood sub-store. Seeding is deterministic per cluster so identical
+// deployments cache identical policies.
+func (s *Server) trainCluster(cluster int) (*core.CRL, []float64, error) {
+	rep, err := s.store.At(cluster)
+	if err != nil {
+		return nil, nil, err
+	}
+	sub, err := s.clusterStore(cluster)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := s.cfg.CRL
+	if cfg.K < 1 {
+		cfg.K = core.DefaultCRLConfig().K
+		cfg.Blend = true
+	}
+	if cfg.Episodes < 1 {
+		cfg.Episodes = core.DefaultCRLConfig().Episodes
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = s.cfg.Seed + int64(cluster)*7919
+	}
+	if cfg.DQN.Seed == 0 {
+		cfg.DQN.Seed = cfg.Seed + 1
+	}
+	crl, err := core.NewCRL(s.template.Clone(), sub, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := crl.Train(); err != nil {
+		return nil, nil, err
+	}
+	return crl, mathx.Clone(rep.Importance), nil
+}
+
+// AllocateRequest is one allocation query: the sensing signature Z, plus
+// optional Table-I feature vectors enabling the DCTA local process.
+type AllocateRequest struct {
+	Signature []float64   `json:"signature"`
+	Features  [][]float64 `json:"features,omitempty"`
+	// Allocator selects the strategy: "auto" (default — DCTA when features
+	// and a fitted local model are available, else CRL), "crl", or "dcta".
+	Allocator string `json:"allocator,omitempty"`
+}
+
+// AllocateResponse is the service's answer.
+type AllocateResponse struct {
+	// Allocation maps task → processor index, -1 for dropped tasks.
+	Allocation []int `json:"allocation"`
+	// Cluster is the store index of the nearest historical environment —
+	// the policy-cache key.
+	Cluster int `json:"cluster"`
+	// Cache is the cache outcome (hit, miss, coalesced, expired, drift,
+	// warm).
+	Cache string `json:"cache"`
+	// Allocator is the strategy that produced the allocation (CRL or DCTA).
+	Allocator string `json:"allocator"`
+	// PredictedImportance is the allocator's own captured-importance
+	// estimate under the defined environment.
+	PredictedImportance float64 `json:"predicted_importance"`
+	// TrainNanos is the policy training time when this request led a
+	// training (cache ∈ {miss, expired, drift}); 0 otherwise.
+	TrainNanos int64 `json:"train_ns,omitempty"`
+	// LatencyNanos is the server-side handling time.
+	LatencyNanos int64 `json:"latency_ns"`
+}
+
+// Allocate answers one allocation query. Safe for arbitrary concurrency:
+// store reads are lock-protected, every DQN rollout runs on an exclusive
+// pooled replica, and the local model is immutable-after-Fit.
+func (s *Server) Allocate(ctx context.Context, req AllocateRequest) (*AllocateResponse, error) {
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	start := s.cfg.Now()
+	if len(req.Signature) == 0 {
+		return nil, fmt.Errorf("%w: empty signature", ErrBadRequest)
+	}
+	cluster, _, err := s.store.NearestIndex(req.Signature)
+	if err != nil {
+		return nil, fmt.Errorf("serve: cluster lookup: %w", err)
+	}
+	entry, outcome, err := s.cache.get(ctx, cluster)
+	if err != nil {
+		return nil, err
+	}
+	replica, err := entry.acquire()
+	if err != nil {
+		return nil, fmt.Errorf("serve: replica: %w", err)
+	}
+	defer entry.release(replica)
+
+	// Define the environment within the cluster's neighborhood and
+	// instantiate the problem the allocators pack against.
+	env, err := replica.DefineEnvironment(req.Signature)
+	if err != nil {
+		return nil, fmt.Errorf("serve: define environment: %w", err)
+	}
+	prob := s.problemWithImportance(env.Importance)
+
+	local := s.localModel()
+	useDCTA := false
+	switch req.Allocator {
+	case "", "auto":
+		useDCTA = len(req.Features) == len(prob.Tasks) && local != nil && local.Fitted()
+	case "dcta":
+		if len(req.Features) != len(prob.Tasks) {
+			return nil, fmt.Errorf("%w: dcta needs %d feature vectors, got %d",
+				ErrBadRequest, len(prob.Tasks), len(req.Features))
+		}
+		if local == nil || !local.Fitted() {
+			return nil, fmt.Errorf("%w: local model not fitted", ErrBadRequest)
+		}
+		useDCTA = true
+	case "crl":
+	default:
+		return nil, fmt.Errorf("%w: unknown allocator %q", ErrBadRequest, req.Allocator)
+	}
+
+	var res *alloc.Result
+	var name string
+	if useDCTA {
+		d, err := alloc.NewDCTA(replica, local)
+		if err != nil {
+			return nil, err
+		}
+		d.W1, d.W2, d.CoverageTarget = s.cfg.W1, s.cfg.W2, s.cfg.CoverageTarget
+		res, err = d.Allocate(alloc.Request{Problem: prob, Signature: req.Signature, Features: req.Features})
+		if err != nil {
+			return nil, fmt.Errorf("serve: dcta: %w", err)
+		}
+		name = d.Name()
+	} else {
+		ca, err := alloc.NewCRLAllocator(replica)
+		if err != nil {
+			return nil, err
+		}
+		res, err = ca.Allocate(alloc.Request{Problem: prob, Signature: req.Signature})
+		if err != nil {
+			return nil, fmt.Errorf("serve: crl: %w", err)
+		}
+		name = ca.Name()
+	}
+
+	latency := s.cfg.Now().Sub(start)
+	s.allocates.Add(1)
+	s.recordLatency(latency)
+	resp := &AllocateResponse{
+		Allocation:          res.Allocation,
+		Cluster:             cluster,
+		Cache:               outcome,
+		Allocator:           name,
+		PredictedImportance: res.PredictedImportance,
+		LatencyNanos:        int64(latency),
+	}
+	if outcome == CacheMiss || outcome == CacheExpired || outcome == CacheDrift {
+		resp.TrainNanos = int64(entry.trainDur)
+	}
+	return resp, nil
+}
+
+// problemWithImportance clones the template and installs an importance
+// vector (clamped to [0,1]).
+func (s *Server) problemWithImportance(imp []float64) *core.Problem {
+	p := s.template.Clone()
+	for i := range p.Tasks {
+		v := 0.0
+		if i < len(imp) {
+			v = mathx.Clamp(imp[i], 0, 1)
+		}
+		p.Tasks[i].Importance = v
+	}
+	return p
+}
+
+func (s *Server) localModel() *alloc.LocalModel {
+	s.localMu.RLock()
+	defer s.localMu.RUnlock()
+	return s.local
+}
+
+// FeedbackRequest streams one observed decision back into the service: the
+// per-task features and the allocation that was actually executed become
+// local-process training samples; an optional observed importance vector
+// drives drift detection and, with AddToStore, grows the historical store.
+type FeedbackRequest struct {
+	Signature  []float64   `json:"signature"`
+	Features   [][]float64 `json:"features"`
+	Allocation []int       `json:"allocation"`
+	Importance []float64   `json:"importance,omitempty"`
+	AddToStore bool        `json:"add_to_store,omitempty"`
+}
+
+// FeedbackResponse reports what the feedback changed.
+type FeedbackResponse struct {
+	Samples           int  `json:"samples"`
+	WindowSize        int  `json:"window_size"`
+	Refitted          bool `json:"refitted"`
+	DriftInvalidated  bool `json:"drift_invalidated"`
+	StoredEnvironment bool `json:"stored_environment"`
+}
+
+// Feedback ingests one observed decision.
+func (s *Server) Feedback(ctx context.Context, req FeedbackRequest) (*FeedbackResponse, error) {
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	if len(req.Features) == 0 || len(req.Allocation) == 0 {
+		return nil, fmt.Errorf("%w: feedback needs features and an allocation", ErrBadRequest)
+	}
+	if len(req.Features) != len(req.Allocation) {
+		return nil, fmt.Errorf("%w: %d feature vectors for %d allocation entries",
+			ErrBadRequest, len(req.Features), len(req.Allocation))
+	}
+	samples := alloc.SamplesFromDecision(req.Features, core.Allocation(req.Allocation))
+	resp := &FeedbackResponse{Samples: len(samples)}
+
+	s.fbMu.Lock()
+	s.window = append(s.window, samples...)
+	if over := len(s.window) - s.cfg.MaxFeedback; over > 0 {
+		s.window = append(s.window[:0:0], s.window[over:]...)
+	}
+	s.sinceFit += len(samples)
+	refit := s.sinceFit >= s.cfg.RefitEvery
+	var snapshot []alloc.LocalSample
+	if refit {
+		s.sinceFit = 0
+		snapshot = append([]alloc.LocalSample(nil), s.window...)
+	}
+	resp.WindowSize = len(s.window)
+	s.fbMu.Unlock()
+
+	if refit {
+		// Fit a *fresh* model outside all locks, then publish it: in-flight
+		// requests keep scoring on the model they started with.
+		fresh := alloc.NewLocalModel(s.cfg.Seed + s.refits.Load() + 808)
+		if err := fresh.Fit(snapshot); err != nil {
+			return nil, fmt.Errorf("serve: refit local model: %w", err)
+		}
+		s.localMu.Lock()
+		s.local = fresh
+		s.localMu.Unlock()
+		s.refits.Add(1)
+		resp.Refitted = true
+	}
+
+	if len(req.Signature) > 0 && len(req.Importance) > 0 {
+		cluster, _, err := s.store.NearestIndex(req.Signature)
+		if err != nil {
+			return nil, fmt.Errorf("serve: feedback cluster lookup: %w", err)
+		}
+		resp.DriftInvalidated = s.cache.noteImportance(cluster, req.Importance)
+		if req.AddToStore {
+			caps := make([]float64, len(s.template.Processors))
+			for i, pr := range s.template.Processors {
+				caps[i] = pr.Capacity
+			}
+			imp := make([]float64, len(s.template.Tasks))
+			for i := range imp {
+				if i < len(req.Importance) {
+					imp[i] = mathx.Clamp(req.Importance[i], 0, 1)
+				}
+			}
+			env := &core.Environment{
+				Importance: imp,
+				Capacity:   caps,
+				Signature:  mathx.Clone(req.Signature),
+			}
+			if err := s.store.Add(env); err != nil {
+				return nil, fmt.Errorf("serve: feedback store add: %w", err)
+			}
+			s.storeAdds.Add(1)
+			resp.StoredEnvironment = true
+		}
+	}
+	s.feedbacks.Add(1)
+	return resp, nil
+}
+
+func (s *Server) recordLatency(d time.Duration) {
+	s.latMu.Lock()
+	s.lat[s.latNext] = int64(d)
+	s.latNext++
+	if s.latNext == len(s.lat) {
+		s.latNext = 0
+		s.latFull = true
+	}
+	s.latMu.Unlock()
+}
+
+// LatencyStats summarizes the recent allocate-latency window.
+type LatencyStats struct {
+	Count int64 `json:"count"`
+	P50   int64 `json:"p50_ns"`
+	P95   int64 `json:"p95_ns"`
+	P99   int64 `json:"p99_ns"`
+	Max   int64 `json:"max_ns"`
+}
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	UptimeSeconds float64      `json:"uptime_s"`
+	Allocates     int64        `json:"allocates"`
+	Feedbacks     int64        `json:"feedbacks"`
+	Refits        int64        `json:"refits"`
+	StoreSize     int          `json:"store_size"`
+	StoreAdds     int64        `json:"store_adds"`
+	WindowSize    int          `json:"feedback_window"`
+	Cache         CacheStats   `json:"cache"`
+	Latency       LatencyStats `json:"latency"`
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() Stats {
+	s.fbMu.Lock()
+	window := len(s.window)
+	s.fbMu.Unlock()
+	return Stats{
+		UptimeSeconds: s.cfg.Now().Sub(s.started).Seconds(),
+		Allocates:     s.allocates.Load(),
+		Feedbacks:     s.feedbacks.Load(),
+		Refits:        s.refits.Load(),
+		StoreSize:     s.store.Len(),
+		StoreAdds:     s.storeAdds.Load(),
+		WindowSize:    window,
+		Cache:         s.cache.stats(),
+		Latency:       s.latencyStats(),
+	}
+}
+
+func (s *Server) latencyStats() LatencyStats {
+	s.latMu.Lock()
+	n := s.latNext
+	if s.latFull {
+		n = len(s.lat)
+	}
+	window := append([]int64(nil), s.lat[:n]...)
+	s.latMu.Unlock()
+	if len(window) == 0 {
+		return LatencyStats{}
+	}
+	sort.Slice(window, func(a, b int) bool { return window[a] < window[b] })
+	q := func(p float64) int64 {
+		i := int(p * float64(len(window)-1))
+		return window[i]
+	}
+	return LatencyStats{
+		Count: int64(len(window)),
+		P50:   q(0.50),
+		P95:   q(0.95),
+		P99:   q(0.99),
+		Max:   window[len(window)-1],
+	}
+}
