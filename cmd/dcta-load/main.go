@@ -125,24 +125,28 @@ type client struct {
 	http *http.Client
 }
 
-func (c *client) post(path string, req, resp any) error {
+// post sends one JSON request and decodes the body into resp on HTTP 200.
+// Non-2xx statuses are returned (not converted to errors) so the load loops
+// can count them — a degraded-mode server answers 200, and anything else is
+// a robustness finding to report, not a reason to abort the run.
+func (c *client) post(path string, req, resp any) (int, error) {
 	raw, err := json.Marshal(req)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	hr, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(raw))
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer hr.Body.Close()
 	var buf bytes.Buffer
 	if _, err := buf.ReadFrom(hr.Body); err != nil {
-		return err
+		return hr.StatusCode, err
 	}
 	if hr.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s: HTTP %d: %s", path, hr.StatusCode, strings.TrimSpace(buf.String()))
+		return hr.StatusCode, nil
 	}
-	return json.Unmarshal(buf.Bytes(), resp)
+	return hr.StatusCode, json.Unmarshal(buf.Bytes(), resp)
 }
 
 // levelResult is one concurrency level's aggregate.
@@ -153,6 +157,8 @@ type levelResult struct {
 	P50, P95    float64 // ns
 	P99, Max    float64 // ns
 	HitRate     float64 // (hit+warm) / requests
+	Degraded    int     // 200s answered by the fallback path
+	NonOK       int     // non-2xx responses (should be zero)
 }
 
 // coldResult is the sequential cold sweep's aggregate.
@@ -233,8 +239,10 @@ func run(addr, scale string, seed int64, levelSpec string, requests, feedbackNth
 			return err
 		}
 		results = append(results, r)
-		fmt.Printf("c=%-3d  %8.0f req/s  p50 %-10s p95 %-10s p99 %-10s max %-10s hit %.1f%%\n",
-			r.Concurrency, r.Throughput, ns(r.P50), ns(r.P95), ns(r.P99), ns(r.Max), r.HitRate*100)
+		total := r.Requests + r.NonOK
+		fmt.Printf("c=%-3d  %8.0f req/s  p50 %-10s p95 %-10s p99 %-10s max %-10s hit %.1f%%  degraded %.1f%%  non-2xx %.1f%%\n",
+			r.Concurrency, r.Throughput, ns(r.P50), ns(r.P95), ns(r.P99), ns(r.Max), r.HitRate*100,
+			100*float64(r.Degraded)/float64(max(1, r.Requests)), 100*float64(r.NonOK)/float64(max(1, total)))
 	}
 
 	if jsonPath != "" {
@@ -254,8 +262,12 @@ func coldSweep(cl *client, wl *workload) (*coldResult, error) {
 	for i := range wl.allocs {
 		start := time.Now()
 		var resp serve.AllocateResponse
-		if err := cl.post("/v1/allocate", wl.allocs[i], &resp); err != nil {
+		code, err := cl.post("/v1/allocate", wl.allocs[i], &resp)
+		if err != nil {
 			return nil, fmt.Errorf("cold allocate %d: %w", i, err)
+		}
+		if code != http.StatusOK {
+			return nil, fmt.Errorf("cold allocate %d: HTTP %d", i, code)
 		}
 		lats = append(lats, float64(time.Since(start).Nanoseconds()))
 		if resp.TrainNanos > 0 {
@@ -272,13 +284,15 @@ func coldSweep(cl *client, wl *workload) (*coldResult, error) {
 // allocate (plus every-Nth feedback) until the shared request budget drains.
 func runLevel(cl *client, wl *workload, concurrency, requests, feedbackNth int) (levelResult, error) {
 	var (
-		mu      sync.Mutex
-		lats    []float64
-		hits    int
-		next    int
-		wg      sync.WaitGroup
-		firstMu sync.Mutex
-		fail    error
+		mu       sync.Mutex
+		lats     []float64
+		hits     int
+		degraded int
+		nonOK    int
+		next     int
+		wg       sync.WaitGroup
+		firstMu  sync.Mutex
+		fail     error
 	)
 	takeTicket := func() (int, bool) {
 		mu.Lock()
@@ -302,7 +316,8 @@ func runLevel(cl *client, wl *workload, concurrency, requests, feedbackNth int) 
 				req := wl.allocs[ticket%len(wl.allocs)]
 				t0 := time.Now()
 				var resp serve.AllocateResponse
-				if err := cl.post("/v1/allocate", req, &resp); err != nil {
+				code, err := cl.post("/v1/allocate", req, &resp)
+				if err != nil {
 					firstMu.Lock()
 					if fail == nil {
 						fail = fmt.Errorf("allocate: %w", err)
@@ -310,24 +325,39 @@ func runLevel(cl *client, wl *workload, concurrency, requests, feedbackNth int) 
 					firstMu.Unlock()
 					return
 				}
+				if code != http.StatusOK {
+					mu.Lock()
+					nonOK++
+					mu.Unlock()
+					continue
+				}
 				lat := float64(time.Since(t0).Nanoseconds())
 				mu.Lock()
 				lats = append(lats, lat)
 				if resp.Cache == serve.CacheHit || resp.Cache == serve.CacheWarm {
 					hits++
 				}
+				if resp.Mode == serve.ModeDegraded {
+					degraded++
+				}
 				mu.Unlock()
 				if feedbackNth > 0 && ticket%feedbackNth == feedbackNth-1 {
 					fb := wl.feedbacks[ticket%len(wl.feedbacks)]
 					fb.Allocation = resp.Allocation
 					var fresp serve.FeedbackResponse
-					if err := cl.post("/v1/feedback", fb, &fresp); err != nil {
+					code, err := cl.post("/v1/feedback", fb, &fresp)
+					if err != nil {
 						firstMu.Lock()
 						if fail == nil {
 							fail = fmt.Errorf("feedback: %w", err)
 						}
 						firstMu.Unlock()
 						return
+					}
+					if code != http.StatusOK {
+						mu.Lock()
+						nonOK++
+						mu.Unlock()
 					}
 				}
 			}
@@ -347,6 +377,8 @@ func runLevel(cl *client, wl *workload, concurrency, requests, feedbackNth int) 
 		P99:         mathx.Quantile(lats, 0.99),
 		Max:         mathx.Quantile(lats, 1),
 		HitRate:     float64(hits) / float64(len(lats)),
+		Degraded:    degraded,
+		NonOK:       nonOK,
 	}, nil
 }
 
@@ -364,6 +396,8 @@ type benchReport struct {
 	BestThroughputRPS  float64 `json:"serve_best_throughput_rps"`
 	ColdOverWarmP99    float64 `json:"serve_cold_train_over_warm_p99"`
 	SweptConcurrencies int     `json:"serve_swept_concurrencies"`
+	DegradedRate       float64 `json:"serve_degraded_rate"`
+	NonOKRate          float64 `json:"serve_non2xx_rate"`
 }
 
 func writeReport(path string, cold *coldResult, results []levelResult) error {
@@ -378,7 +412,7 @@ func writeReport(path string, cold *coldResult, results []levelResult) error {
 	// per-level quantiles' source data being gone; use the per-level numbers:
 	// p99 is reported as the worst level's p99 (conservative), p50/p95 as the
 	// best level's, throughput as the max.
-	var total, hits float64
+	var total, hits, degraded, nonOK float64
 	for i, r := range results {
 		if i == 0 || r.P50 < rep.WarmP50Ns {
 			rep.WarmP50Ns = r.P50
@@ -394,9 +428,13 @@ func writeReport(path string, cold *coldResult, results []levelResult) error {
 		}
 		total += float64(r.Requests)
 		hits += r.HitRate * float64(r.Requests)
+		degraded += float64(r.Degraded)
+		nonOK += float64(r.NonOK)
 	}
 	if total > 0 {
 		rep.WarmHitRate = hits / total
+		rep.DegradedRate = degraded / total
+		rep.NonOKRate = nonOK / (total + nonOK)
 	}
 	if rep.WarmP99Ns > 0 {
 		rep.ColdOverWarmP99 = rep.ColdTrainP50Ns / rep.WarmP99Ns

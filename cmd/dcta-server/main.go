@@ -3,24 +3,32 @@
 // the same experimental world as dcta-bench.
 //
 //	dcta-server -addr :8080 -scale fast
-//	dcta-server -checkpoint policies.json      # warm-start across restarts
+//	dcta-server -checkpoint policies.ckpt      # warm-start across restarts
+//	dcta-server -checkpoint policies.ckpt -checkpoint-every 5m
 //
 // Endpoints: POST /v1/allocate, POST /v1/feedback, GET /v1/stats,
-// GET /healthz. SIGINT/SIGTERM drains gracefully: /healthz flips to 503, new
-// requests fail fast, in-flight ones get -drain-timeout to finish, and the
+// GET /healthz. SIGINT/SIGTERM drains gracefully: /healthz flips to 503 so
+// load balancers stop routing, allocates answer through the degraded
+// fallback path, in-flight requests get -drain-timeout to finish, and the
 // policy cache is checkpointed on the way out when -checkpoint is set.
+//
+// Failure handling: trainings that fail, hang past -train-budget, or trip a
+// cluster's circuit breaker (-breaker-threshold / -breaker-backoff) degrade
+// to the greedy fallback allocator instead of erroring; -train-concurrency
+// bounds simultaneous trainings so a cold burst cannot fork-bomb the box.
+// With -checkpoint-every set, the cache is checkpointed periodically
+// (atomic temp-file+rename writes), so a crash loses at most one interval.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
-	"io/fs"
 	"log"
 	"net"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -34,6 +42,7 @@ func main() {
 		scale        = flag.String("scale", "fast", "scenario scale: fast, default, full")
 		seed         = flag.Int64("seed", 1, "scenario and policy seed")
 		checkpoint   = flag.String("checkpoint", "", "policy-cache checkpoint file: loaded on start when present, saved on shutdown")
+		ckptEvery    = flag.Duration("checkpoint-every", 0, "also checkpoint periodically at this interval (0 = only on shutdown; needs -checkpoint)")
 		neighborhood = flag.Int("neighborhood", 5, "stored environments per cluster training sub-store")
 		capacity     = flag.Int("cache-capacity", 64, "max resident cluster policies (LRU beyond)")
 		ttl          = flag.Duration("policy-ttl", 0, "retrain policies older than this (0 = never)")
@@ -43,11 +52,21 @@ func main() {
 		reqTimeout   = flag.Duration("request-timeout", 120*time.Second, "per-request deadline (cold paths train)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 		episodes     = flag.Int("crl-episodes", 0, "per-cluster CRL training episodes (0 = scale default)")
+		trainBudget  = flag.Duration("train-budget", 0, "max wait for a policy training before answering degraded (0 = wait out the request deadline)")
+		brkThresh    = flag.Int("breaker-threshold", 3, "consecutive training failures that open a cluster's circuit breaker (<0 disables)")
+		brkBackoff   = flag.Duration("breaker-backoff", time.Second, "first breaker open window (doubles per reopen, jittered)")
+		trainConc    = flag.Int("train-concurrency", 0, "max concurrent policy trainings (0 = GOMAXPROCS/2)")
 	)
 	flag.Parse()
-	if err := run(*addr, *scale, *seed, *checkpoint, serveConfig(
+	cfg := serveConfig(
 		*neighborhood, *capacity, *ttl, *drift, *replicas, *refitEvery, *seed, *episodes,
-	), serve.HTTPOptions{RequestTimeout: *reqTimeout, DrainTimeout: *drainTimeout}); err != nil {
+	)
+	cfg.TrainBudget = *trainBudget
+	cfg.BreakerThreshold = *brkThresh
+	cfg.BreakerBackoff = *brkBackoff
+	cfg.TrainConcurrency = *trainConc
+	if err := run(*addr, *scale, *seed, *checkpoint, *ckptEvery, cfg,
+		serve.HTTPOptions{RequestTimeout: *reqTimeout, DrainTimeout: *drainTimeout}); err != nil {
 		fmt.Fprintln(os.Stderr, "dcta-server:", err)
 		os.Exit(1)
 	}
@@ -91,7 +110,8 @@ func scenarioConfig(seed int64, scale string) (dcta.ScenarioConfig, error) {
 	return cfg, nil
 }
 
-func run(addr, scale string, seed int64, checkpoint string, cfg serve.Config, opts serve.HTTPOptions) error {
+func run(addr, scale string, seed int64, checkpoint string, ckptEvery time.Duration,
+	cfg serve.Config, opts serve.HTTPOptions) error {
 	scnCfg, err := scenarioConfig(seed, scale)
 	if err != nil {
 		return err
@@ -110,65 +130,65 @@ func run(addr, scale string, seed int64, checkpoint string, cfg serve.Config, op
 		return err
 	}
 	if checkpoint != "" {
-		if err := loadCheckpoint(s, checkpoint); err != nil {
-			return err
+		n, err := s.LoadCheckpointFile(checkpoint)
+		if err != nil {
+			return fmt.Errorf("checkpoint load: %w", err)
+		}
+		if n > 0 {
+			log.Printf("warm-started %d cluster policies from %s", n, checkpoint)
+		} else {
+			log.Printf("no policies restored from %s; starting cold", checkpoint)
 		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if checkpoint != "" && ckptEvery > 0 {
+		go periodicCheckpoint(ctx, s, checkpoint, ckptEvery)
+	}
 	err = serve.ListenAndServe(ctx, addr, s, opts, func(a net.Addr) {
-		log.Printf("serving on %s (store=%d clusters, cache=%d, ttl=%v, drift=%.2f)",
-			a, scn.Store.Len(), cfg.CacheCapacity, cfg.PolicyTTL, cfg.DriftThreshold)
+		log.Printf("serving on %s (store=%d clusters, cache=%d, ttl=%v, drift=%.2f, breaker=%d@%v, train-budget=%v)",
+			a, scn.Store.Len(), cfg.CacheCapacity, cfg.PolicyTTL, cfg.DriftThreshold,
+			cfg.BreakerThreshold, cfg.BreakerBackoff, cfg.TrainBudget)
 	})
 	if err != nil {
 		return err
 	}
 	log.Printf("drained; final stats: %+v", s.Stats().Cache)
 	if checkpoint != "" {
-		if err := saveCheckpoint(s, checkpoint); err != nil {
-			return err
+		if err := s.SaveCheckpointFile(checkpoint); err != nil {
+			return fmt.Errorf("checkpoint save: %w", err)
+		}
+		log.Printf("checkpointed policy cache to %s", checkpoint)
+	}
+	return nil
+}
+
+// periodicCheckpoint writes the cache to disk every interval until ctx ends.
+// Each tick runs panic-safe: a checkpointing bug degrades durability (logged)
+// but never takes the serving process down with it.
+func periodicCheckpoint(ctx context.Context, s *serve.Server, path string, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			checkpointTick(s, path)
 		}
 	}
-	return nil
 }
 
-func loadCheckpoint(s *serve.Server, path string) error {
-	f, err := os.Open(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		log.Printf("checkpoint %s absent; starting cold", path)
-		return nil
+func checkpointTick(s *serve.Server, path string) {
+	defer func() {
+		if p := recover(); p != nil {
+			log.Printf("periodic checkpoint panicked (serving continues): %v\n%s", p, debug.Stack())
+		}
+	}()
+	if err := s.SaveCheckpointFile(path); err != nil {
+		log.Printf("periodic checkpoint: %v", err)
+		return
 	}
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	n, err := s.LoadCheckpoint(f)
-	if err != nil {
-		return fmt.Errorf("checkpoint load: %w", err)
-	}
-	log.Printf("warm-started %d cluster policies from %s", n, path)
-	return nil
-}
-
-func saveCheckpoint(s *serve.Server, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := s.SaveCheckpoint(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("checkpoint save: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return err
-	}
-	log.Printf("checkpointed policy cache to %s", path)
-	return nil
+	log.Printf("periodic checkpoint written to %s", path)
 }

@@ -5,12 +5,14 @@
 // sockets instead of the discrete-event simulator.
 //
 //	edge-demo -workers 5 -timescale 0.001
+//	edge-demo -fault-tolerant          # reassign tasks when workers die
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"time"
@@ -26,19 +28,50 @@ func main() {
 		timescale = flag.Float64("timescale", 0.001, "execution time scale (1 = real time)")
 		method    = flag.String("alloc", "DCTA", "allocator: RM, DML, CRL, DCTA")
 		seed      = flag.Int64("seed", 1, "experiment seed")
-		ft        = flag.Bool("faulttolerant", false, "use the fault-tolerant controller")
+		scale     = flag.String("scale", "default", "scenario scale: fast, default")
+		ft        = flag.Bool("fault-tolerant", false, "use the fault-tolerant controller (retries and reassigns on worker failure)")
+		ftAlias   = flag.Bool("faulttolerant", false, "alias for -fault-tolerant")
 	)
 	flag.Parse()
-	if err := run(*workers, *timescale, *method, *seed, *ft); err != nil {
+	if err := run(os.Stdout, demoOptions{
+		Workers:       *workers,
+		TimeScale:     *timescale,
+		Method:        *method,
+		Seed:          *seed,
+		Scale:         *scale,
+		FaultTolerant: *ft || *ftAlias,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "edge-demo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workers int, timescale float64, method string, seed int64, faultTolerant bool) error {
-	fmt.Printf("building scenario (%d workers)...\n", workers)
-	cfg := dcta.DefaultScenarioConfig(seed)
-	cfg.Workers = workers
+// demoOptions parameterizes one demo run (flag values; tests fill it
+// directly).
+type demoOptions struct {
+	Workers       int
+	TimeScale     float64
+	Method        string
+	Seed          int64
+	Scale         string
+	FaultTolerant bool
+}
+
+func run(out io.Writer, opt demoOptions) error {
+	fmt.Fprintf(out, "building scenario (%d workers)...\n", opt.Workers)
+	cfg := dcta.DefaultScenarioConfig(opt.Seed)
+	cfg.Workers = opt.Workers
+	switch opt.Scale {
+	case "", "default":
+	case "fast":
+		cfg.Years = 1
+		cfg.Tasks = 24
+		cfg.HistoryContexts = 20
+		cfg.EvalContexts = 4
+		cfg.CRLEpisodes = 10
+	default:
+		return fmt.Errorf("unknown scale %q (fast, default)", opt.Scale)
+	}
 	s, err := dcta.NewScenario(cfg)
 	if err != nil {
 		return fmt.Errorf("scenario: %w", err)
@@ -47,9 +80,9 @@ func run(workers int, timescale float64, method string, seed int64, faultToleran
 	if err != nil {
 		return err
 	}
-	a, ok := allocators[method]
+	a, ok := allocators[opt.Method]
 	if !ok {
-		return fmt.Errorf("unknown allocator %q", method)
+		return fmt.Errorf("unknown allocator %q", opt.Method)
 	}
 	req, err := s.RequestFor(s.Eval[0])
 	if err != nil {
@@ -64,9 +97,9 @@ func run(workers int, timescale float64, method string, seed int64, faultToleran
 	cycle := []edgesim.NodeType{
 		edgesim.RaspberryPiAPlus, edgesim.RaspberryPiB, edgesim.RaspberryPiBPlus,
 	}
-	addrs := make([]string, workers)
-	for i := 0; i < workers; i++ {
-		w := &edgenet.Worker{ID: i + 1, Type: cycle[i%len(cycle)], TimeScale: timescale}
+	addrs := make([]string, opt.Workers)
+	for i := 0; i < opt.Workers; i++ {
+		w := &edgenet.Worker{ID: i + 1, Type: cycle[i%len(cycle)], TimeScale: opt.TimeScale}
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return fmt.Errorf("listen worker %d: %w", i, err)
@@ -76,16 +109,20 @@ func run(workers int, timescale float64, method string, seed int64, faultToleran
 		}
 		defer w.Close()
 		addrs[i] = w.Addr()
-		fmt.Printf("worker %d (%s) listening on %s\n", w.ID, w.Type, w.Addr())
+		fmt.Fprintf(out, "worker %d (%s) listening on %s\n", w.ID, w.Type, w.Addr())
 	}
 
-	fmt.Printf("\nstreaming the %s plan over TCP...\n", method)
+	mode := "plain"
+	if opt.FaultTolerant {
+		mode = "fault-tolerant"
+	}
+	fmt.Fprintf(out, "\nstreaming the %s plan over TCP (%s controller)...\n", opt.Method, mode)
 	ctrl := edgenet.NewController()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 	start := time.Now()
 	var report *edgenet.Report
-	if faultTolerant {
+	if opt.FaultTolerant {
 		report, err = ctrl.RunFaultTolerant(ctx, addrs, req.Problem, res, s.Config.CoverageTarget)
 	} else {
 		report, err = ctrl.Run(ctx, addrs, req.Problem, res, s.Config.CoverageTarget)
@@ -93,17 +130,17 @@ func run(workers int, timescale float64, method string, seed int64, faultToleran
 	if err != nil {
 		return fmt.Errorf("controller run: %w", err)
 	}
-	fmt.Printf("\n%d task completions over the wire in %v\n",
+	fmt.Fprintf(out, "\n%d task completions over the wire in %v\n",
 		len(report.Completions), time.Since(start).Round(time.Millisecond))
-	fmt.Printf("decision ready at %v (%.0f%% importance coverage; covered %.4f)\n",
+	fmt.Fprintf(out, "decision ready at %v (%.0f%% importance coverage; covered %.4f)\n",
 		report.DecisionReadyAt.Round(time.Millisecond),
 		s.Config.CoverageTarget*100, report.Covered)
 	for _, comp := range report.Completions[:min(5, len(report.Completions))] {
-		fmt.Printf("  task %2d on worker %d at %v (importance %.4f)\n",
+		fmt.Fprintf(out, "  task %2d on worker %d at %v (importance %.4f)\n",
 			comp.Task, comp.WorkerID, comp.At.Round(time.Millisecond), comp.Importance)
 	}
 	if len(report.Completions) > 5 {
-		fmt.Printf("  … %d more\n", len(report.Completions)-5)
+		fmt.Fprintf(out, "  … %d more\n", len(report.Completions)-5)
 	}
 	return nil
 }

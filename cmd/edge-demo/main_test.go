@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFaultTolerantDemoSmoke runs the full demo end to end — real loopback
+// workers, real TCP — with the fault-tolerant controller behind the
+// -fault-tolerant flag. The name matches the CI chaos regex
+// ('Chaos|FaultTolerant') so this runs under -race there.
+func TestFaultTolerantDemoSmoke(t *testing.T) {
+	var out bytes.Buffer
+	err := run(&out, demoOptions{
+		Workers:       3,
+		TimeScale:     0.0005,
+		Method:        "DCTA",
+		Seed:          1,
+		Scale:         "fast",
+		FaultTolerant: true,
+	})
+	if err != nil {
+		t.Fatalf("fault-tolerant demo failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"fault-tolerant controller", "decision ready at"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestDemoRejectsUnknownScale(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, demoOptions{Workers: 1, Scale: "nope"}); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}

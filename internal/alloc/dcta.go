@@ -256,6 +256,31 @@ func (d *DCTA) SetLocal(local *LocalModel) error {
 	return nil
 }
 
+// CombineScores mixes a general-process importance estimate with the local
+// process per Eq. (6): w1·F₁ + w2·F₂, where F₁ is `general` max-normalized
+// to [0, 1] (so it shares the local probabilities' scale) and F₂ is the
+// SVM's selection score over each task's feature vector. A nil/unfitted
+// local model or missing features returns the normalized general scores
+// alone — the caller's graceful degradation to the F₁-only decision. Used
+// by DCTA.Allocate and by internal/serve's degraded fallback allocator.
+func CombineScores(local *LocalModel, general []float64, feats [][]float64, w1, w2 float64) ([]float64, error) {
+	combined := mathx.Clone(general)
+	if hi := mathx.MaxOf(combined); hi > 0 {
+		mathx.Scale(1/hi, combined)
+	}
+	if local == nil || !local.Fitted() || len(feats) != len(general) {
+		return combined, nil
+	}
+	for j := range combined {
+		localScore, err := local.Score(feats[j])
+		if err != nil {
+			return nil, fmt.Errorf("task %d: %w", j, err)
+		}
+		combined[j] = w1*combined[j] + w2*localScore
+	}
+	return combined, nil
+}
+
 // Allocate implements Allocator. The request must carry per-task feature
 // vectors for the local process.
 func (d *DCTA) Allocate(req Request) (*Result, error) {
@@ -289,17 +314,9 @@ func (d *DCTA) Allocate(req Request) (*Result, error) {
 		}
 		general = mathx.Clone(env.Importance)
 	}
-	if hi := mathx.MaxOf(general); hi > 0 {
-		mathx.Scale(1/hi, general)
-	}
-	// Local process F₂: SVM selection scores from runtime features.
-	combined := make([]float64, n)
-	for j := 0; j < n; j++ {
-		localScore, err := local.Score(req.Features[j])
-		if err != nil {
-			return nil, fmt.Errorf("dcta local process task %d: %w", j, err)
-		}
-		combined[j] = d.W1*general[j] + d.W2*localScore
+	combined, err := CombineScores(local, general, req.Features, d.W1, d.W2)
+	if err != nil {
+		return nil, fmt.Errorf("dcta local process: %w", err)
 	}
 	allocation, packOps := packByScore(req.Problem, combined, d.CoverageTarget)
 	m := len(req.Problem.Processors)

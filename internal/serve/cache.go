@@ -5,11 +5,14 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/rand"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/mathx"
 )
 
 // Cache outcomes reported per allocation (AllocateResponse.Cache).
@@ -27,6 +30,16 @@ const (
 	// CacheWarm served from a checkpoint-restored policy that has not been
 	// retrained in this process.
 	CacheWarm = "warm"
+	// CacheBypass marks a degraded answer that never consulted a policy:
+	// the fallback allocator computed it directly from the store.
+	CacheBypass = "bypass"
+)
+
+// Circuit-breaker states (CacheStats.Breakers keys, test assertions).
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
 )
 
 // trainFunc trains the policy for one cluster, returning the model and the
@@ -34,10 +47,11 @@ const (
 type trainFunc func(cluster int) (*core.CRL, []float64, error)
 
 // policyEntry is one cached cluster policy. Its lifecycle is
-// singleflight-shaped: the creating goroutine (the leader) trains and then
-// closes ready; joiners block on ready (or their context) and share the
-// result. Entries are immutable once resolved except for the stale marker
-// and the replica pool.
+// singleflight-shaped: a background leader goroutine trains and then closes
+// ready; every requester (the one that created the entry included) blocks on
+// ready, its context, or the train budget, and shares the result. Entries
+// are immutable once resolved except for the stale marker and the replica
+// pool.
 type policyEntry struct {
 	key  int
 	elem *list.Element
@@ -70,7 +84,9 @@ func (e *policyEntry) acquire() (*core.CRL, error) {
 	}
 }
 
-// release returns a replica to the pool, dropping it when full.
+// release returns a replica to the pool, dropping it when full. Safe to call
+// on an entry the cache has since evicted: the pool channel outlives the
+// cache slot and is collected with the entry.
 func (e *policyEntry) release(r *core.CRL) {
 	select {
 	case e.replicas <- r:
@@ -78,40 +94,79 @@ func (e *policyEntry) release(r *core.CRL) {
 	}
 }
 
+// breaker is one cluster's training circuit breaker. All fields are guarded
+// by the cache mutex.
+type breaker struct {
+	state     string
+	failures  int           // consecutive training failures
+	window    time.Duration // next open window (exponential, jittered)
+	openUntil time.Time
+	probing   bool // a half-open trial training is in flight
+}
+
 // policyCache is the per-cluster policy cache: key = nearest stored
 // environment (the cluster of Alg. 1 line 2), value = trained policy
 // snapshot. Resident entries are bounded by an LRU; entries retrain on TTL
 // expiry or importance drift; cold clusters train exactly once under
-// concurrent identical requests.
+// concurrent identical requests. Trainings run in background goroutines
+// behind a bounded-concurrency gate, guarded per cluster by a circuit
+// breaker so persistent failures back off instead of burning the gate.
 type policyCache struct {
-	capacity int
-	ttl      time.Duration
-	drift    float64
-	replicas int
-	now      func() time.Time
-	train    trainFunc
+	capacity    int
+	ttl         time.Duration
+	drift       float64
+	replicas    int
+	now         func() time.Time
+	train       trainFunc
+	trainBudget time.Duration
+	threshold   int // breaker failure threshold; <=0 disables
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+	logf        func(format string, args ...any)
 
-	mu      sync.Mutex
-	entries map[int]*policyEntry
-	lru     *list.List // front = most recently used; values are *policyEntry
+	gate    chan struct{} // training-concurrency semaphore
+	pending atomic.Int64  // trainings running or queued on the gate
+	maxWait int64         // pending ceiling (gate capacity + queue)
+
+	mu       sync.Mutex
+	entries  map[int]*policyEntry
+	lru      *list.List // front = most recently used; values are *policyEntry
+	breakers map[int]*breaker
+	rng      *rand.Rand // breaker jitter (guarded by mu)
 
 	// counters (atomics so Stats never contends with the serving path)
 	hits, misses, coalesced  atomic.Int64
 	expired, driftRetrains   atomic.Int64
 	evictions, trainings     atomic.Int64
 	trainNanos, warmRestores atomic.Int64
+	trainFailures            atomic.Int64
+	trainPanics              atomic.Int64
+	breakerOpens             atomic.Int64
+	breakerProbes            atomic.Int64
+	breakerRejects           atomic.Int64
+	saturations              atomic.Int64
+	budgetMisses             atomic.Int64
 }
 
 func newPolicyCache(cfg Config, train trainFunc) *policyCache {
 	return &policyCache{
-		capacity: cfg.CacheCapacity,
-		ttl:      cfg.PolicyTTL,
-		drift:    cfg.DriftThreshold,
-		replicas: cfg.Replicas,
-		now:      cfg.Now,
-		train:    train,
-		entries:  make(map[int]*policyEntry),
-		lru:      list.New(),
+		capacity:    cfg.CacheCapacity,
+		ttl:         cfg.PolicyTTL,
+		drift:       cfg.DriftThreshold,
+		replicas:    cfg.Replicas,
+		now:         cfg.Now,
+		train:       train,
+		trainBudget: cfg.TrainBudget,
+		threshold:   cfg.BreakerThreshold,
+		baseBackoff: cfg.BreakerBackoff,
+		maxBackoff:  cfg.BreakerMaxBackoff,
+		logf:        cfg.Logf,
+		gate:        make(chan struct{}, cfg.TrainConcurrency),
+		maxWait:     int64(cfg.TrainConcurrency + cfg.TrainQueue),
+		entries:     make(map[int]*policyEntry),
+		lru:         list.New(),
+		breakers:    make(map[int]*breaker),
+		rng:         mathx.NewRand(cfg.Seed + 31),
 	}
 }
 
@@ -159,8 +214,12 @@ func (c *policyCache) removeLocked(e *policyEntry) {
 
 // get returns the resolved entry for a cluster, training it when cold,
 // expired or drift-invalidated. The outcome string is one of the Cache*
-// constants. Joiners honor ctx while waiting; the leader ignores ctx so a
-// canceled joiner never wastes the training the rest of the queue shares.
+// constants. Callers wait on the training (leader and joiners alike) bounded
+// by ctx and the train budget; the training itself runs in a background
+// goroutine and always completes, so a canceled or budget-expired waiter
+// never wastes the training the rest of the queue shares. Errors are the
+// degraded-path triggers: ErrCircuitOpen, ErrTrainSaturated, ErrTrainBudget,
+// training failures, or the waiter's ctx error.
 func (c *policyCache) get(ctx context.Context, key int) (*policyEntry, string, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
@@ -168,15 +227,7 @@ func (c *policyCache) get(ctx context.Context, key int) (*policyEntry, string, e
 			// Training in flight: join it.
 			c.mu.Unlock()
 			c.coalesced.Add(1)
-			select {
-			case <-e.ready:
-			case <-ctx.Done():
-				return nil, CacheCoalesced, ctx.Err()
-			}
-			if e.err != nil {
-				return nil, CacheCoalesced, e.err
-			}
-			return e, CacheCoalesced, nil
+			return c.wait(ctx, e, CacheCoalesced)
 		}
 		outcome := CacheHit
 		switch {
@@ -200,21 +251,72 @@ func (c *policyCache) get(ctx context.Context, key int) (*policyEntry, string, e
 			}
 			return e, outcome, nil
 		}
-		e = c.newEntryLocked(key)
+		return c.startTrainingLocked(ctx, key, outcome)
+	}
+	c.misses.Add(1)
+	return c.startTrainingLocked(ctx, key, CacheMiss)
+}
+
+// startTrainingLocked launches the background training for a cold/expired/
+// drifted cluster — unless the cluster's breaker or the global gate refuses
+// — then waits for the result like a joiner. Called with c.mu held; unlocks.
+func (c *policyCache) startTrainingLocked(ctx context.Context, key int, outcome string) (*policyEntry, string, error) {
+	if err := c.admitLocked(key); err != nil {
 		c.mu.Unlock()
-		return c.lead(e, outcome)
+		return nil, outcome, err
 	}
 	e := c.newEntryLocked(key)
 	c.mu.Unlock()
-	c.misses.Add(1)
-	return c.lead(e, CacheMiss)
+	c.pending.Add(1)
+	go func() {
+		defer c.pending.Add(-1)
+		c.gate <- struct{}{}
+		defer func() { <-c.gate }()
+		c.runTraining(e)
+	}()
+	return c.wait(ctx, e, outcome)
 }
 
-// lead runs the training for a fresh entry in the calling goroutine and
-// publishes the result to every joiner.
-func (c *policyCache) lead(e *policyEntry, outcome string) (*policyEntry, string, error) {
+// admitLocked decides whether a new training for the cluster may start:
+// the breaker must be closed (or due a half-open probe) and the training
+// gate must have room.
+func (c *policyCache) admitLocked(key int) error {
+	b := c.breakers[key]
+	if b != nil && c.threshold > 0 {
+		switch b.state {
+		case BreakerOpen:
+			if c.now().Before(b.openUntil) {
+				c.breakerRejects.Add(1)
+				return ErrCircuitOpen
+			}
+		case BreakerHalfOpen:
+			if b.probing {
+				c.breakerRejects.Add(1)
+				return ErrCircuitOpen
+			}
+		}
+	}
+	// Gate saturation is checked before committing the breaker to a probe,
+	// so a rejected probe can retry on the next request.
+	if c.pending.Load() >= c.maxWait {
+		c.saturations.Add(1)
+		return ErrTrainSaturated
+	}
+	if b != nil && c.threshold > 0 && b.state != BreakerClosed {
+		// Open-with-elapsed-backoff or idle half-open: this training is the
+		// single half-open trial.
+		b.state = BreakerHalfOpen
+		b.probing = true
+		c.breakerProbes.Add(1)
+	}
+	return nil
+}
+
+// runTraining executes one training (panic-safe) and publishes the result to
+// every waiter, updating the cluster's breaker.
+func (c *policyCache) runTraining(e *policyEntry) {
 	start := c.now()
-	crl, imp, err := c.train(e.key)
+	crl, imp, err := c.safeTrain(e.key)
 	e.crl, e.imp, e.err = crl, imp, err
 	e.trainedAt = c.now()
 	e.trainDur = e.trainedAt.Sub(start)
@@ -223,13 +325,103 @@ func (c *policyCache) lead(e *policyEntry, outcome string) (*policyEntry, string
 	c.mu.Lock()
 	e.resolved = true
 	if err != nil {
-		// Leave no tombstone: the next request retries the training.
+		// Leave no tombstone: the next admitted request retries.
 		c.removeLocked(e)
+		c.recordFailureLocked(e.key)
+	} else {
+		c.recordSuccessLocked(e.key)
 	}
 	c.mu.Unlock()
 	close(e.ready)
-	if err != nil {
-		return nil, outcome, fmt.Errorf("serve: train cluster %d: %w", e.key, err)
+}
+
+// safeTrain invokes the train function, converting a panic into an error so
+// a buggy or chaos-injected training never kills the process.
+func (c *policyCache) safeTrain(cluster int) (crl *core.CRL, imp []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.trainPanics.Add(1)
+			c.logf("serve: training cluster %d panicked: %v\n%s", cluster, r, debug.Stack())
+			crl, imp = nil, nil
+			err = fmt.Errorf("serve: train cluster %d panic: %v", cluster, r)
+		}
+	}()
+	return c.train(cluster)
+}
+
+// recordSuccessLocked closes the cluster's breaker after a successful
+// training.
+func (c *policyCache) recordSuccessLocked(key int) {
+	b := c.breakers[key]
+	if b == nil {
+		return
+	}
+	if b.state != BreakerClosed {
+		c.logf("serve: cluster %d breaker closed after successful training", key)
+	}
+	delete(c.breakers, key)
+}
+
+// recordFailureLocked counts a training failure and opens (or reopens) the
+// breaker when the consecutive-failure threshold is reached. The open window
+// grows exponentially with up to 20% jitter, capped at maxBackoff.
+func (c *policyCache) recordFailureLocked(key int) {
+	c.trainFailures.Add(1)
+	if c.threshold <= 0 {
+		return
+	}
+	b := c.breakers[key]
+	if b == nil {
+		b = &breaker{state: BreakerClosed, window: c.baseBackoff}
+		c.breakers[key] = b
+	}
+	b.failures++
+	wasProbe := b.probing
+	b.probing = false
+	if !wasProbe && b.failures < c.threshold {
+		return
+	}
+	// Threshold crossed, or a half-open probe failed: (re)open.
+	jittered := time.Duration(float64(b.window) * (1 + 0.2*c.rng.Float64()))
+	b.state = BreakerOpen
+	b.openUntil = c.now().Add(jittered)
+	if b.window *= 2; b.window > c.maxBackoff {
+		b.window = c.maxBackoff
+	}
+	c.breakerOpens.Add(1)
+	c.logf("serve: cluster %d breaker open for %v (%d consecutive failures)", key, jittered, b.failures)
+}
+
+// breakerState reports a cluster's breaker state (tests and stats).
+func (c *policyCache) breakerState(key int) (state string, failures int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.breakers[key]
+	if b == nil {
+		return BreakerClosed, 0
+	}
+	return b.state, b.failures
+}
+
+// wait blocks until the entry resolves, the caller's context ends, or the
+// train budget runs out. The budget timer runs on the wall clock.
+func (c *policyCache) wait(ctx context.Context, e *policyEntry, outcome string) (*policyEntry, string, error) {
+	var budget <-chan time.Time
+	if c.trainBudget > 0 {
+		t := time.NewTimer(c.trainBudget)
+		defer t.Stop()
+		budget = t.C
+	}
+	select {
+	case <-e.ready:
+	case <-ctx.Done():
+		return nil, outcome, ctx.Err()
+	case <-budget:
+		c.budgetMisses.Add(1)
+		return nil, outcome, ErrTrainBudget
+	}
+	if e.err != nil {
+		return nil, outcome, fmt.Errorf("serve: train cluster %d: %w", e.key, e.err)
 	}
 	return e, outcome, nil
 }
@@ -315,11 +507,26 @@ type CacheStats struct {
 	Trainings          int64 `json:"trainings"`
 	TrainNanosTotal    int64 `json:"train_ns_total"`
 	WarmRestores       int64 `json:"warm_restores"`
+	TrainFailures      int64 `json:"train_failures"`
+	TrainPanics        int64 `json:"train_panics"`
+	TrainPending       int64 `json:"train_pending"`
+	BreakersOpen       int   `json:"breakers_open"`
+	BreakerOpens       int64 `json:"breaker_opens"`
+	BreakerProbes      int64 `json:"breaker_probes"`
+	BreakerRejects     int64 `json:"breaker_rejects"`
+	Saturations        int64 `json:"train_saturations"`
+	BudgetMisses       int64 `json:"train_budget_misses"`
 }
 
 func (c *policyCache) stats() CacheStats {
 	c.mu.Lock()
 	size := len(c.entries)
+	open := 0
+	for _, b := range c.breakers {
+		if b.state == BreakerOpen || b.state == BreakerHalfOpen {
+			open++
+		}
+	}
 	c.mu.Unlock()
 	return CacheStats{
 		Size:               size,
@@ -333,5 +540,14 @@ func (c *policyCache) stats() CacheStats {
 		Trainings:          c.trainings.Load(),
 		TrainNanosTotal:    c.trainNanos.Load(),
 		WarmRestores:       c.warmRestores.Load(),
+		TrainFailures:      c.trainFailures.Load(),
+		TrainPanics:        c.trainPanics.Load(),
+		TrainPending:       c.pending.Load(),
+		BreakersOpen:       open,
+		BreakerOpens:       c.breakerOpens.Load(),
+		BreakerProbes:      c.breakerProbes.Load(),
+		BreakerRejects:     c.breakerRejects.Load(),
+		Saturations:        c.saturations.Load(),
+		BudgetMisses:       c.budgetMisses.Load(),
 	}
 }

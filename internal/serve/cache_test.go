@@ -1,0 +1,366 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// fakeClock drives Config.Now in breaker tests so open windows elapse
+// without sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// multiClusterStore builds n well-separated environments at signatures
+// 0..n-1, alternating the two importance patterns of clusterImportance.
+func multiClusterStore(t *testing.T, n int) *core.EnvironmentStore {
+	t.Helper()
+	store := core.NewEnvironmentStore()
+	for c := 0; c < n; c++ {
+		if err := store.Add(&core.Environment{
+			Importance: clusterImportance(c % 2),
+			Capacity:   []float64{2, 2},
+			Signature:  []float64{float64(c)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return store
+}
+
+func serverWithStore(t *testing.T, cfg Config, store *core.EnvironmentStore) *Server {
+	t.Helper()
+	s, err := NewServer(testTemplate(), store, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestBreakerOpenProbeClose walks the full breaker lifecycle on one cluster:
+// consecutive failures open it, requests during the window are rejected
+// without touching the trainer, an elapsed window admits exactly one
+// half-open probe, and a successful probe closes the breaker.
+func TestBreakerOpenProbeClose(t *testing.T) {
+	ctx := context.Background()
+	clock := newFakeClock()
+	cfg := fastConfig()
+	cfg.Now = clock.Now
+	cfg.BreakerThreshold = 2
+	cfg.BreakerBackoff = time.Second
+	cfg.Logf = t.Logf
+	s := newTestServer(t, cfg)
+
+	fail := true
+	var attempts int
+	realTrain := s.cache.train
+	var mu sync.Mutex
+	s.cache.train = func(cluster int) (*core.CRL, []float64, error) {
+		mu.Lock()
+		attempts++
+		broken := fail
+		mu.Unlock()
+		if broken {
+			return nil, nil, errors.New("injected")
+		}
+		return realTrain(cluster)
+	}
+	req := AllocateRequest{Signature: []float64{0}}
+
+	// Two consecutive failures cross the threshold and open the breaker.
+	for i := 0; i < 2; i++ {
+		resp, err := s.Allocate(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.DegradedReason != DegradedTrainFailed {
+			t.Fatalf("attempt %d: reason = %q", i, resp.DegradedReason)
+		}
+	}
+	if state, failures := s.cache.breakerState(0); state != BreakerOpen || failures != 2 {
+		t.Fatalf("breaker = %s/%d, want open/2", state, failures)
+	}
+
+	// While open: rejected before the trainer is ever called.
+	resp, err := s.Allocate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.DegradedReason != DegradedCircuitOpen {
+		t.Fatalf("open-window reason = %q", resp.DegradedReason)
+	}
+	if attempts != 2 {
+		t.Fatalf("trainer called %d times during open window, want 2", attempts)
+	}
+
+	// Elapse the window (base 1s, ≤20% jitter): a probe is admitted but the
+	// trainer still fails, so the breaker reopens with a doubled window.
+	clock.Advance(1500 * time.Millisecond)
+	if resp, err = s.Allocate(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if resp.DegradedReason != DegradedTrainFailed {
+		t.Fatalf("failed-probe reason = %q", resp.DegradedReason)
+	}
+	if state, _ := s.cache.breakerState(0); state != BreakerOpen {
+		t.Fatalf("breaker after failed probe = %s, want open", state)
+	}
+	// The reopened window doubled to ~2s: 1.5s is not enough.
+	clock.Advance(1500 * time.Millisecond)
+	if resp, err = s.Allocate(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if resp.DegradedReason != DegradedCircuitOpen {
+		t.Fatalf("inside doubled window reason = %q", resp.DegradedReason)
+	}
+
+	// Heal the trainer, elapse the rest of the window: the probe succeeds and
+	// the breaker closes; the same request now serves normally.
+	mu.Lock()
+	fail = false
+	mu.Unlock()
+	clock.Advance(time.Second)
+	if resp, err = s.Allocate(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mode != ModeNormal {
+		t.Fatalf("post-recovery mode = %q (reason %q)", resp.Mode, resp.DegradedReason)
+	}
+	if state, failures := s.cache.breakerState(0); state != BreakerClosed || failures != 0 {
+		t.Fatalf("breaker after recovery = %s/%d, want closed/0", state, failures)
+	}
+	stats := s.Stats().Cache
+	if stats.BreakerOpens < 2 || stats.BreakerProbes != 2 || stats.BreakerRejects < 2 {
+		t.Fatalf("breaker counters = opens %d probes %d rejects %d",
+			stats.BreakerOpens, stats.BreakerProbes, stats.BreakerRejects)
+	}
+}
+
+// TestTrainGateSaturation fills the training gate and its queue with hanging
+// trainings; the next cold cluster must answer degraded immediately instead
+// of queueing (and never 5xx).
+func TestTrainGateSaturation(t *testing.T) {
+	cfg := fastConfig()
+	cfg.TrainConcurrency = 1
+	cfg.TrainQueue = 1
+	cfg.Logf = t.Logf
+	s := serverWithStore(t, cfg, multiClusterStore(t, 3))
+
+	release := make(chan struct{})
+	released := false
+	defer func() {
+		if !released {
+			close(release)
+		}
+	}()
+	started := make(chan int, 3)
+	s.cache.train = func(cluster int) (*core.CRL, []float64, error) {
+		started <- cluster
+		<-release
+		return nil, nil, errors.New("released")
+	}
+
+	// Two background requests occupy the running slot and the queue slot.
+	var wg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_, _ = s.Allocate(ctx, AllocateRequest{Signature: []float64{float64(c)}})
+		}(c)
+	}
+	<-started // the running training is underway; the other is gated or queued
+	for s.cache.pending.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := s.Allocate(context.Background(), AllocateRequest{Signature: []float64{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mode != ModeDegraded || resp.DegradedReason != DegradedSaturated {
+		t.Fatalf("mode=%q reason=%q, want degraded/train_saturated", resp.Mode, resp.DegradedReason)
+	}
+	if got := s.Stats().Cache.Saturations; got != 1 {
+		t.Fatalf("saturations = %d, want 1", got)
+	}
+	released = true
+	close(release)
+	wg.Wait()
+}
+
+// TestTrainBudgetDegradesThenWarms bounds the cold-path wait: a training
+// slower than TrainBudget answers degraded, the training finishes in the
+// background, and the next request hits the warmed cache.
+func TestTrainBudgetDegradesThenWarms(t *testing.T) {
+	cfg := fastConfig()
+	cfg.TrainBudget = 20 * time.Millisecond
+	cfg.Logf = t.Logf
+	s := newTestServer(t, cfg)
+
+	realTrain := s.cache.train
+	gate := make(chan struct{})
+	s.cache.train = func(cluster int) (*core.CRL, []float64, error) {
+		<-gate
+		return realTrain(cluster)
+	}
+
+	resp, err := s.Allocate(context.Background(), AllocateRequest{Signature: []float64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mode != ModeDegraded || resp.DegradedReason != DegradedTrainBudget {
+		t.Fatalf("mode=%q reason=%q, want degraded/train_budget", resp.Mode, resp.DegradedReason)
+	}
+
+	close(gate)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Cache.Trainings == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background training never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, err = s.Allocate(context.Background(), AllocateRequest{Signature: []float64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mode != ModeNormal || resp.Cache != CacheHit {
+		t.Fatalf("post-warm mode=%q cache=%q, want normal/hit", resp.Mode, resp.Cache)
+	}
+	if got := s.Stats().Cache.BudgetMisses; got != 1 {
+		t.Fatalf("budget misses = %d, want 1", got)
+	}
+}
+
+// TestEvictionSkipsInFlight pins evictLocked's in-flight rule: entries whose
+// leader has not published survive even when the cache is over capacity.
+func TestEvictionSkipsInFlight(t *testing.T) {
+	cfg := fastConfig()
+	cfg.CacheCapacity = 1
+	cfg.TrainConcurrency = 4
+	cfg.TrainQueue = 4
+	cfg.Logf = t.Logf
+	s := serverWithStore(t, cfg, multiClusterStore(t, 4))
+
+	realTrain := s.cache.train
+	release := make(chan struct{})
+	s.cache.train = func(cluster int) (*core.CRL, []float64, error) {
+		<-release
+		return realTrain(cluster)
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if _, err := s.Allocate(context.Background(), AllocateRequest{Signature: []float64{float64(c)}}); err != nil {
+				t.Errorf("cluster %d: %v", c, err)
+			}
+		}(c)
+	}
+	for s.cache.pending.Load() < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	s.cache.mu.Lock()
+	over, evictions := len(s.cache.entries), s.cache.evictions.Load()
+	s.cache.mu.Unlock()
+	if over != 3 || evictions != 0 {
+		t.Fatalf("in-flight: %d entries, %d evictions; want 3 entries, 0 evictions", over, evictions)
+	}
+
+	close(release)
+	wg.Wait()
+	// The next training re-runs eviction and shrinks the cache to capacity.
+	if _, err := s.Allocate(context.Background(), AllocateRequest{Signature: []float64{3}}); err != nil {
+		t.Fatal(err)
+	}
+	s.cache.mu.Lock()
+	size := len(s.cache.entries)
+	s.cache.mu.Unlock()
+	if size > 1 {
+		t.Fatalf("post-churn cache size = %d, want ≤ capacity 1", size)
+	}
+}
+
+// TestEvictionChurnWithCheckedOutReplicas is satellite (d): a replica checked
+// out of an entry stays usable — and its release stays safe — after churn
+// evicts the entry, and the evicted cluster simply retrains on next use.
+func TestEvictionChurnWithCheckedOutReplicas(t *testing.T) {
+	ctx := context.Background()
+	cfg := fastConfig()
+	cfg.CacheCapacity = 1
+	cfg.Logf = t.Logf
+	s := serverWithStore(t, cfg, multiClusterStore(t, 3))
+
+	if _, err := s.Allocate(ctx, AllocateRequest{Signature: []float64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	s.cache.mu.Lock()
+	e0 := s.cache.entries[0]
+	s.cache.mu.Unlock()
+	if e0 == nil {
+		t.Fatal("cluster 0 entry missing after allocate")
+	}
+	replica, err := e0.acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Churn the capacity-1 cache through two other clusters; cluster 0's
+	// entry is evicted while its replica is checked out.
+	for c := 1; c <= 2; c++ {
+		if _, err := s.Allocate(ctx, AllocateRequest{Signature: []float64{float64(c)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.cache.mu.Lock()
+	_, resident := s.cache.entries[0]
+	s.cache.mu.Unlock()
+	if resident {
+		t.Fatal("cluster 0 still resident after churn past capacity")
+	}
+	if s.Stats().Cache.Evictions < 2 {
+		t.Fatalf("evictions = %d, want ≥2", s.Stats().Cache.Evictions)
+	}
+
+	// The orphaned replica still rolls out, and release is a no-op crash-free.
+	if _, err := replica.DefineEnvironment([]float64{0}); err != nil {
+		t.Fatalf("checked-out replica broken after eviction: %v", err)
+	}
+	e0.release(replica)
+
+	// The evicted cluster retrains on demand.
+	resp, err := s.Allocate(ctx, AllocateRequest{Signature: []float64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cache != CacheMiss {
+		t.Fatalf("post-eviction cache outcome = %q, want miss", resp.Cache)
+	}
+}

@@ -1,16 +1,36 @@
 package serve
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/core"
 )
 
-// checkpointVersion guards the wire format.
-const checkpointVersion = 1
+// checkpointVersion guards the wire format. Version 2 frames every section
+// with a length + CRC so a torn write or a flipped bit damages one cluster's
+// snapshot, not the whole restore.
+const checkpointVersion = 2
+
+// checkpointMagic opens every v2 checkpoint. Version 1 files were bare JSON
+// (which can never start with these bytes), so LoadCheckpoint sniffs the
+// magic to stay compatible with old checkpoints.
+var checkpointMagic = []byte("DCTACKP\x02")
+
+// checkpointCRC is CRC32-Castagnoli, hardware-accelerated on amd64/arm64.
+var checkpointCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// maxSectionBytes bounds a single framed section; a length beyond this means
+// the frame stream itself is corrupt (not just one payload), so the restore
+// stops rather than reading garbage.
+const maxSectionBytes = 64 << 20
 
 // checkpoint is the persisted form of the policy cache. Each entry carries a
 // full core.CRL snapshot (config + template + policy weights), so a restart
@@ -18,10 +38,17 @@ const checkpointVersion = 1
 // to be conducted once in advance" — paper footnote 1). The historical store
 // itself is the deployment's data and is reattached on load, exactly like
 // core.LoadCRL.
+//
+// On disk (v2) the layout is:
+//
+//	magic | section(header) | section(entry 0) | section(entry 1) | ...
+//
+// where each section is [4-byte BE payload length][4-byte BE CRC32-C][JSON].
+// v1 files were one bare JSON checkpoint object and still load.
 type checkpoint struct {
 	Version int               `json:"version"`
 	SavedAt time.Time         `json:"saved_at"`
-	Entries []checkpointEntry `json:"entries"`
+	Entries []checkpointEntry `json:"entries,omitempty"`
 }
 
 type checkpointEntry struct {
@@ -31,61 +58,231 @@ type checkpointEntry struct {
 	Policy     json.RawMessage `json:"policy"`
 }
 
-// SaveCheckpoint serializes every resident, healthy cache entry, most
-// recently used first.
-func (s *Server) SaveCheckpoint(w io.Writer) error {
-	entries := s.cache.snapshot()
-	ck := checkpoint{
-		Version: checkpointVersion,
-		SavedAt: s.cfg.Now(),
-		Entries: make([]checkpointEntry, 0, len(entries)),
+// writeSection frames one JSON payload.
+func writeSection(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
 	}
-	for _, e := range entries {
+	var frame [8]byte
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.Checksum(payload, checkpointCRC))
+	if _, err := w.Write(frame[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// readSection returns the next framed payload and whether its CRC matched.
+// io.EOF means a clean end of stream; any other error means the framing
+// itself is broken (truncated frame, absurd length) and the stream cannot be
+// advanced further.
+func readSection(r io.Reader) (payload []byte, ok bool, err error) {
+	var frame [8]byte
+	if _, err := io.ReadFull(r, frame[:]); err != nil {
+		if err == io.EOF {
+			return nil, false, io.EOF
+		}
+		return nil, false, fmt.Errorf("truncated section frame: %w", err)
+	}
+	n := binary.BigEndian.Uint32(frame[0:4])
+	if n > maxSectionBytes {
+		return nil, false, fmt.Errorf("section length %d exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, false, fmt.Errorf("truncated section payload: %w", err)
+	}
+	want := binary.BigEndian.Uint32(frame[4:8])
+	return payload, crc32.Checksum(payload, checkpointCRC) == want, nil
+}
+
+// SaveCheckpoint serializes every resident, healthy cache entry, most
+// recently used first, in the CRC-framed v2 format.
+func (s *Server) SaveCheckpoint(w io.Writer) error {
+	if _, err := w.Write(checkpointMagic); err != nil {
+		return fmt.Errorf("serve: checkpoint write: %w", err)
+	}
+	header := checkpoint{Version: checkpointVersion, SavedAt: s.cfg.Now()}
+	if err := writeSection(w, header); err != nil {
+		return fmt.Errorf("serve: checkpoint header: %w", err)
+	}
+	for _, e := range s.cache.snapshot() {
 		policy, err := e.crl.MarshalJSON()
 		if err != nil {
 			return fmt.Errorf("serve: checkpoint cluster %d: %w", e.key, err)
 		}
-		ck.Entries = append(ck.Entries, checkpointEntry{
+		entry := checkpointEntry{
 			Cluster:    e.key,
 			TrainedAt:  e.trainedAt,
 			Importance: e.imp,
 			Policy:     policy,
-		})
-	}
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(ck); err != nil {
-		return fmt.Errorf("serve: checkpoint encode: %w", err)
+		}
+		if err := writeSection(w, entry); err != nil {
+			return fmt.Errorf("serve: checkpoint cluster %d: %w", e.key, err)
+		}
 	}
 	return nil
 }
 
 // LoadCheckpoint restores cache entries saved by SaveCheckpoint, returning
-// how many were installed. Entries whose cluster index no longer exists in
-// the store are skipped (the checkpoint outlived its history); a decode
-// error fails the whole load so a corrupt file never half-restores.
+// how many were installed. Damage is contained per section: an entry whose
+// CRC fails, whose policy no longer decodes, or whose cluster index outlived
+// the store is skipped (logged and counted in Stats.CheckpointSkips) and the
+// server simply boots cold for that cluster. Only structural damage — a bad
+// magic/header or a truncated frame stream — aborts the restore, and even
+// then the entries already installed stay.
 func (s *Server) LoadCheckpoint(r io.Reader) (int, error) {
+	magic := make([]byte, len(checkpointMagic))
+	n, _ := io.ReadFull(r, magic)
+	if !bytes.Equal(magic[:n], checkpointMagic) {
+		// Not a v2 stream: replay the sniffed bytes and try the v1 bare-JSON
+		// format.
+		return s.loadCheckpointV1(io.MultiReader(bytes.NewReader(magic[:n]), r))
+	}
+
+	restored := 0
+	sawHeader := false
+	for {
+		payload, ok, err := readSection(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Framing lost — cannot locate later sections. Keep what loaded.
+			if restored > 0 || sawHeader {
+				s.skipCheckpointSection("rest of file", err)
+				break
+			}
+			return restored, fmt.Errorf("serve: checkpoint decode: %w", err)
+		}
+		if !sawHeader {
+			sawHeader = true
+			if !ok {
+				s.skipCheckpointSection("header", fmt.Errorf("crc mismatch"))
+				continue
+			}
+			var header checkpoint
+			if err := json.Unmarshal(payload, &header); err != nil {
+				return restored, fmt.Errorf("serve: checkpoint header decode: %w", err)
+			}
+			if header.Version != checkpointVersion {
+				return restored, fmt.Errorf("serve: checkpoint version %d, want %d",
+					header.Version, checkpointVersion)
+			}
+			continue
+		}
+		if !ok {
+			s.skipCheckpointSection("entry", fmt.Errorf("crc mismatch"))
+			continue
+		}
+		var entry checkpointEntry
+		if err := json.Unmarshal(payload, &entry); err != nil {
+			s.skipCheckpointSection("entry", err)
+			continue
+		}
+		if s.restoreEntry(entry) {
+			restored++
+		}
+	}
+	return restored, nil
+}
+
+// loadCheckpointV1 decodes the original bare-JSON format. Per-entry damage
+// is skipped just like v2, but there is no per-entry CRC: a corrupt v1 file
+// usually fails the whole JSON decode.
+func (s *Server) loadCheckpointV1(r io.Reader) (int, error) {
 	var ck checkpoint
 	if err := json.NewDecoder(r).Decode(&ck); err != nil {
 		return 0, fmt.Errorf("serve: checkpoint decode: %w", err)
 	}
-	if ck.Version != checkpointVersion {
+	if ck.Version != 1 {
 		return 0, fmt.Errorf("serve: checkpoint version %d, want %d", ck.Version, checkpointVersion)
 	}
 	restored := 0
 	for _, e := range ck.Entries {
-		if _, err := s.store.At(e.Cluster); err != nil {
-			continue
+		if s.restoreEntry(e) {
+			restored++
 		}
-		sub, err := s.clusterStore(e.Cluster)
-		if err != nil {
-			return restored, fmt.Errorf("serve: checkpoint cluster %d store: %w", e.Cluster, err)
-		}
-		crl, err := core.LoadCRL(e.Policy, sub)
-		if err != nil {
-			return restored, fmt.Errorf("serve: checkpoint cluster %d: %w", e.Cluster, err)
-		}
-		s.cache.install(e.Cluster, crl, e.Importance, e.TrainedAt)
-		restored++
 	}
 	return restored, nil
+}
+
+// restoreEntry installs one checkpointed cluster, reporting whether it took.
+// Failures skip the entry: the cluster boots cold and retrains on demand.
+func (s *Server) restoreEntry(e checkpointEntry) bool {
+	if _, err := s.store.At(e.Cluster); err != nil {
+		return false // checkpoint outlived its history; not damage
+	}
+	sub, err := s.clusterStore(e.Cluster)
+	if err != nil {
+		s.skipCheckpointSection(fmt.Sprintf("cluster %d store", e.Cluster), err)
+		return false
+	}
+	crl, err := core.LoadCRL(e.Policy, sub)
+	if err != nil {
+		s.skipCheckpointSection(fmt.Sprintf("cluster %d policy", e.Cluster), err)
+		return false
+	}
+	s.cache.install(e.Cluster, crl, e.Importance, e.TrainedAt)
+	return true
+}
+
+func (s *Server) skipCheckpointSection(what string, err error) {
+	s.ckptSkips.Add(1)
+	s.cfg.Logf("serve: checkpoint: skipping %s: %v", what, err)
+}
+
+// SaveCheckpointFile writes the checkpoint atomically: a temp file in the
+// same directory is fsynced, renamed over path, and the directory fsynced,
+// so a crash mid-save leaves either the old checkpoint or the new one —
+// never a torn file.
+func (s *Server) SaveCheckpointFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("serve: checkpoint temp: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := s.SaveCheckpoint(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("serve: checkpoint sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: checkpoint close: %w", err)
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("serve: checkpoint rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync() // best effort; not all filesystems support dir fsync
+		d.Close()
+	}
+	return nil
+}
+
+// LoadCheckpointFile restores from a checkpoint file written by
+// SaveCheckpointFile. A missing file is not an error — the server simply
+// boots cold — so callers can pass the same path unconditionally.
+func (s *Server) LoadCheckpointFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("serve: checkpoint open: %w", err)
+	}
+	defer f.Close()
+	return s.LoadCheckpoint(f)
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime/debug"
 	"time"
 )
 
@@ -46,6 +47,12 @@ func (o HTTPOptions) withDefaults() HTTPOptions {
 //	GET  /v1/stats     — Stats
 //	GET  /healthz      — liveness
 func NewHandler(s *Server, opts HTTPOptions) http.Handler {
+	return newHandler(s, opts, nil)
+}
+
+// newHandler is NewHandler plus test-only extra routes, so tests can mount a
+// deliberately panicking handler behind the real middleware chain.
+func newHandler(s *Server, opts HTTPOptions, extra map[string]http.HandlerFunc) http.Handler {
 	opts = opts.withDefaults()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/allocate", func(w http.ResponseWriter, r *http.Request) {
@@ -73,7 +80,29 @@ func NewHandler(s *Server, opts HTTPOptions) http.Handler {
 		}
 		writeJSON(w, code, map[string]string{"status": status})
 	})
-	return withTimeout(mux, opts.RequestTimeout)
+	for pattern, h := range extra {
+		mux.HandleFunc(pattern, h)
+	}
+	return withRecovery(withTimeout(mux, opts.RequestTimeout), s)
+}
+
+// withRecovery absorbs handler panics: one broken request must not take down
+// the listener goroutine or silently drop the connection. The panic is logged
+// with its stack, counted in Stats.RecoveredPanics, and answered with a 500
+// when the response hasn't started.
+func withRecovery(next http.Handler, s *Server) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Add(1)
+				s.cfg.Logf("serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				// Best effort: if the handler already wrote a header this
+				// is a no-op superfluous-WriteHeader log, not a crash.
+				writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // withTimeout attaches a per-request deadline to the request context. The
@@ -133,13 +162,20 @@ func writeError(w http.ResponseWriter, code int, err error) {
 }
 
 // ServeListener runs the HTTP front-end on an existing listener until ctx is
-// canceled, then drains gracefully: the server flips into draining mode (new
-// requests fail fast, /healthz reports draining so load balancers stop
-// routing), and in-flight requests get DrainTimeout to finish.
+// canceled, then drains gracefully: the server flips into draining mode
+// (allocates answer degraded without starting trainings, feedback fails fast,
+// /healthz reports draining so load balancers stop routing), and in-flight
+// requests get DrainTimeout to finish.
 func ServeListener(ctx context.Context, ln net.Listener, s *Server, opts HTTPOptions) error {
 	opts = opts.withDefaults()
+	return serveHandler(ctx, ln, NewHandler(s, opts), s, opts)
+}
+
+// serveHandler is ServeListener with the handler injected, so tests can run
+// the real serve/drain loop around a handler with extra routes.
+func serveHandler(ctx context.Context, ln net.Listener, h http.Handler, s *Server, opts HTTPOptions) error {
 	hs := &http.Server{
-		Handler:           NewHandler(s, opts),
+		Handler:           h,
 		ReadHeaderTimeout: opts.ReadHeaderTimeout,
 		BaseContext:       func(net.Listener) context.Context { return context.Background() },
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -173,8 +174,16 @@ func TestServeListenerGracefulDrain(t *testing.T) {
 	if err := <-done; err != nil {
 		t.Fatalf("drain returned %v", err)
 	}
-	// The in-process server object is now draining: direct calls fail fast.
-	if _, err := s.Allocate(context.Background(), AllocateRequest{Signature: []float64{1}}); err == nil {
-		t.Fatal("allocate after drain succeeded")
+	// The in-process server object is now draining: allocates keep answering
+	// but through the degraded path, with no new trainings.
+	resp, err := s.Allocate(context.Background(), AllocateRequest{Signature: []float64{1}})
+	if err != nil {
+		t.Fatalf("allocate after drain: %v", err)
+	}
+	if resp.Mode != ModeDegraded || resp.DegradedReason != DegradedDraining {
+		t.Fatalf("post-drain mode=%q reason=%q, want degraded/draining", resp.Mode, resp.DegradedReason)
+	}
+	if _, err := s.Feedback(context.Background(), FeedbackRequest{}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain feedback err = %v", err)
 	}
 }

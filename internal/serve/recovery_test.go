@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRecoveryMiddleware: a panicking handler yields a 500, a log line with
+// the stack, and a counted recovery — and the handler chain keeps serving.
+func TestRecoveryMiddleware(t *testing.T) {
+	var logs []string
+	cfg := fastConfig()
+	cfg.Logf = func(format string, args ...any) {
+		logs = append(logs, format)
+	}
+	s := newTestServer(t, cfg)
+	h := newHandler(s, HTTPOptions{}, map[string]http.HandlerFunc{
+		"/boom": func(http.ResponseWriter, *http.Request) { panic("kaboom") },
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler status = %d, want 500", resp.StatusCode)
+	}
+	if got := s.Stats().RecoveredPanics; got != 1 {
+		t.Fatalf("RecoveredPanics = %d, want 1", got)
+	}
+	logged := false
+	for _, l := range logs {
+		if strings.Contains(l, "panic") {
+			logged = true
+		}
+	}
+	if !logged {
+		t.Fatalf("panic was not logged: %q", logs)
+	}
+
+	// The same handler still serves real traffic.
+	var ar AllocateResponse
+	if code, body := postJSON(t, ts.Client(), ts.URL+"/v1/allocate",
+		AllocateRequest{Signature: []float64{0}}, &ar); code != http.StatusOK {
+		t.Fatalf("allocate after panic = %d: %s", code, body)
+	}
+}
+
+// TestServeListenerSurvivesHandlerPanic proves the full serve loop — real
+// listener, drain on cancel — outlives a handler panic: the connection gets
+// a 500, later requests succeed, and shutdown still drains cleanly.
+func TestServeListenerSurvivesHandlerPanic(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Logf = t.Logf
+	s := newTestServer(t, cfg)
+	opts := HTTPOptions{DrainTimeout: 5 * time.Second}.withDefaults()
+	h := newHandler(s, opts, map[string]http.HandlerFunc{
+		"/boom": func(http.ResponseWriter, *http.Request) { panic("kaboom") },
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveHandler(ctx, ln, h, s, opts) }()
+	base := "http://" + ln.Addr().String()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(base + "/boom")
+		if err != nil {
+			t.Fatalf("panic request %d killed the listener: %v", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("panic request %d status = %d, want 500", i, resp.StatusCode)
+		}
+	}
+	var ar AllocateResponse
+	if code, body := postJSON(t, http.DefaultClient, base+"/v1/allocate",
+		AllocateRequest{Signature: []float64{1}}, &ar); code != http.StatusOK {
+		t.Fatalf("allocate after panics = %d: %s", code, body)
+	}
+	if got := s.Stats().RecoveredPanics; got != 3 {
+		t.Fatalf("RecoveredPanics = %d, want 3", got)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("drain after panics returned %v", err)
+	}
+}

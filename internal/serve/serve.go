@@ -16,16 +16,25 @@
 // The package splits into:
 //
 //   - cache.go      — the per-cluster policy cache (LRU + TTL + drift +
-//     singleflight + inference-replica pools)
+//     singleflight + inference-replica pools), the per-cluster training
+//     circuit breaker and the global bounded-concurrency training gate
 //   - server.go     — Server: allocate/feedback/stats against a template,
 //     store and local model
+//   - fallback.go   — the degraded-mode allocator: when the policy path
+//     fails (training error, budget overrun, open breaker, saturated
+//     gate, draining), answer from a density-greedy knapsack pack over
+//     the kNN-matched importance, corrected by the local SVM when fitted
 //   - http.go       — the HTTP/JSON API (/v1/allocate, /v1/feedback,
-//     /v1/stats, /healthz) with request timeouts and graceful drain
-//   - checkpoint.go — warm-start snapshots of the policy cache
+//     /v1/stats, /healthz) with request timeouts, panic recovery and
+//     graceful drain
+//   - checkpoint.go — warm-start snapshots of the policy cache with
+//     CRC-framed sections and atomic file replacement
 package serve
 
 import (
 	"errors"
+	"log"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -37,6 +46,19 @@ var (
 	ErrBadRequest = errors.New("serve: bad request")
 	// ErrDraining is returned once the server has begun shutting down.
 	ErrDraining = errors.New("serve: draining")
+	// ErrCircuitOpen reports that a cluster's training circuit breaker is
+	// open: recent trainings kept failing, so the policy path refuses to
+	// retry until the backoff window elapses. Allocate answers such
+	// requests from the degraded fallback path instead of surfacing this.
+	ErrCircuitOpen = errors.New("serve: training circuit open")
+	// ErrTrainSaturated reports that the global training gate is full: the
+	// concurrency semaphore and its queue are both occupied, so no new
+	// cluster training may start. Allocate degrades instead of queueing.
+	ErrTrainSaturated = errors.New("serve: training gate saturated")
+	// ErrTrainBudget reports that a training ran longer than
+	// Config.TrainBudget. The training continues in the background and
+	// will warm the cache; the waiting request degrades.
+	ErrTrainBudget = errors.New("serve: training exceeded budget")
 )
 
 // Config tunes the allocation service.
@@ -75,6 +97,36 @@ type Config struct {
 	Seed int64
 	// Now is the service clock (tests inject a fake; default time.Now).
 	Now func() time.Time
+
+	// TrainBudget bounds how long an allocate request waits for the policy
+	// training it leads or joins; past the budget the request answers from
+	// the degraded fallback path while the training finishes in the
+	// background and warms the cache. 0 (the default) waits until the
+	// request context expires. The budget timer runs on the wall clock,
+	// not Now.
+	TrainBudget time.Duration
+	// BreakerThreshold opens a cluster's training circuit breaker after
+	// this many consecutive training failures (default 3; <0 disables the
+	// breaker). While open, requests for the cluster degrade instead of
+	// retraining; after the backoff window a single half-open probe
+	// training decides whether the breaker closes or reopens.
+	BreakerThreshold int
+	// BreakerBackoff is the first open window. Each reopen doubles it
+	// (with up to 20% deterministic jitter) up to BreakerMaxBackoff
+	// (defaults 1s / 2min).
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
+	// TrainConcurrency bounds concurrently running cluster trainings — the
+	// global gate that keeps a cold burst of distinct signatures from
+	// fork-bombing trainings (default GOMAXPROCS/2, min 1).
+	TrainConcurrency int
+	// TrainQueue bounds trainings waiting on the gate beyond the running
+	// ones; when queue and gate are both full, new cold clusters answer
+	// degraded instead of queueing (default 2×TrainConcurrency).
+	TrainQueue int
+	// Logf sinks service logs: recovered panics, breaker transitions,
+	// skipped checkpoint sections (default log.Printf).
+	Logf func(format string, args ...any)
 }
 
 // DefaultConfig returns the serving defaults.
@@ -110,6 +162,27 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Now == nil {
 		c.Now = time.Now
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerBackoff <= 0 {
+		c.BreakerBackoff = time.Second
+	}
+	if c.BreakerMaxBackoff <= 0 {
+		c.BreakerMaxBackoff = 2 * time.Minute
+	}
+	if c.TrainConcurrency < 1 {
+		c.TrainConcurrency = runtime.GOMAXPROCS(0) / 2
+		if c.TrainConcurrency < 1 {
+			c.TrainConcurrency = 1
+		}
+	}
+	if c.TrainQueue < 1 {
+		c.TrainQueue = 2 * c.TrainConcurrency
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
 	}
 	return c
 }

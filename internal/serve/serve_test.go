@@ -189,8 +189,13 @@ func TestAllocateValidation(t *testing.T) {
 		t.Fatal("signature dimension mismatch accepted")
 	}
 	s.Drain()
-	if _, err := s.Allocate(ctx, AllocateRequest{Signature: []float64{0}}); !errors.Is(err, ErrDraining) {
-		t.Fatalf("draining err = %v", err)
+	// Draining allocates still answer — degraded, without starting trainings.
+	resp, err := s.Allocate(ctx, AllocateRequest{Signature: []float64{0}})
+	if err != nil {
+		t.Fatalf("draining allocate err = %v", err)
+	}
+	if resp.Mode != ModeDegraded || resp.DegradedReason != DegradedDraining {
+		t.Fatalf("draining allocate mode=%q reason=%q, want degraded/draining", resp.Mode, resp.DegradedReason)
 	}
 	if _, err := s.Feedback(ctx, FeedbackRequest{}); !errors.Is(err, ErrDraining) {
 		t.Fatalf("draining feedback err = %v", err)

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -43,6 +44,9 @@ type Server struct {
 	feedbacks atomic.Int64
 	refits    atomic.Int64
 	storeAdds atomic.Int64
+	degraded  atomic.Int64
+	panics    atomic.Int64 // handler panics recovered by the HTTP middleware
+	ckptSkips atomic.Int64 // corrupt checkpoint sections skipped on load
 
 	latMu   sync.Mutex
 	lat     []int64 // ns ring, most recent latencyWindow allocates
@@ -155,6 +159,15 @@ type AllocateRequest struct {
 	Allocator string `json:"allocator,omitempty"`
 }
 
+// Serving modes (AllocateResponse.Mode).
+const (
+	// ModeNormal answered from the policy-cache path.
+	ModeNormal = "normal"
+	// ModeDegraded answered from the greedy fallback because the policy
+	// path was unavailable (see DegradedReason).
+	ModeDegraded = "degraded"
+)
+
 // AllocateResponse is the service's answer.
 type AllocateResponse struct {
 	// Allocation maps task → processor index, -1 for dropped tasks.
@@ -163,10 +176,16 @@ type AllocateResponse struct {
 	// the policy-cache key.
 	Cluster int `json:"cluster"`
 	// Cache is the cache outcome (hit, miss, coalesced, expired, drift,
-	// warm).
+	// warm; bypass for degraded answers).
 	Cache string `json:"cache"`
-	// Allocator is the strategy that produced the allocation (CRL or DCTA).
+	// Allocator is the strategy that produced the allocation (CRL, DCTA,
+	// or greedy-fallback).
 	Allocator string `json:"allocator"`
+	// Mode is "normal" for policy-path answers, "degraded" for fallback
+	// ones.
+	Mode string `json:"mode"`
+	// DegradedReason says why the fallback answered (degraded mode only).
+	DegradedReason string `json:"degraded_reason,omitempty"`
 	// PredictedImportance is the allocator's own captured-importance
 	// estimate under the defined environment.
 	PredictedImportance float64 `json:"predicted_importance"`
@@ -180,22 +199,65 @@ type AllocateResponse struct {
 // Allocate answers one allocation query. Safe for arbitrary concurrency:
 // store reads are lock-protected, every DQN rollout runs on an exclusive
 // pooled replica, and the local model is immutable-after-Fit.
+//
+// Availability contract: once the request is validated, Allocate answers.
+// Any policy-path failure — a training that errors, panics, outlives the
+// TrainBudget or the request deadline, an open circuit breaker, a saturated
+// training gate, draining, or a broken rollout — routes to the degraded
+// fallback allocator (fallback.go), which always produces a feasible
+// allocation. Only malformed requests and a canceled caller context error.
 func (s *Server) Allocate(ctx context.Context, req AllocateRequest) (*AllocateResponse, error) {
-	if s.draining.Load() {
-		return nil, ErrDraining
-	}
 	start := s.cfg.Now()
 	if len(req.Signature) == 0 {
 		return nil, fmt.Errorf("%w: empty signature", ErrBadRequest)
 	}
+	switch req.Allocator {
+	case "", "auto", "crl", "dcta":
+	default:
+		return nil, fmt.Errorf("%w: unknown allocator %q", ErrBadRequest, req.Allocator)
+	}
 	cluster, _, err := s.store.NearestIndex(req.Signature)
 	if err != nil {
-		return nil, fmt.Errorf("serve: cluster lookup: %w", err)
+		// Dimension mismatch with the store's signatures (or an empty
+		// store, impossible after NewServer) is a client error.
+		return nil, fmt.Errorf("%w: cluster lookup: %v", ErrBadRequest, err)
+	}
+	if req.Allocator == "dcta" {
+		if len(req.Features) != len(s.template.Tasks) {
+			return nil, fmt.Errorf("%w: dcta needs %d feature vectors, got %d",
+				ErrBadRequest, len(s.template.Tasks), len(req.Features))
+		}
+		if local := s.localModel(); local == nil || !local.Fitted() {
+			return nil, fmt.Errorf("%w: local model not fitted", ErrBadRequest)
+		}
+	}
+	if s.draining.Load() {
+		// Draining-but-not-yet-stopped: never start a training, but keep
+		// answering until the listener closes.
+		return s.fallbackAllocate(req, cluster, start, DegradedDraining)
 	}
 	entry, outcome, err := s.cache.get(ctx, cluster)
 	if err != nil {
-		return nil, err
+		if errors.Is(err, context.Canceled) {
+			return nil, err // the caller is gone; no one reads the answer
+		}
+		return s.fallbackAllocate(req, cluster, start, degradedReason(err))
 	}
+	resp, err := s.policyAllocate(req, cluster, entry, outcome, start)
+	if err != nil {
+		if errors.Is(err, ErrBadRequest) {
+			return nil, err
+		}
+		s.cfg.Logf("serve: policy path cluster %d: %v (answering degraded)", cluster, err)
+		return s.fallbackAllocate(req, cluster, start, DegradedPolicyError)
+	}
+	return resp, nil
+}
+
+// policyAllocate is the warm path: roll the cached policy (or DCTA over it)
+// on a pooled replica.
+func (s *Server) policyAllocate(req AllocateRequest, cluster int, entry *policyEntry,
+	outcome string, start time.Time) (*AllocateResponse, error) {
 	replica, err := entry.acquire()
 	if err != nil {
 		return nil, fmt.Errorf("serve: replica: %w", err)
@@ -216,17 +278,8 @@ func (s *Server) Allocate(ctx context.Context, req AllocateRequest) (*AllocateRe
 	case "", "auto":
 		useDCTA = len(req.Features) == len(prob.Tasks) && local != nil && local.Fitted()
 	case "dcta":
-		if len(req.Features) != len(prob.Tasks) {
-			return nil, fmt.Errorf("%w: dcta needs %d feature vectors, got %d",
-				ErrBadRequest, len(prob.Tasks), len(req.Features))
-		}
-		if local == nil || !local.Fitted() {
-			return nil, fmt.Errorf("%w: local model not fitted", ErrBadRequest)
-		}
-		useDCTA = true
+		useDCTA = true // validated in Allocate
 	case "crl":
-	default:
-		return nil, fmt.Errorf("%w: unknown allocator %q", ErrBadRequest, req.Allocator)
 	}
 
 	var res *alloc.Result
@@ -262,6 +315,7 @@ func (s *Server) Allocate(ctx context.Context, req AllocateRequest) (*AllocateRe
 		Cluster:             cluster,
 		Cache:               outcome,
 		Allocator:           name,
+		Mode:                ModeNormal,
 		PredictedImportance: res.PredictedImportance,
 		LatencyNanos:        int64(latency),
 	}
@@ -411,15 +465,23 @@ type LatencyStats struct {
 
 // Stats is the /v1/stats payload.
 type Stats struct {
-	UptimeSeconds float64      `json:"uptime_s"`
-	Allocates     int64        `json:"allocates"`
-	Feedbacks     int64        `json:"feedbacks"`
-	Refits        int64        `json:"refits"`
-	StoreSize     int          `json:"store_size"`
-	StoreAdds     int64        `json:"store_adds"`
-	WindowSize    int          `json:"feedback_window"`
-	Cache         CacheStats   `json:"cache"`
-	Latency       LatencyStats `json:"latency"`
+	UptimeSeconds float64 `json:"uptime_s"`
+	Allocates     int64   `json:"allocates"`
+	// DegradedCount is the number of allocations answered by the fallback
+	// path (subset of Allocates).
+	DegradedCount int64 `json:"degraded"`
+	Feedbacks     int64 `json:"feedbacks"`
+	Refits        int64 `json:"refits"`
+	StoreSize     int   `json:"store_size"`
+	StoreAdds     int64 `json:"store_adds"`
+	WindowSize    int   `json:"feedback_window"`
+	// RecoveredPanics counts HTTP handler panics absorbed by the recovery
+	// middleware.
+	RecoveredPanics int64 `json:"recovered_panics"`
+	// CheckpointSkips counts corrupt checkpoint sections skipped on restore.
+	CheckpointSkips int64        `json:"checkpoint_skips"`
+	Cache           CacheStats   `json:"cache"`
+	Latency         LatencyStats `json:"latency"`
 }
 
 // Stats snapshots the service counters.
@@ -428,15 +490,18 @@ func (s *Server) Stats() Stats {
 	window := len(s.window)
 	s.fbMu.Unlock()
 	return Stats{
-		UptimeSeconds: s.cfg.Now().Sub(s.started).Seconds(),
-		Allocates:     s.allocates.Load(),
-		Feedbacks:     s.feedbacks.Load(),
-		Refits:        s.refits.Load(),
-		StoreSize:     s.store.Len(),
-		StoreAdds:     s.storeAdds.Load(),
-		WindowSize:    window,
-		Cache:         s.cache.stats(),
-		Latency:       s.latencyStats(),
+		UptimeSeconds:   s.cfg.Now().Sub(s.started).Seconds(),
+		Allocates:       s.allocates.Load(),
+		DegradedCount:   s.degraded.Load(),
+		Feedbacks:       s.feedbacks.Load(),
+		Refits:          s.refits.Load(),
+		StoreSize:       s.store.Len(),
+		StoreAdds:       s.storeAdds.Load(),
+		WindowSize:      window,
+		RecoveredPanics: s.panics.Load(),
+		CheckpointSkips: s.ckptSkips.Load(),
+		Cache:           s.cache.stats(),
+		Latency:         s.latencyStats(),
 	}
 }
 
