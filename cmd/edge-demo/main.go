@@ -6,6 +6,13 @@
 //
 //	edge-demo -workers 5 -timescale 0.001
 //	edge-demo -fault-tolerant          # reassign tasks when workers die
+//	edge-demo -hang-worker 2           # worker 2's link freezes mid-run
+//	edge-demo -corrupt-rate 0.1        # 10% of completion frames corrupted
+//
+// The fault flags route the affected workers through an in-process
+// fault-injection proxy (internal/netfault) and force the fault-tolerant
+// controller, which detects the damage — missed heartbeats, checksum
+// failures — and completes the plan anyway, reporting its failure counters.
 package main
 
 import (
@@ -13,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"os"
 	"time"
@@ -20,6 +28,7 @@ import (
 	"repro"
 	"repro/internal/edgenet"
 	"repro/internal/edgesim"
+	"repro/internal/netfault"
 )
 
 func main() {
@@ -31,6 +40,8 @@ func main() {
 		scale     = flag.String("scale", "default", "scenario scale: fast, default")
 		ft        = flag.Bool("fault-tolerant", false, "use the fault-tolerant controller (retries and reassigns on worker failure)")
 		ftAlias   = flag.Bool("faulttolerant", false, "alias for -fault-tolerant")
+		hang      = flag.Int("hang-worker", 0, "freeze this worker's link (1-based) on its first completion; implies -fault-tolerant")
+		corrupt   = flag.Float64("corrupt-rate", 0, "probability of corrupting each completion frame in flight; implies -fault-tolerant")
 	)
 	flag.Parse()
 	if err := run(os.Stdout, demoOptions{
@@ -40,6 +51,8 @@ func main() {
 		Seed:          *seed,
 		Scale:         *scale,
 		FaultTolerant: *ft || *ftAlias,
+		HangWorker:    *hang,
+		CorruptRate:   *corrupt,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "edge-demo:", err)
 		os.Exit(1)
@@ -55,9 +68,26 @@ type demoOptions struct {
 	Seed          int64
 	Scale         string
 	FaultTolerant bool
+	// HangWorker freezes the link of the given worker (1-based) on its
+	// first completion frame; 0 injects no hang.
+	HangWorker int
+	// CorruptRate is the per-completion-frame probability of a byte flip in
+	// flight (detectable: the frame checksum goes stale).
+	CorruptRate float64
 }
 
 func run(out io.Writer, opt demoOptions) error {
+	if opt.HangWorker < 0 || opt.HangWorker > opt.Workers {
+		return fmt.Errorf("-hang-worker %d out of range (1..%d)", opt.HangWorker, opt.Workers)
+	}
+	if opt.CorruptRate < 0 || opt.CorruptRate > 1 {
+		return fmt.Errorf("-corrupt-rate %v out of range (0..1)", opt.CorruptRate)
+	}
+	injecting := opt.HangWorker > 0 || opt.CorruptRate > 0
+	if injecting && !opt.FaultTolerant {
+		fmt.Fprintln(out, "fault injection requested: forcing the fault-tolerant controller")
+		opt.FaultTolerant = true
+	}
 	fmt.Fprintf(out, "building scenario (%d workers)...\n", opt.Workers)
 	cfg := dcta.DefaultScenarioConfig(opt.Seed)
 	cfg.Workers = opt.Workers
@@ -100,6 +130,11 @@ func run(out io.Writer, opt demoOptions) error {
 	addrs := make([]string, opt.Workers)
 	for i := 0; i < opt.Workers; i++ {
 		w := &edgenet.Worker{ID: i + 1, Type: cycle[i%len(cycle)], TimeScale: opt.TimeScale}
+		if opt.FaultTolerant {
+			// Heartbeats let the controller tell a hung worker from a
+			// computing one.
+			w.HeartbeatEvery = 50 * time.Millisecond
+		}
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return fmt.Errorf("listen worker %d: %w", i, err)
@@ -109,7 +144,17 @@ func run(out io.Writer, opt demoOptions) error {
 		}
 		defer w.Close()
 		addrs[i] = w.Addr()
-		fmt.Fprintf(out, "worker %d (%s) listening on %s\n", w.ID, w.Type, w.Addr())
+		note := ""
+		if decide := faultDecider(opt, w.ID); decide != nil {
+			proxy, err := netfault.New(w.Addr(), decide, nil)
+			if err != nil {
+				return fmt.Errorf("fault proxy for worker %d: %w", i, err)
+			}
+			defer proxy.Close()
+			addrs[i] = proxy.Addr()
+			note = " [faulty link]"
+		}
+		fmt.Fprintf(out, "worker %d (%s) listening on %s%s\n", w.ID, w.Type, addrs[i], note)
 	}
 
 	mode := "plain"
@@ -142,7 +187,38 @@ func run(out io.Writer, opt demoOptions) error {
 	if len(report.Completions) > 5 {
 		fmt.Fprintf(out, "  … %d more\n", len(report.Completions)-5)
 	}
+	if opt.FaultTolerant {
+		fmt.Fprintf(out, "robustness: %d heartbeat misses, %d dead workers, %d hedges, %d retries, %d corrupt frames, %d duplicate completions, %d rejoins\n",
+			report.HeartbeatMisses, report.DeadWorkers, report.Hedges,
+			report.Retries, report.CorruptFrames, report.DuplicateDone, report.Rejoins)
+	}
 	return nil
+}
+
+// faultDecider builds the netfault policy for one worker's link, or nil for
+// a clean link. The corruption draw is seeded per worker, so a given seed
+// injects a reproducible fault pattern.
+func faultDecider(opt demoOptions, workerID int) netfault.Decider {
+	hang := opt.HangWorker == workerID
+	var rng *rand.Rand
+	if opt.CorruptRate > 0 {
+		rng = rand.New(rand.NewSource(opt.Seed + int64(workerID)))
+	}
+	if !hang && rng == nil {
+		return nil
+	}
+	return func(i int, env *edgenet.Envelope) netfault.Action {
+		if env == nil || env.Type != edgenet.MsgDone {
+			return netfault.Pass
+		}
+		if hang {
+			return netfault.Hang
+		}
+		if rng != nil && rng.Float64() < opt.CorruptRate {
+			return netfault.Corrupt
+		}
+		return netfault.Pass
+	}
 }
 
 func min(a, b int) int {

@@ -30,6 +30,53 @@ func TestFaultTolerantDemoSmoke(t *testing.T) {
 	}
 }
 
+// TestChaosDemoSmoke drives the demo's fault-injection flags: one worker's
+// link freezes mid-run and completion frames are randomly corrupted, both
+// behind the netfault proxy. The run must still finish (the flags force the
+// fault-tolerant controller) and print the robustness counters. The name
+// matches the CI chaos regex ('Chaos|FaultTolerant') so this runs under
+// -race there.
+func TestChaosDemoSmoke(t *testing.T) {
+	var out bytes.Buffer
+	err := run(&out, demoOptions{
+		Workers:     4,
+		TimeScale:   0.0005,
+		Method:      "DCTA",
+		Seed:        1,
+		Scale:       "fast",
+		HangWorker:  2,
+		CorruptRate: 0.1,
+	})
+	if err != nil {
+		t.Fatalf("chaos demo failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"forcing the fault-tolerant controller",
+		"[faulty link]",
+		"decision ready at",
+		"robustness:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// The frozen link must have been noticed: the demo reports at least one
+	// dead worker.
+	if strings.Contains(out.String(), "0 dead workers") {
+		t.Fatalf("hung worker never declared dead:\n%s", out.String())
+	}
+}
+
+func TestDemoRejectsFaultFlagRanges(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, demoOptions{Workers: 2, HangWorker: 5}); err == nil {
+		t.Fatal("out-of-range -hang-worker accepted")
+	}
+	if err := run(&out, demoOptions{Workers: 2, CorruptRate: 1.5}); err == nil {
+		t.Fatal("out-of-range -corrupt-rate accepted")
+	}
+}
+
 func TestDemoRejectsUnknownScale(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(&out, demoOptions{Workers: 1, Scale: "nope"}); err == nil {

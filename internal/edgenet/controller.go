@@ -38,27 +38,155 @@ type Report struct {
 	// was never reached.
 	DecisionReadyAt time.Duration
 	// Covered is the importance completed by DecisionReadyAt (or by the end
-	// of the run when the target was unreachable).
+	// of the run when the target was unreachable). Each task counts once no
+	// matter how many workers completed it.
 	Covered float64
-	// Completions lists every task completion in arrival order.
+	// Completions lists every first task completion in arrival order;
+	// duplicate completions (hedges, retried frames) are deduplicated and
+	// counted in DuplicateDone instead.
 	Completions []Completion
-	// Workers maps worker index (processor ID) to the announced worker ID.
+	// Workers maps dispatch-pool slot to the announced worker ID. Slots
+	// beyond the initial address list belong to workers admitted mid-run
+	// through the rejoin listener.
 	Workers map[int]int
+
+	// Robustness counters (populated by RunFaultTolerant; all zero for the
+	// strict Run path).
+
+	// HeartbeatMisses is the total number of heartbeat windows that passed
+	// without a beat, summed over all heartbeat-announcing workers.
+	HeartbeatMisses int
+	// DeadWorkers is the number of workers declared dead mid-run — by
+	// missed heartbeats, a broken connection, or corrupt-frame quarantine.
+	DeadWorkers int
+	// Hedges is the number of speculative duplicate dispatches of
+	// straggling tasks (first completion wins).
+	Hedges int
+	// Retries is the number of assignments re-sent to a worker after one
+	// of its frames arrived corrupt.
+	Retries int
+	// CorruptFrames is the number of frames rejected by checksum or
+	// message validation across all workers.
+	CorruptFrames int
+	// DuplicateDone is the number of completions discarded because the
+	// task had already been completed (hedging or retry races).
+	DuplicateDone int
+	// Rejoins is the number of workers admitted mid-run via the rejoin
+	// listener.
+	Rejoins int
 }
 
 // Controller executes allocation plans on live workers over TCP.
+//
+// The zero value works; the knobs below tune the fault-tolerant path's
+// failure detector (RunFaultTolerant). The strict Run path ignores them.
 type Controller struct {
 	// DialTimeout bounds each worker connection attempt.
 	DialTimeout time.Duration
+	// LivenessMisses is K: a worker that announced a heartbeat cadence and
+	// then misses K consecutive windows is declared dead and its work
+	// re-dispatched (default 3).
+	LivenessMisses int
+	// HedgeMinDeadline is the floor of a task's completion deadline; a
+	// task still incomplete past its deadline is speculatively re-sent to
+	// an idle healthy worker (default 1s).
+	HedgeMinDeadline time.Duration
+	// HedgeFactor scales the task's expected execution time
+	// (InputBits × SecPerBit × TimeScale from the worker's hello) added on
+	// top of HedgeMinDeadline (default 4).
+	HedgeFactor float64
+	// MaxCorruptFrames quarantines a worker after this many corrupt
+	// frames on its connection: the link is flaky beyond salvage
+	// (default 3).
+	MaxCorruptFrames int
+	// Tick is the failure-detector scan interval (default 10ms).
+	Tick time.Duration
+	// RejoinListener, when non-nil, lets recovered workers dial back in
+	// mid-run: RunFaultTolerant accepts connections on it, reads the
+	// hello, and admits the worker into the dispatch pool. The listener
+	// is closed when the run ends.
+	RejoinListener net.Listener
 }
 
 // NewController returns a controller with a 2-second dial timeout.
 func NewController() *Controller { return &Controller{DialTimeout: 2 * time.Second} }
 
+func (c *Controller) livenessMisses() int {
+	if c.LivenessMisses > 0 {
+		return c.LivenessMisses
+	}
+	return 3
+}
+
+func (c *Controller) hedgeMinDeadline() time.Duration {
+	if c.HedgeMinDeadline > 0 {
+		return c.HedgeMinDeadline
+	}
+	return time.Second
+}
+
+func (c *Controller) hedgeFactor() float64 {
+	if c.HedgeFactor > 0 {
+		return c.HedgeFactor
+	}
+	return 4
+}
+
+func (c *Controller) maxCorruptFrames() int {
+	if c.MaxCorruptFrames > 0 {
+		return c.MaxCorruptFrames
+	}
+	return 3
+}
+
+func (c *Controller) tick() time.Duration {
+	if c.Tick > 0 {
+		return c.Tick
+	}
+	return 10 * time.Millisecond
+}
+
+// planQueues validates the plan against the worker count and splits it into
+// per-worker queues in priority order. Shared by Run and RunFaultTolerant.
+func planQueues(p *core.Problem, res *alloc.Result, workers int) (queues [][]int, assigned int, err error) {
+	queues = make([][]int, workers)
+	for j, proc := range res.Allocation {
+		if proc == core.Unassigned {
+			continue
+		}
+		if proc < 0 || proc >= workers {
+			return nil, 0, fmt.Errorf("task %d on processor %d: %w", j, proc, ErrPlanMismatch)
+		}
+		queues[proc] = append(queues[proc], j)
+		assigned++
+	}
+	prio := planPriority(res)
+	for _, q := range queues {
+		sort.Slice(q, func(a, b int) bool {
+			pa, pb := prio(q[a]), prio(q[b])
+			if pa != pb {
+				return pa > pb
+			}
+			return q[a] < q[b]
+		})
+	}
+	return queues, assigned, nil
+}
+
+func planPriority(res *alloc.Result) func(int) float64 {
+	return func(j int) float64 {
+		if res.Priority != nil && j < len(res.Priority) {
+			return res.Priority[j]
+		}
+		return -float64(j)
+	}
+}
+
 // Run connects to the workers (addrs[i] serves processor i of the problem),
 // streams the allocation's tasks in priority order, and returns when the
 // coverage target is met and all assigned tasks have completed, the context
-// is cancelled, or a connection fails.
+// is cancelled, or a connection fails. Run is the strict path: any worker
+// failure or corrupt frame fails the run (RunFaultTolerant survives them).
 func (c *Controller) Run(ctx context.Context, addrs []string, p *core.Problem, res *alloc.Result, coverageTarget float64) (*Report, error) {
 	if len(addrs) == 0 {
 		return nil, ErrNoWorkers
@@ -98,33 +226,9 @@ func (c *Controller) Run(ctx context.Context, addrs []string, p *core.Problem, r
 		}
 		report.Workers[i] = hello.WorkerID
 	}
-	// Build per-worker queues in priority order.
-	queues := make([][]int, len(addrs))
-	assigned := 0
-	for j, proc := range res.Allocation {
-		if proc == core.Unassigned {
-			continue
-		}
-		if proc < 0 || proc >= len(addrs) {
-			return nil, fmt.Errorf("task %d on processor %d: %w", j, proc, ErrPlanMismatch)
-		}
-		queues[proc] = append(queues[proc], j)
-		assigned++
-	}
-	prio := func(j int) float64 {
-		if res.Priority != nil && j < len(res.Priority) {
-			return res.Priority[j]
-		}
-		return -float64(j)
-	}
-	for _, q := range queues {
-		sort.Slice(q, func(a, b int) bool {
-			pa, pb := prio(q[a]), prio(q[b])
-			if pa != pb {
-				return pa > pb
-			}
-			return q[a] < q[b]
-		})
+	queues, assigned, err := planQueues(p, res, len(addrs))
+	if err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	events := make(chan Completion, 1)
@@ -196,6 +300,8 @@ func (c *Controller) Run(ctx context.Context, addrs []string, p *core.Problem, r
 }
 
 // driveWorker streams one worker's queue and forwards completions.
+// Heartbeat frames interleaved by v2 workers are skipped; anything else
+// unexpected is a protocol error (the strict path does not recover).
 func (c *Controller) driveWorker(ctx context.Context, conn net.Conn, p *core.Problem, tasks []int, start time.Time, events chan<- Completion) error {
 	defer WriteFrame(conn, &Envelope{Type: MsgShutdown}) //nolint:errcheck // best-effort goodbye
 	for _, j := range tasks {
@@ -212,9 +318,17 @@ func (c *Controller) driveWorker(ctx context.Context, conn net.Conn, p *core.Pro
 		if err := WriteFrame(conn, assign); err != nil {
 			return fmt.Errorf("edgenet assign task %d: %w", j, err)
 		}
-		done, err := ReadFrame(conn)
-		if err != nil {
-			return fmt.Errorf("edgenet await task %d: %w", j, err)
+		var done *Envelope
+		for {
+			env, err := ReadFrame(conn)
+			if err != nil {
+				return fmt.Errorf("edgenet await task %d: %w", j, err)
+			}
+			if env.Type == MsgHeartbeat {
+				continue
+			}
+			done = env
+			break
 		}
 		if done.Type != MsgDone || done.TaskID != j {
 			return fmt.Errorf("task %d got %q/%d: %w", j, done.Type, done.TaskID, ErrBadMessage)

@@ -15,10 +15,92 @@ import (
 // ErrAllWorkersDown is returned when no worker remains to run the plan.
 var ErrAllWorkersDown = fmt.Errorf("edgenet: all workers down")
 
-// RunFaultTolerant executes the plan like Run, but survives worker
-// crashes: when a worker's connection breaks, its unfinished tasks are
-// re-dispatched to the surviving workers (earliest-available first). The
-// run fails only when every worker is gone with work outstanding.
+// ftWorker is one dispatch-pool member. All fields below conn/out are owned
+// by the event loop; the read/write goroutines touch only conn and the
+// channels.
+type ftWorker struct {
+	slot int // dispatch-pool slot (key in Report.Workers)
+	id   int // announced worker ID
+	conn net.Conn
+	out  chan *Envelope
+
+	secPerBit float64
+	timeScale float64
+	beatEvery time.Duration // announced heartbeat cadence; 0 = no liveness tracking
+
+	alive    bool
+	busy     int   // task in flight, -1 when idle
+	queue    []int // planned backlog, priority-ordered
+	lastBeat time.Time
+	misses   int // consecutive heartbeat windows missed
+	corrupt  int // corrupt frames seen on this connection
+}
+
+type ftEventKind int
+
+const (
+	evDone ftEventKind = iota
+	evBeat
+	evCorrupt
+	evGone
+	evJoin
+)
+
+type ftEvent struct {
+	w    *ftWorker
+	kind ftEventKind
+	env  *Envelope // evDone only
+}
+
+// ftTask is the event loop's view of one planned task.
+type ftTask struct {
+	planned  bool
+	done     bool
+	owners   int       // dispatched copies currently in flight
+	deadline time.Time // hedge eligibility instant for the newest copy
+}
+
+// ftRun is the state of one fault-tolerant execution; everything in it is
+// owned by the event loop goroutine.
+type ftRun struct {
+	c       *Controller
+	p       *core.Problem
+	prio    func(int) float64
+	report  *Report
+	start   time.Time
+	runCtx  context.Context
+	events  chan ftEvent
+	wg      *sync.WaitGroup
+	workers []*ftWorker
+	tasks   []ftTask
+	backlog []int // unowned tasks awaiting a worker, priority-ordered
+	slots   int   // next dispatch-pool slot for a rejoining worker
+	live    int
+	done    int
+	total   int
+	target  float64
+}
+
+// RunFaultTolerant executes the plan like Run, but on a failure-detecting
+// execution plane built for networks where nodes stall and links corrupt
+// bytes rather than cleanly disconnecting:
+//
+//   - liveness: workers announce a heartbeat cadence in their hello; a
+//     worker missing LivenessMisses consecutive windows is declared dead
+//     and its work re-dispatched — a hung-but-connected node no longer
+//     blocks the run until the caller's context expires.
+//   - hedging: every dispatched task carries a completion deadline derived
+//     from InputBits × SecPerBit × TimeScale; a straggling task is
+//     speculatively re-sent to an idle healthy worker, first completion
+//     wins, and duplicate completions are deduplicated.
+//   - integrity: a frame failing its CRC (or message validation) is
+//     counted and the in-flight assignment re-sent; a connection exceeding
+//     MaxCorruptFrames is quarantined like a dead worker.
+//   - rejoin: when Controller.RejoinListener is set, a recovered worker
+//     can dial back mid-run and is re-admitted into the dispatch pool.
+//
+// The run fails only when every worker is gone with work outstanding (and
+// no rejoin listener could replenish the pool), or the context expires.
 func (c *Controller) RunFaultTolerant(ctx context.Context, addrs []string, p *core.Problem, res *alloc.Result, coverageTarget float64) (*Report, error) {
 	if len(addrs) == 0 {
 		return nil, ErrNoWorkers
@@ -32,212 +114,501 @@ func (c *Controller) RunFaultTolerant(ctx context.Context, addrs []string, p *co
 	if coverageTarget <= 0 || coverageTarget > 1 {
 		coverageTarget = 0.8
 	}
-	prio := func(j int) float64 {
-		if res.Priority != nil && j < len(res.Priority) {
-			return res.Priority[j]
-		}
-		return -float64(j)
+	queues, assigned, err := planQueues(p, res, len(addrs))
+	if err != nil {
+		return nil, err
 	}
-	// Initial queues per worker, priority-ordered.
-	pending := make([][]int, len(addrs))
-	assigned := 0
-	for j, proc := range res.Allocation {
-		if proc == core.Unassigned {
-			continue
-		}
-		if proc < 0 || proc >= len(addrs) {
-			return nil, fmt.Errorf("task %d on processor %d: %w", j, proc, ErrPlanMismatch)
-		}
-		pending[proc] = append(pending[proc], j)
-		assigned++
-	}
-	for _, q := range pending {
-		sort.Slice(q, func(a, b int) bool {
-			pa, pb := prio(q[a]), prio(q[b])
-			if pa != pb {
-				return pa > pb
-			}
-			return q[a] < q[b]
-		})
-	}
+
 	// Defer order matters: cancel must fire before wg.Wait so blocked
-	// workers unblock (LIFO: register Wait first).
+	// reads/writes unblock (LIFO: register Wait first).
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	report := &Report{Workers: make(map[int]int, len(addrs))}
-	start := time.Now()
 
-	type workerEvent struct {
-		proc int
-		comp *Completion // nil for a failure event
-		left []int       // unfinished tasks on failure
+	r := &ftRun{
+		c:      c,
+		p:      p,
+		prio:   planPriority(res),
+		report: &Report{Workers: make(map[int]int, len(addrs))},
+		start:  time.Now(),
+		runCtx: runCtx,
+		events: make(chan ftEvent, 128),
+		wg:     &wg,
+		tasks:  make([]ftTask, len(p.Tasks)),
+		slots:  len(addrs),
+		total:  assigned,
+		target: coverageTarget * p.TotalImportance(),
 	}
-	events := make(chan workerEvent, 1)
-	sendEvent := func(ev workerEvent) {
-		select {
-		case events <- ev:
-		case <-runCtx.Done():
+	for j, proc := range res.Allocation {
+		if proc != core.Unassigned {
+			r.tasks[j].planned = true
 		}
 	}
 
-	// spawn drives one worker until its queue (plus any re-dispatched
-	// work pushed via its channel) is exhausted.
-	type workerHandle struct {
-		inbox chan int
-		alive bool
-	}
-	handles := make([]*workerHandle, len(addrs))
+	// Close every connection when the run ends so blocked frame reads and
+	// writes unblock; worker goroutines then drain via evGone.
+	defer func() {
+		for _, w := range r.workers {
+			w.conn.Close()
+		}
+	}()
+
+	// Dial the initial pool. A worker that cannot be dialed or greeted
+	// counts as failed at t=0: its queue lands in the backlog.
 	dialer := net.Dialer{Timeout: c.DialTimeout}
 	for i, addr := range addrs {
 		conn, err := dialer.DialContext(runCtx, "tcp", addr)
 		if err != nil {
-			// A worker that never answers counts as failed at t=0: its
-			// queue is re-dispatched below.
-			handles[i] = &workerHandle{alive: false}
+			r.backlogTasks(queues[i])
 			continue
 		}
-		hello, err := ReadFrame(conn)
-		if err != nil || hello.Type != MsgHello {
+		hello, err := readHello(conn, c.DialTimeout)
+		if err != nil {
 			conn.Close()
-			handles[i] = &workerHandle{alive: false}
+			r.backlogTasks(queues[i])
 			continue
 		}
-		report.Workers[i] = hello.WorkerID
-		h := &workerHandle{inbox: make(chan int, len(p.Tasks)), alive: true}
-		handles[i] = h
+		w := ftWorkerFromHello(conn, hello, len(p.Tasks))
+		w.slot = i
+		w.queue = queues[i]
+		r.admit(w)
+	}
+	if r.live == 0 && c.RejoinListener == nil && r.total > 0 {
+		return nil, fmt.Errorf("%d tasks stranded: %w", r.total, ErrAllWorkersDown)
+	}
+
+	// Rejoin listener: recovered workers dial in, greet, and are admitted
+	// into the pool by the event loop.
+	if c.RejoinListener != nil {
+		ln := c.RejoinListener
+		defer ln.Close()
 		wg.Add(1)
-		go func(proc int, conn net.Conn, inbox chan int) {
+		go func() {
 			defer wg.Done()
-			defer conn.Close()
-			defer WriteFrame(conn, &Envelope{Type: MsgShutdown}) //nolint:errcheck
-			// Close the connection when the run ends to unblock reads.
-			connDone := make(chan struct{})
-			defer close(connDone)
-			go func() {
-				select {
-				case <-runCtx.Done():
-					conn.Close()
-				case <-connDone:
-				}
-			}()
 			for {
-				var j int
-				var ok bool
-				select {
-				case j, ok = <-inbox:
-					if !ok {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					hello, err := readHello(conn, 5*time.Second)
+					if err != nil {
+						conn.Close()
 						return
 					}
-				case <-runCtx.Done():
-					return
-				}
-				t := p.Tasks[j]
-				if err := WriteFrame(conn, &Envelope{
-					Type: MsgAssign, TaskID: j, InputBits: t.InputBits, Importance: t.Importance,
-				}); err != nil {
-					sendEvent(workerEvent{proc: proc, left: append([]int{j}, drain(inbox)...)})
-					return
-				}
-				done, err := ReadFrame(conn)
-				if err != nil || done.Type != MsgDone || done.TaskID != j {
-					sendEvent(workerEvent{proc: proc, left: append([]int{j}, drain(inbox)...)})
-					return
-				}
-				sendEvent(workerEvent{proc: proc, comp: &Completion{
-					Task: j, WorkerID: done.WorkerID, Importance: t.Importance,
-					At: time.Since(start),
-				}})
+					w := ftWorkerFromHello(conn, hello, len(p.Tasks))
+					if !r.send(ftEvent{w: w, kind: evJoin}) {
+						conn.Close()
+					}
+				}()
 			}
-		}(i, conn, h.inbox)
+		}()
 	}
-	// Seed the inboxes; queues of dead-on-arrival workers go to redispatch.
-	var orphans []int
-	for i, q := range pending {
-		if handles[i].alive {
-			for _, j := range q {
-				handles[i].inbox <- j
-			}
-		} else {
-			orphans = append(orphans, q...)
+
+	// Seed the pool, then run the event loop: completions, heartbeats,
+	// corruption and joins arrive as events; the ticker drives the
+	// failure detector (hedge + liveness scans).
+	for _, w := range r.workers {
+		r.dispatch(w)
+	}
+	ticker := time.NewTicker(c.tick())
+	defer ticker.Stop()
+	for r.done < r.total {
+		select {
+		case ev := <-r.events:
+			r.handle(ev)
+		case <-ticker.C:
+			r.scan(time.Now())
+		case <-ctx.Done():
+			return nil, fmt.Errorf("edgenet run: %w", ctx.Err())
+		}
+		if r.live == 0 && c.RejoinListener == nil && r.done < r.total {
+			return nil, fmt.Errorf("%d tasks stranded: %w", r.total-r.done, ErrAllWorkersDown)
 		}
 	}
-	redispatch := func(tasks []int) error {
-		sort.Slice(tasks, func(a, b int) bool { return prio(tasks[a]) > prio(tasks[b]) })
-		for _, j := range tasks {
-			sent := false
-			// Spread across the living, least-loaded inbox first.
-			best := -1
-			for i, h := range handles {
-				if !h.alive {
-					continue
-				}
-				if best == -1 || len(h.inbox) < len(handles[best].inbox) {
-					best = i
-				}
-			}
-			if best >= 0 {
-				handles[best].inbox <- j
-				sent = true
-			}
-			if !sent {
-				return fmt.Errorf("task %d stranded: %w", j, ErrAllWorkersDown)
+	// All work done: a best-effort goodbye, then the deferred cleanup
+	// closes the connections.
+	for _, w := range r.workers {
+		if w.alive {
+			select {
+			case w.out <- &Envelope{Type: MsgShutdown}:
+			default:
 			}
 		}
-		return nil
 	}
-	if err := redispatch(orphans); err != nil {
-		cancel()
+	return r.report, nil
+}
+
+// readHello reads the worker's greeting, bounded by a read deadline so a
+// connected-but-mute peer cannot stall admission.
+func readHello(conn net.Conn, timeout time.Duration) (*Envelope, error) {
+	if timeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(timeout)) //nolint:errcheck
+		defer conn.SetReadDeadline(time.Time{})       //nolint:errcheck
+	}
+	hello, err := ReadFrame(conn)
+	if err != nil {
 		return nil, err
 	}
-	target := coverageTarget * p.TotalImportance()
-	received := 0
-	for received < assigned {
-		select {
-		case ev := <-events:
-			if ev.comp != nil {
-				received++
-				report.Completions = append(report.Completions, *ev.comp)
-				report.Covered += ev.comp.Importance
-				if report.DecisionReadyAt == 0 && target > 0 && report.Covered >= target {
-					report.DecisionReadyAt = ev.comp.At
+	if hello.Type != MsgHello {
+		return nil, fmt.Errorf("sent %q first: %w", hello.Type, ErrBadMessage)
+	}
+	return hello, nil
+}
+
+func ftWorkerFromHello(conn net.Conn, hello *Envelope, tasks int) *ftWorker {
+	return &ftWorker{
+		id:        hello.WorkerID,
+		conn:      conn,
+		out:       make(chan *Envelope, 2*tasks+16),
+		secPerBit: hello.SecPerBit,
+		timeScale: hello.TimeScale,
+		beatEvery: time.Duration(hello.HeartbeatSec * float64(time.Second)),
+		busy:      -1,
+	}
+}
+
+// admit installs a worker into the pool and starts its IO goroutines.
+func (r *ftRun) admit(w *ftWorker) {
+	w.alive = true
+	w.lastBeat = time.Now()
+	r.workers = append(r.workers, w)
+	r.live++
+	r.report.Workers[w.slot] = w.id
+	r.wg.Add(2)
+	go func() {
+		defer r.wg.Done()
+		r.readLoop(w)
+	}()
+	go func() {
+		defer r.wg.Done()
+		r.writeLoop(w)
+	}()
+}
+
+// readLoop turns one connection's frames into events. Aligned decode
+// failures (checksum, validation) are survivable corruption; everything
+// else ends the connection.
+func (r *ftRun) readLoop(w *ftWorker) {
+	for {
+		env, err := ReadFrame(w.conn)
+		if err != nil {
+			if StreamAligned(err) {
+				if !r.send(ftEvent{w: w, kind: evCorrupt}) {
+					return
 				}
 				continue
 			}
-			// Worker failure: mark dead, re-dispatch its leftovers.
-			handles[ev.proc].alive = false
-			if err := redispatch(ev.left); err != nil {
-				cancel()
-				return nil, err
+			r.send(ftEvent{w: w, kind: evGone})
+			return
+		}
+		switch env.Type {
+		case MsgDone:
+			if !r.send(ftEvent{w: w, kind: evDone, env: env}) {
+				return
 			}
-		case <-ctx.Done():
-			cancel()
-			return nil, fmt.Errorf("edgenet run: %w", ctx.Err())
+		case MsgHeartbeat:
+			if !r.send(ftEvent{w: w, kind: evBeat}) {
+				return
+			}
+		default:
+			// A well-formed frame the worker should never send: treat it
+			// like line corruption so a confused peer gets quarantined
+			// rather than trusted.
+			if !r.send(ftEvent{w: w, kind: evCorrupt}) {
+				return
+			}
 		}
 	}
-	// All work done: close inboxes so worker goroutines exit.
-	cancel()
-	for _, h := range handles {
-		if h.alive {
-			close(h.inbox)
-		}
-	}
-	return report, nil
 }
 
-// drain empties an inbox without blocking.
-func drain(inbox chan int) []int {
-	var out []int
+func (r *ftRun) writeLoop(w *ftWorker) {
 	for {
 		select {
-		case j, ok := <-inbox:
-			if !ok {
-				return out
+		case env := <-w.out:
+			if err := WriteFrame(w.conn, env); err != nil {
+				r.send(ftEvent{w: w, kind: evGone})
+				return
 			}
-			out = append(out, j)
-		default:
-			return out
+		case <-r.runCtx.Done():
+			return
+		}
+	}
+}
+
+func (r *ftRun) send(ev ftEvent) bool {
+	select {
+	case r.events <- ev:
+		return true
+	case <-r.runCtx.Done():
+		return false
+	}
+}
+
+func (r *ftRun) handle(ev ftEvent) {
+	w := ev.w
+	switch ev.kind {
+	case evJoin:
+		w.slot = r.nextSlot()
+		r.report.Rejoins++
+		r.admit(w)
+		r.dispatch(w)
+	case evBeat:
+		if w.alive {
+			r.noteAlive(w)
+		}
+	case evDone:
+		if w.alive {
+			r.noteAlive(w)
+			r.handleDone(w, ev.env)
+		}
+	case evCorrupt:
+		if w.alive {
+			r.noteAlive(w) // a corrupt frame is still a sign of life
+			r.handleCorrupt(w)
+		}
+	case evGone:
+		r.kill(w)
+	}
+}
+
+func (r *ftRun) nextSlot() int {
+	slot := r.slots
+	r.slots++
+	return slot
+}
+
+func (r *ftRun) noteAlive(w *ftWorker) {
+	w.lastBeat = time.Now()
+	w.misses = 0
+}
+
+func (r *ftRun) handleDone(w *ftWorker, env *Envelope) {
+	j := env.TaskID
+	if j < 0 || j >= len(r.tasks) || !r.tasks[j].planned {
+		r.handleCorrupt(w) // checksummed-valid but nonsensical: distrust the peer
+		return
+	}
+	if w.busy == j {
+		w.busy = -1
+	}
+	st := &r.tasks[j]
+	if st.owners > 0 {
+		st.owners--
+	}
+	if st.done {
+		r.report.DuplicateDone++
+	} else {
+		st.done = true
+		r.done++
+		comp := Completion{
+			Task:       j,
+			WorkerID:   w.id,
+			Importance: r.p.Tasks[j].Importance,
+			At:         time.Since(r.start),
+		}
+		r.report.Completions = append(r.report.Completions, comp)
+		r.report.Covered += comp.Importance
+		if r.report.DecisionReadyAt == 0 && r.target > 0 && r.report.Covered >= r.target {
+			r.report.DecisionReadyAt = comp.At
+		}
+	}
+	r.dispatch(w)
+}
+
+func (r *ftRun) handleCorrupt(w *ftWorker) {
+	r.report.CorruptFrames++
+	w.corrupt++
+	if w.corrupt >= r.c.maxCorruptFrames() {
+		r.kill(w)
+		return
+	}
+	if w.busy >= 0 && !r.tasks[w.busy].done {
+		// The lost frame may have been the completion of the in-flight
+		// task; re-sending the assignment makes the worker re-execute and
+		// re-report it. If the lost frame was something else, dedup
+		// swallows the extra completion.
+		r.report.Retries++
+		r.resend(w, w.busy)
+	}
+}
+
+// kill removes a worker from the pool and re-dispatches its unfinished
+// work. Idempotent: late evGone events for an already-dead worker no-op.
+func (r *ftRun) kill(w *ftWorker) {
+	if !w.alive {
+		return
+	}
+	w.alive = false
+	r.live--
+	r.report.DeadWorkers++
+	w.conn.Close() // unblocks its read/write goroutines
+	if w.busy >= 0 {
+		st := &r.tasks[w.busy]
+		if st.owners > 0 {
+			st.owners--
+		}
+		if !st.done && st.owners == 0 {
+			r.pushBacklog(w.busy)
+		}
+		w.busy = -1
+	}
+	r.backlogTasks(w.queue)
+	w.queue = nil
+	for _, v := range r.workers {
+		if v.alive && v.busy < 0 {
+			r.dispatch(v)
+		}
+	}
+}
+
+// scan is the periodic failure detector: hedge stragglers, then declare
+// heartbeat-silent workers dead. Hedging runs first so a task whose owner
+// is about to be declared dead is speculatively duplicated rather than
+// merely re-queued.
+func (r *ftRun) scan(now time.Time) {
+	for j := range r.tasks {
+		st := &r.tasks[j]
+		if st.done || st.owners == 0 || now.Before(st.deadline) {
+			continue
+		}
+		w := r.idleWorker()
+		if w == nil {
+			break // no spare capacity this tick; retry next scan
+		}
+		r.report.Hedges++
+		r.assign(w, j)
+	}
+	for _, w := range r.workers {
+		if !w.alive || w.beatEvery <= 0 {
+			continue
+		}
+		if missed := int(now.Sub(w.lastBeat) / w.beatEvery); missed > w.misses {
+			r.report.HeartbeatMisses += missed - w.misses
+			w.misses = missed
+		}
+		if w.misses >= r.c.livenessMisses() {
+			r.kill(w)
+		}
+	}
+}
+
+func (r *ftRun) idleWorker() *ftWorker {
+	for _, w := range r.workers {
+		if w.alive && w.busy < 0 {
+			return w
+		}
+	}
+	return nil
+}
+
+// dispatch hands an idle worker its next task: the higher-priority of its
+// own planned queue and the orphan backlog, stealing from the most loaded
+// peer when both are empty (work conservation for rejoined workers).
+func (r *ftRun) dispatch(w *ftWorker) {
+	if !w.alive || w.busy >= 0 {
+		return
+	}
+	j := r.nextTask(w)
+	if j < 0 {
+		return
+	}
+	r.assign(w, j)
+}
+
+func (r *ftRun) nextTask(w *ftWorker) int {
+	w.queue = trimDone(w.queue, r.tasks)
+	r.backlog = trimDone(r.backlog, r.tasks)
+	switch {
+	case len(w.queue) > 0 && (len(r.backlog) == 0 || r.prio(w.queue[0]) >= r.prio(r.backlog[0])):
+		j := w.queue[0]
+		w.queue = w.queue[1:]
+		return j
+	case len(r.backlog) > 0:
+		j := r.backlog[0]
+		r.backlog = r.backlog[1:]
+		return j
+	}
+	// Steal the tail half of the longest peer queue.
+	var victim *ftWorker
+	for _, v := range r.workers {
+		if v.alive && v != w && len(v.queue) > 1 && (victim == nil || len(v.queue) > len(victim.queue)) {
+			victim = v
+		}
+	}
+	if victim == nil {
+		return -1
+	}
+	cut := len(victim.queue) - len(victim.queue)/2
+	w.queue = append(w.queue, victim.queue[cut:]...)
+	victim.queue = victim.queue[:cut]
+	j := w.queue[0]
+	w.queue = w.queue[1:]
+	return j
+}
+
+func trimDone(q []int, tasks []ftTask) []int {
+	for len(q) > 0 && tasks[q[0]].done {
+		q = q[1:]
+	}
+	return q
+}
+
+// assign marks w busy on task j (as one more in-flight copy) and queues
+// the assignment frame. The out channel is sized so this never blocks the
+// event loop; a full channel means the writer is long gone, so the worker
+// is treated as dead.
+func (r *ftRun) assign(w *ftWorker, j int) {
+	w.busy = j
+	r.tasks[j].owners++
+	t := r.p.Tasks[j]
+	r.tasks[j].deadline = time.Now().Add(r.deadlineFor(w, t))
+	env := &Envelope{Type: MsgAssign, TaskID: j, InputBits: t.InputBits, Importance: t.Importance}
+	select {
+	case w.out <- env:
+	default:
+		r.kill(w)
+	}
+}
+
+// resend re-queues the in-flight assignment after a corrupt frame without
+// touching the owner count (the same worker still holds the same task).
+func (r *ftRun) resend(w *ftWorker, j int) {
+	t := r.p.Tasks[j]
+	r.tasks[j].deadline = time.Now().Add(r.deadlineFor(w, t))
+	env := &Envelope{Type: MsgAssign, TaskID: j, InputBits: t.InputBits, Importance: t.Importance}
+	select {
+	case w.out <- env:
+	default:
+		r.kill(w)
+	}
+}
+
+// deadlineFor derives the task's completion deadline from the expected
+// execution time the worker announced in its hello.
+func (r *ftRun) deadlineFor(w *ftWorker, t core.TaskSpec) time.Duration {
+	expected := t.InputBits * w.secPerBit * w.timeScale
+	return r.c.hedgeMinDeadline() + time.Duration(r.c.hedgeFactor()*expected*float64(time.Second))
+}
+
+func (r *ftRun) pushBacklog(j int) {
+	r.backlog = append(r.backlog, j)
+	sort.Slice(r.backlog, func(a, b int) bool {
+		pa, pb := r.prio(r.backlog[a]), r.prio(r.backlog[b])
+		if pa != pb {
+			return pa > pb
+		}
+		return r.backlog[a] < r.backlog[b]
+	})
+}
+
+func (r *ftRun) backlogTasks(q []int) {
+	for _, j := range q {
+		if !r.tasks[j].done {
+			r.pushBacklog(j)
 		}
 	}
 }

@@ -5,9 +5,21 @@
 // same PT semantics as internal/edgesim, but over real sockets with real
 // goroutines, timeouts and graceful shutdown.
 //
-// The protocol is length-prefixed JSON frames. Workers simulate task
-// execution by sleeping InputBits × SecPerBit × TimeScale, so a demo runs in
-// milliseconds while preserving the relative timing structure.
+// The wire format is versioned. Frame v2 (the default since PR 5) is
+//
+//	0xED 'g' 0x02 | uint32 payload length | uint32 CRC32-C | JSON payload
+//
+// (all integers big-endian). The CRC covers the payload, so a flipped bit
+// anywhere in the JSON is detected by the receiver without losing stream
+// alignment — the frame is consumed, reported as ErrChecksum, and the next
+// frame reads cleanly. The legacy v1 format was a bare
+// uint32-length-prefixed JSON payload; since MaxFrameBytes is 1 MiB a valid
+// v1 frame always starts with a 0x00 byte, so ReadFrame sniffs the first
+// byte and accepts both formats transparently.
+//
+// Workers simulate task execution by sleeping InputBits × SecPerBit ×
+// TimeScale, so a demo runs in milliseconds while preserving the relative
+// timing structure.
 package edgenet
 
 import (
@@ -15,31 +27,61 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
 )
 
 // Common errors.
 var (
 	// ErrFrameTooLarge guards against corrupt or hostile length prefixes.
+	// The stream cannot be resynchronized after it.
 	ErrFrameTooLarge = errors.New("edgenet: frame too large")
-	// ErrBadMessage is returned for messages that fail validation.
+	// ErrBadMessage is returned for messages that fail validation. The
+	// offending frame was fully consumed: the stream stays aligned.
 	ErrBadMessage = errors.New("edgenet: invalid message")
+	// ErrChecksum is returned when a v2 frame's payload fails its CRC —
+	// the bytes were corrupted in flight. The frame was fully consumed:
+	// the stream stays aligned and the next ReadFrame is safe.
+	ErrChecksum = errors.New("edgenet: frame checksum mismatch")
+	// ErrNonFinite is returned when a message carries NaN or ±Inf in a
+	// numeric field; non-finite numbers would silently poison deadline and
+	// coverage arithmetic downstream.
+	ErrNonFinite = errors.New("edgenet: non-finite number")
 )
 
 // MaxFrameBytes bounds a single protocol frame.
 const MaxFrameBytes = 1 << 20
+
+// Frame v2 constants.
+const (
+	frameMagic0  = 0xED // never a valid v1 length high byte (v1 ≤ 1 MiB)
+	frameMagic1  = 'g'
+	frameVersion = 2
+	// v2Header is magic(2) + version(1) + length(4) + crc(4).
+	v2Header = 11
+	// v1Header is the bare big-endian length prefix.
+	v1Header = 4
+)
+
+// frameCRC is CRC32-Castagnoli, hardware-accelerated on amd64/arm64.
+var frameCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // MsgType discriminates protocol messages.
 type MsgType string
 
 // Protocol message types.
 const (
-	// MsgHello is the worker's greeting after accepting a connection.
+	// MsgHello is the worker's greeting after accepting a connection (or
+	// after dialing a controller's rejoin listener).
 	MsgHello MsgType = "hello"
 	// MsgAssign carries one task assignment, controller → worker.
 	MsgAssign MsgType = "assign"
 	// MsgDone reports one task completion, worker → controller.
 	MsgDone MsgType = "done"
+	// MsgHeartbeat is the worker's periodic liveness beacon, worker →
+	// controller, interleaved with completions on the same stream.
+	MsgHeartbeat MsgType = "beat"
 	// MsgShutdown asks the worker to finish its queue and exit the
 	// connection, controller → worker.
 	MsgShutdown MsgType = "shutdown"
@@ -52,6 +94,12 @@ type Envelope struct {
 	WorkerID  int     `json:"workerId,omitempty"`
 	NodeType  string  `json:"nodeType,omitempty"`
 	SecPerBit float64 `json:"secPerBit,omitempty"`
+	// TimeScale is the worker's execution time scale; with SecPerBit it
+	// lets the controller derive per-task completion deadlines.
+	TimeScale float64 `json:"timeScale,omitempty"`
+	// HeartbeatSec announces the worker's heartbeat cadence in seconds;
+	// 0 means the worker sends no heartbeats (legacy workers).
+	HeartbeatSec float64 `json:"heartbeatSec,omitempty"`
 	// Assign/Done fields.
 	TaskID     int     `json:"taskId,omitempty"`
 	InputBits  float64 `json:"inputBits,omitempty"`
@@ -60,8 +108,35 @@ type Envelope struct {
 	ElapsedMicros int64 `json:"elapsedMicros,omitempty"`
 }
 
-// WriteFrame serializes one envelope as a length-prefixed JSON frame.
+// Validate rejects envelopes that would poison downstream arithmetic: every
+// numeric field must be finite. Both WriteFrame and ReadFrame call it, so
+// non-finite numbers are stopped at the trust boundary in either direction.
+func (env *Envelope) Validate() error {
+	if env.Type == "" {
+		return fmt.Errorf("missing type: %w", ErrBadMessage)
+	}
+	for _, f := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"secPerBit", env.SecPerBit},
+		{"timeScale", env.TimeScale},
+		{"heartbeatSec", env.HeartbeatSec},
+		{"inputBits", env.InputBits},
+		{"importance", env.Importance},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("%s = %v: %w: %w", f.name, f.v, ErrBadMessage, ErrNonFinite)
+		}
+	}
+	return nil
+}
+
+// WriteFrame serializes one envelope as a v2 checksummed frame.
 func WriteFrame(w io.Writer, env *Envelope) error {
+	if err := env.Validate(); err != nil {
+		return fmt.Errorf("edgenet write: %w", err)
+	}
 	payload, err := json.Marshal(env)
 	if err != nil {
 		return fmt.Errorf("edgenet marshal: %w", err)
@@ -69,37 +144,123 @@ func WriteFrame(w io.Writer, env *Envelope) error {
 	if len(payload) > MaxFrameBytes {
 		return fmt.Errorf("%d bytes: %w", len(payload), ErrFrameTooLarge)
 	}
-	var head [4]byte
-	binary.BigEndian.PutUint32(head[:], uint32(len(payload)))
-	if _, err := w.Write(head[:]); err != nil {
-		return fmt.Errorf("edgenet write header: %w", err)
-	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("edgenet write payload: %w", err)
+	frame := make([]byte, v2Header+len(payload))
+	frame[0], frame[1], frame[2] = frameMagic0, frameMagic1, frameVersion
+	binary.BigEndian.PutUint32(frame[3:7], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[7:11], crc32.Checksum(payload, frameCRC))
+	copy(frame[v2Header:], payload)
+	// One Write keeps header+payload in a single TCP segment when possible.
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("edgenet write frame: %w", err)
 	}
 	return nil
 }
 
-// ReadFrame reads one length-prefixed JSON frame.
-func ReadFrame(r io.Reader) (*Envelope, error) {
-	var head [4]byte
-	if _, err := io.ReadFull(r, head[:]); err != nil {
-		return nil, err // io.EOF propagates unchanged for clean shutdown
+// WriteFrameLegacy serializes one envelope in the v1 bare-length format.
+// It exists for compatibility tests and for talking to pre-v2 nodes.
+func WriteFrameLegacy(w io.Writer, env *Envelope) error {
+	if err := env.Validate(); err != nil {
+		return fmt.Errorf("edgenet write: %w", err)
 	}
-	n := binary.BigEndian.Uint32(head[:])
+	payload, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("edgenet marshal: %w", err)
+	}
+	if len(payload) > MaxFrameBytes {
+		return fmt.Errorf("%d bytes: %w", len(payload), ErrFrameTooLarge)
+	}
+	frame := make([]byte, v1Header+len(payload))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)))
+	copy(frame[v1Header:], payload)
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("edgenet write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadRawFrame reads one whole frame — v2 or legacy v1, sniffed from the
+// first byte — returning its raw wire bytes and the offset where the JSON
+// payload starts. It performs no checksum or content validation; the
+// fault-injection proxy uses it to relay (and corrupt) frames byte-exactly.
+func ReadRawFrame(r io.Reader) (frame []byte, payloadOff int, err error) {
+	var first [1]byte
+	if _, err := io.ReadFull(r, first[:]); err != nil {
+		return nil, 0, err // io.EOF propagates unchanged for clean shutdown
+	}
+	if first[0] == frameMagic0 {
+		head := make([]byte, v2Header)
+		head[0] = first[0]
+		if _, err := io.ReadFull(r, head[1:]); err != nil {
+			return nil, 0, fmt.Errorf("edgenet read v2 header: %w", err)
+		}
+		if head[1] != frameMagic1 {
+			return nil, 0, fmt.Errorf("bad magic 0x%02x%02x: %w", head[0], head[1], ErrBadMessage)
+		}
+		if head[2] != frameVersion {
+			return nil, 0, fmt.Errorf("edgenet: unsupported frame version %d", head[2])
+		}
+		n := binary.BigEndian.Uint32(head[3:7])
+		if n > MaxFrameBytes {
+			return nil, 0, fmt.Errorf("%d bytes: %w", n, ErrFrameTooLarge)
+		}
+		frame = make([]byte, v2Header+int(n))
+		copy(frame, head)
+		if _, err := io.ReadFull(r, frame[v2Header:]); err != nil {
+			return nil, 0, fmt.Errorf("edgenet read payload: %w", err)
+		}
+		return frame, v2Header, nil
+	}
+	// Legacy v1: the byte we sniffed is the length's high byte.
+	var rest [3]byte
+	if _, err := io.ReadFull(r, rest[:]); err != nil {
+		return nil, 0, fmt.Errorf("edgenet read header: %w", err)
+	}
+	n := uint32(first[0])<<24 | uint32(rest[0])<<16 | uint32(rest[1])<<8 | uint32(rest[2])
 	if n > MaxFrameBytes {
-		return nil, fmt.Errorf("%d bytes: %w", n, ErrFrameTooLarge)
+		return nil, 0, fmt.Errorf("%d bytes: %w", n, ErrFrameTooLarge)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("edgenet read payload: %w", err)
+	frame = make([]byte, v1Header+int(n))
+	binary.BigEndian.PutUint32(frame[:4], n)
+	if _, err := io.ReadFull(r, frame[v1Header:]); err != nil {
+		return nil, 0, fmt.Errorf("edgenet read payload: %w", err)
+	}
+	return frame, v1Header, nil
+}
+
+// ReadFrame reads one frame (either format) and decodes its envelope.
+//
+// Error contract for failure handling upstream: ErrChecksum and
+// ErrBadMessage mean the offending frame was fully consumed and the stream
+// is still aligned — the caller may keep reading (and count the corruption).
+// Every other error means framing itself is lost and the connection must be
+// dropped. StreamAligned reports which side of the contract an error is on.
+func ReadFrame(r io.Reader) (*Envelope, error) {
+	frame, off, err := ReadRawFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	payload := frame[off:]
+	if off == v2Header {
+		want := binary.BigEndian.Uint32(frame[7:11])
+		if got := crc32.Checksum(payload, frameCRC); got != want {
+			return nil, fmt.Errorf("crc 0x%08x, want 0x%08x: %w", got, want, ErrChecksum)
+		}
 	}
 	var env Envelope
 	if err := json.Unmarshal(payload, &env); err != nil {
-		return nil, fmt.Errorf("edgenet unmarshal: %w", err)
+		// The frame was fully consumed (length prefix was plausible), so
+		// the stream stays aligned whichever format it was.
+		return nil, fmt.Errorf("edgenet unmarshal: %v: %w", err, ErrBadMessage)
 	}
-	if env.Type == "" {
-		return nil, fmt.Errorf("missing type: %w", ErrBadMessage)
+	if err := env.Validate(); err != nil {
+		return nil, err
 	}
 	return &env, nil
+}
+
+// StreamAligned reports whether err (from ReadFrame) left the stream
+// aligned on a frame boundary, i.e. whether it is safe to keep reading from
+// the same connection.
+func StreamAligned(err error) bool {
+	return errors.Is(err, ErrChecksum) || errors.Is(err, ErrBadMessage)
 }

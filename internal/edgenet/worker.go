@@ -1,6 +1,7 @@
 package edgenet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -22,11 +23,19 @@ type Worker struct {
 	// InputBits × SecPerBit × TimeScale of wall-clock time. 0 runs
 	// instantly (tests); 1 is real-time.
 	TimeScale float64
+	// HeartbeatEvery is the cadence of MsgHeartbeat liveness beacons sent
+	// on every controller connection (from a goroutine concurrent with
+	// task execution, so a busy worker still beats). 0 disables
+	// heartbeats — the legacy behaviour; the controller then cannot
+	// distinguish this worker hanging from it computing.
+	HeartbeatEvery time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
 	done     chan struct{}
 	closed   bool
+	conns    map[net.Conn]struct{} // all live protocol connections
+	handlers sync.WaitGroup        // rejoin handlers (accept-side ones are waited via done)
 }
 
 // Serve starts accepting controller connections on l and returns
@@ -41,6 +50,33 @@ func (w *Worker) Serve(l net.Listener) error {
 	w.done = make(chan struct{})
 	w.mu.Unlock()
 	go w.acceptLoop(l, w.done)
+	return nil
+}
+
+// Rejoin dials a controller's rejoin listener and serves the protocol on
+// the outbound connection — how a recovered node re-enters a running
+// fault-tolerant dispatch pool. It returns once the connection is
+// established; the protocol runs in the background until the controller
+// hangs up or the worker is closed.
+func (w *Worker) Rejoin(ctx context.Context, controllerAddr string) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", controllerAddr)
+	if err != nil {
+		return fmt.Errorf("edgenet: worker %d rejoin %s: %w", w.ID, controllerAddr, err)
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("edgenet: worker %d is closed", w.ID)
+	}
+	w.handlers.Add(1)
+	w.mu.Unlock()
+	go func() {
+		defer w.handlers.Done()
+		defer conn.Close()
+		w.handle(conn)
+	}()
 	return nil
 }
 
@@ -63,21 +99,79 @@ func (w *Worker) acceptLoop(l net.Listener, done chan struct{}) {
 	}
 }
 
+// track registers a live connection so Close can unblock its handler;
+// it reports false when the worker is already closed.
+func (w *Worker) track(conn net.Conn) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return false
+	}
+	if w.conns == nil {
+		w.conns = make(map[net.Conn]struct{})
+	}
+	w.conns[conn] = struct{}{}
+	return true
+}
+
+func (w *Worker) untrack(conn net.Conn) {
+	w.mu.Lock()
+	delete(w.conns, conn)
+	w.mu.Unlock()
+}
+
 // handle speaks the protocol on one controller connection.
 func (w *Worker) handle(conn net.Conn) {
+	if !w.track(conn) {
+		return
+	}
+	defer w.untrack(conn)
+	// Heartbeats and completions share the stream; wm serializes frames.
+	var wm sync.Mutex
 	hello := &Envelope{
-		Type:      MsgHello,
-		WorkerID:  w.ID,
-		NodeType:  w.Type.String(),
-		SecPerBit: w.Type.SecPerBit(),
+		Type:         MsgHello,
+		WorkerID:     w.ID,
+		NodeType:     w.Type.String(),
+		SecPerBit:    w.Type.SecPerBit(),
+		TimeScale:    w.TimeScale,
+		HeartbeatSec: w.HeartbeatEvery.Seconds(),
 	}
 	if err := WriteFrame(conn, hello); err != nil {
 		return
 	}
+	if w.HeartbeatEvery > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			ticker := time.NewTicker(w.HeartbeatEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					wm.Lock()
+					err := WriteFrame(conn, &Envelope{Type: MsgHeartbeat, WorkerID: w.ID})
+					wm.Unlock()
+					if err != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
 	for {
 		env, err := ReadFrame(conn)
 		if err != nil {
-			return // EOF or broken pipe: controller went away
+			if StreamAligned(err) {
+				// A frame corrupted in flight: whatever it carried is
+				// lost, but the stream is intact. The controller's
+				// deadline/hedging machinery recovers the lost work;
+				// dropping the connection here would turn one flipped
+				// bit into a dead worker.
+				continue
+			}
+			return // EOF, broken pipe, or framing lost
 		}
 		switch env.Type {
 		case MsgAssign:
@@ -90,7 +184,10 @@ func (w *Worker) handle(conn net.Conn) {
 				Importance:    env.Importance,
 				ElapsedMicros: time.Since(start).Microseconds(),
 			}
-			if err := WriteFrame(conn, done); err != nil {
+			wm.Lock()
+			err := WriteFrame(conn, done)
+			wm.Unlock()
+			if err != nil {
 				return
 			}
 		case MsgShutdown:
@@ -112,19 +209,27 @@ func (w *Worker) execute(inputBits float64) {
 	}
 }
 
-// Close stops accepting connections and waits for in-flight handlers.
-// It is idempotent.
+// Close stops accepting connections, closes live protocol connections
+// (unblocking any handler stuck on a stalled peer), and waits for all
+// handlers — accepted and rejoined. It is idempotent.
 func (w *Worker) Close() error {
 	w.mu.Lock()
-	if w.closed || w.listener == nil {
+	if w.closed {
 		w.mu.Unlock()
 		return nil
 	}
 	w.closed = true
 	l, done := w.listener, w.done
+	for conn := range w.conns {
+		conn.Close()
+	}
 	w.mu.Unlock()
-	err := l.Close()
-	<-done
+	var err error
+	if l != nil {
+		err = l.Close()
+		<-done
+	}
+	w.handlers.Wait()
 	if err != nil && !errors.Is(err, net.ErrClosed) {
 		return fmt.Errorf("edgenet worker close: %w", err)
 	}

@@ -44,6 +44,13 @@ import (
 var (
 	// ErrBadRequest is returned for malformed allocation/feedback requests.
 	ErrBadRequest = errors.New("serve: bad request")
+	// ErrNonFinite is returned (wrapped in ErrBadRequest) when a request
+	// carries NaN or ±Inf where a finite number is required. JSON cannot
+	// encode them natively, but a client using an extended encoder could
+	// smuggle one in — and a single NaN data size silently poisons every
+	// knapsack feasibility comparison downstream, so they are rejected at
+	// the boundary.
+	ErrNonFinite = errors.New("non-finite number")
 	// ErrDraining is returned once the server has begun shutting down.
 	ErrDraining = errors.New("serve: draining")
 	// ErrCircuitOpen reports that a cluster's training circuit breaker is

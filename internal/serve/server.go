@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -159,6 +160,28 @@ type AllocateRequest struct {
 	Allocator string `json:"allocator,omitempty"`
 }
 
+// finiteVec rejects NaN/±Inf vector entries at the request trust boundary.
+func finiteVec(name string, v []float64) error {
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("%w: %s[%d] = %v: %w", ErrBadRequest, name, i, x, ErrNonFinite)
+		}
+	}
+	return nil
+}
+
+// finiteMat rejects NaN/±Inf matrix entries at the request trust boundary.
+func finiteMat(name string, m [][]float64) error {
+	for i, row := range m {
+		for k, x := range row {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("%w: %s[%d][%d] = %v: %w", ErrBadRequest, name, i, k, x, ErrNonFinite)
+			}
+		}
+	}
+	return nil
+}
+
 // Serving modes (AllocateResponse.Mode).
 const (
 	// ModeNormal answered from the policy-cache path.
@@ -210,6 +233,12 @@ func (s *Server) Allocate(ctx context.Context, req AllocateRequest) (*AllocateRe
 	start := s.cfg.Now()
 	if len(req.Signature) == 0 {
 		return nil, fmt.Errorf("%w: empty signature", ErrBadRequest)
+	}
+	if err := finiteVec("signature", req.Signature); err != nil {
+		return nil, err
+	}
+	if err := finiteMat("features", req.Features); err != nil {
+		return nil, err
 	}
 	switch req.Allocator {
 	case "", "auto", "crl", "dcta":
@@ -377,6 +406,15 @@ func (s *Server) Feedback(ctx context.Context, req FeedbackRequest) (*FeedbackRe
 	if len(req.Features) != len(req.Allocation) {
 		return nil, fmt.Errorf("%w: %d feature vectors for %d allocation entries",
 			ErrBadRequest, len(req.Features), len(req.Allocation))
+	}
+	if err := finiteVec("signature", req.Signature); err != nil {
+		return nil, err
+	}
+	if err := finiteMat("features", req.Features); err != nil {
+		return nil, err
+	}
+	if err := finiteVec("importance", req.Importance); err != nil {
+		return nil, err
 	}
 	samples := alloc.SamplesFromDecision(req.Features, core.Allocation(req.Allocation))
 	resp := &FeedbackResponse{Samples: len(samples)}

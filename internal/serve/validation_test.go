@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// Non-finite numbers in requests must be stopped at the trust boundary:
+// a NaN signature poisons every nearest-neighbor distance, and a NaN
+// feature flows into knapsack feasibility comparisons where every
+// branch involving it is silently false.
+func TestAllocateRejectsNonFinite(t *testing.T) {
+	s := newTestServer(t, fastConfig())
+	ctx := context.Background()
+	cases := []AllocateRequest{
+		{Signature: []float64{math.NaN()}},
+		{Signature: []float64{math.Inf(1)}},
+		{Signature: []float64{0}, Features: [][]float64{{1, math.NaN()}}},
+		{Signature: []float64{0}, Features: [][]float64{{1}, {math.Inf(-1)}}},
+	}
+	for _, req := range cases {
+		_, err := s.Allocate(ctx, req)
+		if !errors.Is(err, ErrNonFinite) {
+			t.Fatalf("Allocate(%+v) err = %v, want ErrNonFinite", req, err)
+		}
+		if !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("ErrNonFinite must wrap ErrBadRequest for the HTTP 400 mapping: %v", err)
+		}
+	}
+}
+
+func TestFeedbackRejectsNonFinite(t *testing.T) {
+	s := newTestServer(t, fastConfig())
+	ctx := context.Background()
+	okFeatures := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	cases := []FeedbackRequest{
+		{Features: [][]float64{{math.NaN(), 1}, {1, 1}, {1, 1}, {1, 1}, {1, 1}, {1, 1}},
+			Allocation: []int{0, 0, 1, 1, -1, -1}},
+		{Features: okFeatures, Allocation: []int{0, 0, 1, 1, -1, -1},
+			Signature: []float64{math.Inf(1)}},
+		{Features: okFeatures, Allocation: []int{0, 0, 1, 1, -1, -1},
+			Signature: []float64{0}, Importance: []float64{math.NaN()}},
+	}
+	for _, req := range cases {
+		_, err := s.Feedback(ctx, req)
+		if !errors.Is(err, ErrNonFinite) || !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("Feedback err = %v, want ErrNonFinite wrapped in ErrBadRequest", err)
+		}
+	}
+}
