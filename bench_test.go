@@ -6,15 +6,18 @@
 package dcta_test
 
 import (
+	"context"
 	"strconv"
 	"sync"
 	"testing"
 
 	"repro"
+	"repro/internal/core"
 	"repro/internal/knapsack"
 	"repro/internal/mathx"
 	"repro/internal/mlearn"
 	"repro/internal/rl"
+	"repro/internal/serve"
 )
 
 var (
@@ -380,6 +383,112 @@ func BenchmarkMTLModeComparison(b *testing.B) {
 	for _, r := range rows {
 		b.ReportMetric(r.MeanH, r.Mode.String()+"_"+r.Learner.String()+"_H")
 	}
+}
+
+// --- serving warm path ----------------------------------------------------
+
+// benchServeServer builds a small two-cluster allocation server (the same
+// shape as internal/serve's acceptance fixtures) and warms both policies, so
+// the benchmarks below measure only the steady-state warm path the tail gate
+// protects.
+func benchServeServer(b *testing.B) *serve.Server {
+	b.Helper()
+	tmpl := &core.Problem{TimeLimit: 2}
+	for j := 0; j < 6; j++ {
+		tmpl.Tasks = append(tmpl.Tasks, core.TaskSpec{ID: j, TimeCost: 1, Resource: 0.5})
+	}
+	for i := 0; i < 2; i++ {
+		tmpl.Processors = append(tmpl.Processors, core.Processor{ID: i, Capacity: 2, SpeedFactor: 1})
+	}
+	store := core.NewEnvironmentStore()
+	for cluster := 0; cluster < 2; cluster++ {
+		imp := make([]float64, 6)
+		for j := range imp {
+			imp[j] = 0.05
+		}
+		for j := 0; j < 3; j++ {
+			imp[3*cluster+j] = 0.9
+		}
+		if err := store.Add(&core.Environment{
+			Importance: imp,
+			Capacity:   []float64{2, 2},
+			Signature:  []float64{float64(cluster)},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cfg := serve.DefaultConfig()
+	cfg.ClusterNeighborhood = 1
+	cfg.CRL = core.CRLConfig{
+		K:        1,
+		Episodes: 8,
+		Seed:     11,
+		DQN: rl.DQNConfig{
+			Hidden:      []int{16},
+			BatchSize:   8,
+			WarmupSteps: 16,
+			Epsilon:     rl.EpsilonSchedule{Start: 1, End: 0.1, DecaySteps: 60},
+			Seed:        12,
+		},
+	}
+	s, err := serve.NewServer(tmpl, store, nil, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for cluster := 0; cluster < 2; cluster++ {
+		req := serve.AllocateRequest{Signature: []float64{float64(cluster)}}
+		for i := 0; i < 4; i++ {
+			if _, err := s.Allocate(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return s
+}
+
+// BenchmarkServeWarmAllocate measures one warm (cache-hit, batch-1 fast
+// path) allocate through the exported API — the per-request cost the
+// BENCH_PR*.json warm p50 is built from, minus HTTP/JSON.
+func BenchmarkServeWarmAllocate(b *testing.B) {
+	s := benchServeServer(b)
+	ctx := context.Background()
+	req := serve.AllocateRequest{Signature: []float64{0}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := s.Allocate(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Mode != serve.ModeNormal {
+			b.Fatalf("degraded answer: %+v", resp)
+		}
+	}
+}
+
+// BenchmarkServeWarmAllocateParallel drives the same warm path from every
+// GOMAXPROCS' worth of goroutines across both clusters, exercising the
+// sharded policy-cache locks and the request coalescer under contention.
+func BenchmarkServeWarmAllocateParallel(b *testing.B) {
+	s := benchServeServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := context.Background()
+		cluster := 0
+		for pb.Next() {
+			req := serve.AllocateRequest{Signature: []float64{float64(cluster)}}
+			cluster ^= 1
+			resp, err := s.Allocate(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Mode != serve.ModeNormal {
+				b.Fatalf("degraded answer: %+v", resp)
+			}
+		}
+	})
 }
 
 // BenchmarkSolverScaling times the Theorem-1 solvers across problem sizes.

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/loadgen"
+)
+
+// runGate is the tail-latency regression gate: it replays the canonical
+// baseline sweep (loadgen.BaselineOptions — same seed, scale, levels and
+// request budgets that produced the committed BENCH_PR*.json) against an
+// in-process server and fails if warm p99 or best throughput regressed past
+// the slack. slackFlag < 0 means "not set on the command line", falling back
+// to DCTA_BENCH_GATE_SLACK and then the 25% default — the env knob is the
+// documented escape hatch for noisy shared runners.
+func runGate(baselinePath string, seed int64, slackFlag float64, outJSON string) error {
+	slack, err := loadgen.ResolveSlack(slackFlag, os.Getenv("DCTA_BENCH_GATE_SLACK"))
+	if err != nil {
+		return err
+	}
+	baseline, err := loadgen.LoadReport(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	opts := loadgen.BaselineOptions(seed)
+	opts.Logf = func(format string, args ...any) { fmt.Printf(format, args...) }
+	res, err := loadgen.Run(opts)
+	if err != nil {
+		return fmt.Errorf("gate sweep: %w", err)
+	}
+	cur := res.Report
+	if outJSON != "" {
+		if err := loadgen.WriteReport(outJSON, cur); err != nil {
+			return err
+		}
+		fmt.Println("gate: wrote", outJSON)
+	}
+
+	fmt.Printf("gate: slack %.0f%%  (baseline %s)\n", slack*100, baselinePath)
+	fmt.Printf("gate: warm p99    baseline %-12s current %-12s limit %s\n",
+		loadgen.Ns(baseline.WarmP99Ns), loadgen.Ns(cur.WarmP99Ns), loadgen.Ns(baseline.WarmP99Ns*(1+slack)))
+	fmt.Printf("gate: throughput  baseline %-12.0f current %-12.0f floor %.0f rps\n",
+		baseline.BestThroughputRPS, cur.BestThroughputRPS, baseline.BestThroughputRPS/(1+slack))
+
+	violations := loadgen.Gate(cur, baseline, slack)
+	if len(violations) == 0 {
+		fmt.Println("gate: PASS")
+		return nil
+	}
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "gate: FAIL:", v)
+	}
+	return fmt.Errorf("%d tail-latency gate violation(s); rerun with -gate-slack or DCTA_BENCH_GATE_SLACK to widen tolerance on noisy runners", len(violations))
+}

@@ -23,8 +23,18 @@ func main() {
 		seed      = flag.Int64("seed", 1, "experiment seed")
 		scale     = flag.String("scale", "default", "scenario scale: fast, default, full")
 		benchJSON = flag.String("bench-json", "", "run the key microbenchmarks and write their metrics to this JSON file instead of printing figures")
+		baseline  = flag.String("serve-baseline", "", "run the tail-latency gate: replay the canonical serving sweep and compare against this committed BENCH_PR*.json")
+		gateSlack = flag.Float64("gate-slack", -1, "gate tolerance as a fraction (default 0.25; DCTA_BENCH_GATE_SLACK overrides the default on noisy runners)")
+		gateJSON  = flag.String("gate-json", "", "also write the gate sweep's fresh report to this file")
 	)
 	flag.Parse()
+	if *baseline != "" {
+		if err := runGate(*baseline, *seed, *gateSlack, *gateJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "dcta-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "dcta-bench:", err)

@@ -6,31 +6,22 @@
 //
 //	dcta-load                          # in-process server on 127.0.0.1:0
 //	dcta-load -addr host:8080          # drive an external dcta-server
-//	dcta-load -json BENCH_PR3.json     # write the machine-readable baseline
+//	dcta-load -preset baseline -json BENCH_PR6.json
+//	                                   # regenerate the committed baseline
 //
 // The run has two phases: a sequential cold sweep that touches each distinct
 // evaluation signature once (paying and recording per-cluster policy
-// training), then one closed-loop warm phase per -levels entry.
+// training), then one closed-loop warm phase per -levels entry. The sweep
+// machinery lives in internal/loadgen, shared with dcta-bench's
+// tail-latency regression gate.
 package main
 
 import (
-	"bytes"
-	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
-	"runtime"
-	"strconv"
-	"strings"
-	"sync"
-	"time"
 
-	"repro"
-	"repro/internal/mathx"
-	"repro/internal/serve"
+	"repro/internal/loadgen"
 )
 
 func main() {
@@ -44,407 +35,51 @@ func main() {
 		jsonPath     = flag.String("json", "", "write the flat benchmark record to this file")
 		neighborhood = flag.Int("neighborhood", 5, "in-process server: stored environments per cluster sub-store")
 		episodes     = flag.Int("crl-episodes", 0, "in-process server: per-cluster CRL episodes (0 = scale default)")
+		preset       = flag.String("preset", "", "\"baseline\" replaces the sweep flags with the canonical shape the CI tail gate replays")
 	)
 	flag.Parse()
-	if err := run(*addr, *scale, *seed, *levels, *requests, *feedbackNth, *jsonPath, *neighborhood, *episodes); err != nil {
+	if err := run(*addr, *scale, *seed, *levels, *requests, *feedbackNth, *jsonPath,
+		*neighborhood, *episodes, *preset); err != nil {
 		fmt.Fprintln(os.Stderr, "dcta-load:", err)
 		os.Exit(1)
 	}
 }
 
-func parseLevels(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad concurrency level %q", part)
-		}
-		out = append(out, n)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no concurrency levels")
-	}
-	return out, nil
-}
-
-// scenarioConfig mirrors dcta-bench's -scale presets.
-func scenarioConfig(seed int64, scale string) (dcta.ScenarioConfig, error) {
-	cfg := dcta.DefaultScenarioConfig(seed)
-	switch scale {
-	case "fast":
-		cfg.Years = 1
-		cfg.Tasks = 24
-		cfg.HistoryContexts = 20
-		cfg.EvalContexts = 4
-		cfg.Workers = 5
-		cfg.CRLEpisodes = 10
-	case "default":
-	case "full":
-		cfg.Years = 4
-		cfg.StepHours = 1
-		cfg.HistoryContexts = 120
-		cfg.EvalContexts = 24
-		cfg.CRLEpisodes = 150
-	default:
-		return cfg, fmt.Errorf("unknown scale %q (fast, default, full)", scale)
-	}
-	return cfg, nil
-}
-
-// workload is the precomputed request population: one entry per evaluation
-// epoch, replayed round-robin by the closed-loop workers.
-type workload struct {
-	allocs    []serve.AllocateRequest
-	feedbacks []serve.FeedbackRequest // allocation filled in per response
-}
-
-func buildWorkload(scn *dcta.Scenario) (*workload, error) {
-	w := &workload{}
-	for _, ep := range scn.Eval {
-		vecs, err := scn.Extractor.Vectors(ep.FeatureCtx)
-		if err != nil {
-			return nil, fmt.Errorf("features: %w", err)
-		}
-		w.allocs = append(w.allocs, serve.AllocateRequest{
-			Signature: ep.Signature,
-			Features:  vecs,
-		})
-		w.feedbacks = append(w.feedbacks, serve.FeedbackRequest{
-			Signature: ep.Signature,
-			Features:  vecs,
-		})
-	}
-	if len(w.allocs) == 0 {
-		return nil, fmt.Errorf("scenario has no evaluation epochs")
-	}
-	return w, nil
-}
-
-type client struct {
-	base string
-	http *http.Client
-}
-
-// post sends one JSON request and decodes the body into resp on HTTP 200.
-// Non-2xx statuses are returned (not converted to errors) so the load loops
-// can count them — a degraded-mode server answers 200, and anything else is
-// a robustness finding to report, not a reason to abort the run.
-func (c *client) post(path string, req, resp any) (int, error) {
-	raw, err := json.Marshal(req)
-	if err != nil {
-		return 0, err
-	}
-	hr, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(raw))
-	if err != nil {
-		return 0, err
-	}
-	defer hr.Body.Close()
-	var buf bytes.Buffer
-	if _, err := buf.ReadFrom(hr.Body); err != nil {
-		return hr.StatusCode, err
-	}
-	if hr.StatusCode != http.StatusOK {
-		return hr.StatusCode, nil
-	}
-	return hr.StatusCode, json.Unmarshal(buf.Bytes(), resp)
-}
-
-// levelResult is one concurrency level's aggregate.
-type levelResult struct {
-	Concurrency int
-	Requests    int
-	Throughput  float64 // allocates per second
-	P50, P95    float64 // ns
-	P99, Max    float64 // ns
-	HitRate     float64 // (hit+warm) / requests
-	Degraded    int     // 200s answered by the fallback path
-	NonOK       int     // non-2xx responses (should be zero)
-}
-
-// coldResult is the sequential cold sweep's aggregate.
-type coldResult struct {
-	Clusters     int
-	TrainNs      []float64 // server-reported training time per cold cluster
-	ClientP50Ns  float64
-	ClientMeanNs float64
-}
-
 func run(addr, scale string, seed int64, levelSpec string, requests, feedbackNth int,
-	jsonPath string, neighborhood, episodes int) error {
-	lv, err := parseLevels(levelSpec)
-	if err != nil {
-		return err
-	}
-	scnCfg, err := scenarioConfig(seed, scale)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("building scenario (seed=%d scale=%s: %d tasks, %d workers, %d stored environments)...\n",
-		seed, scale, scnCfg.Tasks, scnCfg.Workers, scnCfg.HistoryContexts)
-	scn, err := dcta.NewScenario(scnCfg)
-	if err != nil {
-		return fmt.Errorf("scenario: %w", err)
-	}
-	wl, err := buildWorkload(scn)
-	if err != nil {
-		return err
-	}
-
-	base := addr
-	if base == "" {
-		cfg := serve.DefaultConfig()
-		cfg.ClusterNeighborhood = neighborhood
-		cfg.Seed = seed
-		cfg.CRL.Episodes = episodes
-		if cfg.CRL.Episodes < 1 {
-			cfg.CRL.Episodes = scnCfg.CRLEpisodes
-		}
-		s, err := serve.NewServer(scn.Template, scn.Store, scn.Local, cfg)
+	jsonPath string, neighborhood, episodes int, preset string) error {
+	var opts loadgen.Options
+	switch preset {
+	case "":
+		lv, err := loadgen.ParseLevels(levelSpec)
 		if err != nil {
 			return err
 		}
-		ctx, cancel := context.WithCancel(context.Background())
-		defer cancel()
-		ready := make(chan string, 1)
-		errc := make(chan error, 1)
-		go func() {
-			errc <- serve.ListenAndServe(ctx, "127.0.0.1:0", s, serve.HTTPOptions{},
-				func(a net.Addr) { ready <- a.String() })
-		}()
-		select {
-		case a := <-ready:
-			base = a
-			fmt.Printf("in-process server on %s\n", base)
-		case err := <-errc:
-			return fmt.Errorf("in-process server: %w", err)
+		opts = loadgen.Options{
+			Scale:         scale,
+			Seed:          seed,
+			Levels:        lv,
+			Requests:      requests,
+			FeedbackEvery: feedbackNth,
+			Neighborhood:  neighborhood,
+			CRLEpisodes:   episodes,
 		}
-		defer func() {
-			cancel()
-			<-errc
-		}()
+	case "baseline":
+		opts = loadgen.BaselineOptions(seed)
+	default:
+		return fmt.Errorf("unknown preset %q (only \"baseline\")", preset)
 	}
-	cl := &client{base: "http://" + base, http: &http.Client{Timeout: 5 * time.Minute}}
+	opts.Addr = addr
+	opts.Logf = func(format string, args ...any) { fmt.Printf(format, args...) }
 
-	cold, err := coldSweep(cl, wl)
+	res, err := loadgen.Run(opts)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("cold sweep: %d distinct signatures, %d policy trainings, train p50 %s, client mean %s\n",
-		len(wl.allocs), cold.Clusters, ns(mathx.Quantile(cold.TrainNs, 0.5)), ns(cold.ClientMeanNs))
-
-	var results []levelResult
-	for _, c := range lv {
-		r, err := runLevel(cl, wl, c, requests, feedbackNth)
-		if err != nil {
-			return err
-		}
-		results = append(results, r)
-		total := r.Requests + r.NonOK
-		fmt.Printf("c=%-3d  %8.0f req/s  p50 %-10s p95 %-10s p99 %-10s max %-10s hit %.1f%%  degraded %.1f%%  non-2xx %.1f%%\n",
-			r.Concurrency, r.Throughput, ns(r.P50), ns(r.P95), ns(r.P99), ns(r.Max), r.HitRate*100,
-			100*float64(r.Degraded)/float64(max(1, r.Requests)), 100*float64(r.NonOK)/float64(max(1, total)))
-	}
-
 	if jsonPath != "" {
-		if err := writeReport(jsonPath, cold, results); err != nil {
+		if err := loadgen.WriteReport(jsonPath, res.Report); err != nil {
 			return err
 		}
 		fmt.Println("wrote", jsonPath)
 	}
 	return nil
 }
-
-// coldSweep touches every distinct evaluation signature once, sequentially,
-// recording the server-reported training time of each cluster it warms.
-func coldSweep(cl *client, wl *workload) (*coldResult, error) {
-	cold := &coldResult{}
-	var lats []float64
-	for i := range wl.allocs {
-		start := time.Now()
-		var resp serve.AllocateResponse
-		code, err := cl.post("/v1/allocate", wl.allocs[i], &resp)
-		if err != nil {
-			return nil, fmt.Errorf("cold allocate %d: %w", i, err)
-		}
-		if code != http.StatusOK {
-			return nil, fmt.Errorf("cold allocate %d: HTTP %d", i, code)
-		}
-		lats = append(lats, float64(time.Since(start).Nanoseconds()))
-		if resp.TrainNanos > 0 {
-			cold.Clusters++
-			cold.TrainNs = append(cold.TrainNs, float64(resp.TrainNanos))
-		}
-	}
-	cold.ClientP50Ns = mathx.Quantile(lats, 0.5)
-	cold.ClientMeanNs = mathx.Mean(lats)
-	return cold, nil
-}
-
-// runLevel runs one closed-loop phase: `concurrency` workers each looping
-// allocate (plus every-Nth feedback) until the shared request budget drains.
-func runLevel(cl *client, wl *workload, concurrency, requests, feedbackNth int) (levelResult, error) {
-	var (
-		mu       sync.Mutex
-		lats     []float64
-		hits     int
-		degraded int
-		nonOK    int
-		next     int
-		wg       sync.WaitGroup
-		firstMu  sync.Mutex
-		fail     error
-	)
-	takeTicket := func() (int, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if next >= requests {
-			return 0, false
-		}
-		next++
-		return next - 1, true
-	}
-	start := time.Now()
-	for w := 0; w < concurrency; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				ticket, ok := takeTicket()
-				if !ok {
-					return
-				}
-				req := wl.allocs[ticket%len(wl.allocs)]
-				t0 := time.Now()
-				var resp serve.AllocateResponse
-				code, err := cl.post("/v1/allocate", req, &resp)
-				if err != nil {
-					firstMu.Lock()
-					if fail == nil {
-						fail = fmt.Errorf("allocate: %w", err)
-					}
-					firstMu.Unlock()
-					return
-				}
-				if code != http.StatusOK {
-					mu.Lock()
-					nonOK++
-					mu.Unlock()
-					continue
-				}
-				lat := float64(time.Since(t0).Nanoseconds())
-				mu.Lock()
-				lats = append(lats, lat)
-				if resp.Cache == serve.CacheHit || resp.Cache == serve.CacheWarm {
-					hits++
-				}
-				if resp.Mode == serve.ModeDegraded {
-					degraded++
-				}
-				mu.Unlock()
-				if feedbackNth > 0 && ticket%feedbackNth == feedbackNth-1 {
-					fb := wl.feedbacks[ticket%len(wl.feedbacks)]
-					fb.Allocation = resp.Allocation
-					var fresp serve.FeedbackResponse
-					code, err := cl.post("/v1/feedback", fb, &fresp)
-					if err != nil {
-						firstMu.Lock()
-						if fail == nil {
-							fail = fmt.Errorf("feedback: %w", err)
-						}
-						firstMu.Unlock()
-						return
-					}
-					if code != http.StatusOK {
-						mu.Lock()
-						nonOK++
-						mu.Unlock()
-					}
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	elapsed := time.Since(start).Seconds()
-	if fail != nil {
-		return levelResult{}, fail
-	}
-	return levelResult{
-		Concurrency: concurrency,
-		Requests:    len(lats),
-		Throughput:  float64(len(lats)) / elapsed,
-		P50:         mathx.Quantile(lats, 0.50),
-		P95:         mathx.Quantile(lats, 0.95),
-		P99:         mathx.Quantile(lats, 0.99),
-		Max:         mathx.Quantile(lats, 1),
-		HitRate:     float64(hits) / float64(len(lats)),
-		Degraded:    degraded,
-		NonOK:       nonOK,
-	}, nil
-}
-
-// benchReport is the flat machine-readable record (the BENCH_PR2.json shape)
-// committed as the serving baseline.
-type benchReport struct {
-	GoVersion          string  `json:"go_version"`
-	GOMAXPROCS         int     `json:"gomaxprocs"`
-	ColdTrainP50Ns     float64 `json:"serve_cold_train_p50_ns"`
-	ColdClientMeanNs   float64 `json:"serve_cold_client_mean_ns"`
-	WarmP50Ns          float64 `json:"serve_warm_p50_ns"`
-	WarmP95Ns          float64 `json:"serve_warm_p95_ns"`
-	WarmP99Ns          float64 `json:"serve_warm_p99_ns"`
-	WarmHitRate        float64 `json:"serve_warm_hit_rate"`
-	BestThroughputRPS  float64 `json:"serve_best_throughput_rps"`
-	ColdOverWarmP99    float64 `json:"serve_cold_train_over_warm_p99"`
-	SweptConcurrencies int     `json:"serve_swept_concurrencies"`
-	DegradedRate       float64 `json:"serve_degraded_rate"`
-	NonOKRate          float64 `json:"serve_non2xx_rate"`
-}
-
-func writeReport(path string, cold *coldResult, results []levelResult) error {
-	rep := benchReport{
-		GoVersion:          runtime.Version(),
-		GOMAXPROCS:         runtime.GOMAXPROCS(0),
-		ColdTrainP50Ns:     mathx.Quantile(cold.TrainNs, 0.5),
-		ColdClientMeanNs:   cold.ClientMeanNs,
-		SweptConcurrencies: len(results),
-	}
-	// Warm aggregates pool every level's latencies by re-deriving from the
-	// per-level quantiles' source data being gone; use the per-level numbers:
-	// p99 is reported as the worst level's p99 (conservative), p50/p95 as the
-	// best level's, throughput as the max.
-	var total, hits, degraded, nonOK float64
-	for i, r := range results {
-		if i == 0 || r.P50 < rep.WarmP50Ns {
-			rep.WarmP50Ns = r.P50
-		}
-		if i == 0 || r.P95 < rep.WarmP95Ns {
-			rep.WarmP95Ns = r.P95
-		}
-		if r.P99 > rep.WarmP99Ns {
-			rep.WarmP99Ns = r.P99
-		}
-		if r.Throughput > rep.BestThroughputRPS {
-			rep.BestThroughputRPS = r.Throughput
-		}
-		total += float64(r.Requests)
-		hits += r.HitRate * float64(r.Requests)
-		degraded += float64(r.Degraded)
-		nonOK += float64(r.NonOK)
-	}
-	if total > 0 {
-		rep.WarmHitRate = hits / total
-		rep.DegradedRate = degraded / total
-		rep.NonOKRate = nonOK / (total + nonOK)
-	}
-	if rep.WarmP99Ns > 0 {
-		rep.ColdOverWarmP99 = rep.ColdTrainP50Ns / rep.WarmP99Ns
-	}
-	blob, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	blob = append(blob, '\n')
-	return os.WriteFile(path, blob, 0o644)
-}
-
-func ns(v float64) string { return time.Duration(v).String() }

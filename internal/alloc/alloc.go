@@ -220,11 +220,49 @@ func (o *OracleGreedy) Allocate(req Request) (*Result, error) {
 	}, nil
 }
 
+// PackScratch is reusable workspace for PackByScoreInto so the serving warm
+// path packs without steady-state allocations. Buffers grow to the problem
+// size on first use and are reused afterwards.
+type PackScratch struct {
+	Order   []int
+	Density []float64
+	RemT    []float64
+	RemV    []float64
+	Ready   []float64
+}
+
 // packByScore greedily assigns tasks in decreasing score density
 // (score / normalized cost) to the processor with the most remaining time,
 // stopping when `coverage` of the total positive score is captured.
 // It returns the allocation and an op-count estimate.
 func packByScore(p *core.Problem, score []float64, coverage float64) (core.Allocation, float64) {
+	var scratch PackScratch
+	return PackByScoreInto(p, score, coverage, nil, &scratch)
+}
+
+// growInts returns buf resized to n, reallocating only when capacity is short.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// growFloats returns buf resized to n, reallocating only when capacity is
+// short.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// PackByScoreInto is packByScore writing the allocation into dst (grown as
+// needed) with caller-owned scratch. The densities are computed once per task
+// — the same float values the closure in the original recomputed per
+// comparison — so the bubble ordering performs identical comparisons and the
+// result is bitwise-identical to packByScore.
+func PackByScoreInto(p *core.Problem, score []float64, coverage float64, dst core.Allocation, scratch *PackScratch) (core.Allocation, float64) {
 	n, m := len(p.Tasks), len(p.Processors)
 	if coverage <= 0 || coverage > 1 {
 		coverage = 1
@@ -235,41 +273,44 @@ func packByScore(p *core.Problem, score []float64, coverage float64) (core.Alloc
 			total += s
 		}
 	}
-	order := make([]int, n)
+	maxCap := 0.0
+	for _, pr := range p.Processors {
+		if pr.Capacity > maxCap {
+			maxCap = pr.Capacity
+		}
+	}
+	order := growInts(scratch.Order, n)
+	dens := growFloats(scratch.Density, n)
 	for i := range order {
 		order[i] = i
-	}
-	density := func(j int) float64 {
-		t := p.Tasks[j]
+		t := p.Tasks[i]
 		cost := t.TimeCost/p.TimeLimit + 1e-9
-		if t.Resource > 0 {
-			maxCap := 0.0
-			for _, pr := range p.Processors {
-				if pr.Capacity > maxCap {
-					maxCap = pr.Capacity
-				}
-			}
-			if maxCap > 0 {
-				cost += t.Resource / maxCap
-			}
+		if t.Resource > 0 && maxCap > 0 {
+			cost += t.Resource / maxCap
 		}
-		return score[j] / cost
+		dens[i] = score[i] / cost
 	}
 	for x := 0; x < n; x++ {
 		for y := x + 1; y < n; y++ {
-			if density(order[y]) > density(order[x]) {
+			if dens[order[y]] > dens[order[x]] {
 				order[x], order[y] = order[y], order[x]
 			}
 		}
 	}
-	remT := make([]float64, m)
-	remV := make([]float64, m)
-	ready := make([]float64, m) // accumulated wall-clock work per node
+	remT := growFloats(scratch.RemT, m)
+	remV := growFloats(scratch.RemV, m)
+	ready := growFloats(scratch.Ready, m) // accumulated wall-clock work per node
 	for i, pr := range p.Processors {
 		remT[i] = p.TimeLimit
 		remV[i] = pr.Capacity
+		ready[i] = 0
 	}
-	a := make(core.Allocation, n)
+	scratch.Order, scratch.Density = order, dens
+	scratch.RemT, scratch.RemV, scratch.Ready = remT, remV, ready
+	if cap(dst) < n {
+		dst = make(core.Allocation, n)
+	}
+	a := dst[:n]
 	for j := range a {
 		a[j] = core.Unassigned
 	}

@@ -166,6 +166,23 @@ func (l *LocalModel) Score(featureVec []float64) (float64, error) {
 	return l.svm.Probability(scaled)
 }
 
+// ScoreInto is Score using buf as the feature workspace instead of cloning —
+// the allocation-free variant for serving hot paths. Returns the score and
+// the (possibly grown) buffer for reuse. The arithmetic (sanitize →
+// standardize → logistic margin) is identical to Score.
+func (l *LocalModel) ScoreInto(featureVec []float64, buf []float64) (float64, []float64, error) {
+	if !l.fitted {
+		return 0, buf, ErrNotReady
+	}
+	buf = append(buf[:0], featureVec...)
+	features.Sanitize(buf)
+	if err := l.scaler.TransformInPlace(buf); err != nil {
+		return 0, buf, fmt.Errorf("local transform: %w", err)
+	}
+	p, err := l.svm.Probability(buf)
+	return p, buf, err
+}
+
 // Fitted reports training state.
 func (l *LocalModel) Fitted() bool { return l.fitted }
 
@@ -279,6 +296,28 @@ func CombineScores(local *LocalModel, general []float64, feats [][]float64, w1, 
 		combined[j] = w1*combined[j] + w2*localScore
 	}
 	return combined, nil
+}
+
+// CombineScoresInto is CombineScores writing into dst (grown as needed) with
+// buf as the per-task feature workspace. Arithmetic matches CombineScores
+// exactly; dst and the returned buffer may be reused across calls.
+func CombineScoresInto(local *LocalModel, general []float64, feats [][]float64, w1, w2 float64, dst, buf []float64) ([]float64, []float64, error) {
+	dst = append(dst[:0], general...)
+	if hi := mathx.MaxOf(dst); hi > 0 {
+		mathx.Scale(1/hi, dst)
+	}
+	if local == nil || !local.Fitted() || len(feats) != len(general) {
+		return dst, buf, nil
+	}
+	for j := range dst {
+		localScore, grown, err := local.ScoreInto(feats[j], buf)
+		buf = grown
+		if err != nil {
+			return dst, buf, fmt.Errorf("task %d: %w", j, err)
+		}
+		dst[j] = w1*dst[j] + w2*localScore
+	}
+	return dst, buf, nil
 }
 
 // Allocate implements Allocator. The request must carry per-task feature

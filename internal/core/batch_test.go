@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/rl"
+)
+
+// randomCRLFixture builds a randomized template/store pair (task count,
+// processor count, store size and contents all drawn from rng) and trains a
+// small CRL on it. Batch equivalence must hold for every problem shape, not
+// just the shared fixture's.
+func randomCRLFixture(t *testing.T, rng *rand.Rand) *CRL {
+	t.Helper()
+	n := 4 + rng.Intn(6)  // tasks
+	m := 2 + rng.Intn(3)  // processors
+	entries := 8 + rng.Intn(24)
+	p := &Problem{TimeLimit: 2 + rng.Float64()*2}
+	for j := 0; j < n; j++ {
+		p.Tasks = append(p.Tasks, TaskSpec{
+			ID: j, TimeCost: 0.5 + rng.Float64(), Resource: 0.2 + rng.Float64()*0.6,
+		})
+	}
+	for i := 0; i < m; i++ {
+		p.Processors = append(p.Processors, Processor{
+			ID: i, Capacity: 0.8 + rng.Float64(), SpeedFactor: 0.5 + rng.Float64(),
+		})
+	}
+	store := NewEnvironmentStore()
+	for e := 0; e < entries; e++ {
+		z := rng.Float64()
+		caps := make([]float64, m)
+		for i := range caps {
+			caps[i] = 0.8 + rng.Float64()
+		}
+		if err := store.Add(&Environment{
+			Importance: fixtureImportance(n, z),
+			Capacity:   caps,
+			Signature:  []float64{z},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := DefaultCRLConfig()
+	cfg.Episodes = 40
+	cfg.DQN = rl.DQNConfig{
+		Hidden:      []int{24},
+		Epsilon:     rl.EpsilonSchedule{Start: 1, End: 0.05, DecaySteps: 200},
+		WarmupSteps: 16,
+		Seed:        rng.Int63n(1 << 30),
+	}
+	crl, err := NewCRL(p, store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := crl.Train(); err != nil {
+		t.Fatal(err)
+	}
+	return crl
+}
+
+// TestPredictBatchMatchesSequential is the coalescer's load-bearing property:
+// rolling B environments through one PredictBatchInto call returns exactly —
+// bitwise — the allocations of B separate batch-of-1 calls, for every batch
+// size the serving layer can form. If this breaks, request coalescing changes
+// answers and the whole warm path is wrong.
+func TestPredictBatchMatchesSequential(t *testing.T) {
+	for trial := 0; trial < 3; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("world%d", trial), func(t *testing.T) {
+			rng := mathx.NewRand(int64(1000 + 37*trial))
+			crl := randomCRLFixture(t, rng)
+			// A second, independently-scratched replica answers the solo
+			// calls, so agreement proves batch composition is invisible —
+			// not just that one scratch is self-consistent.
+			solo, err := crl.Clone()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var scratch KNNScratch
+			for _, b := range []int{1, 2, 3, 4, 7, 8, 13, 16, 27, 32} {
+				envs := make([]*Environment, b)
+				for i := range envs {
+					env := &Environment{}
+					if err := crl.DefineEnvironmentInto(
+						[]float64{rng.Float64()}, env, &scratch); err != nil {
+						t.Fatal(err)
+					}
+					envs[i] = env
+				}
+				batched := make([]Allocation, b)
+				if err := crl.PredictBatchInto(envs, batched); err != nil {
+					t.Fatalf("batch %d: %v", b, err)
+				}
+				for i := range envs {
+					one := make([]Allocation, 1)
+					if err := solo.PredictBatchInto(envs[i:i+1], one); err != nil {
+						t.Fatalf("batch %d solo %d: %v", b, i, err)
+					}
+					if len(batched[i]) != len(one[0]) {
+						t.Fatalf("batch %d env %d: len %d vs solo %d",
+							b, i, len(batched[i]), len(one[0]))
+					}
+					for j := range one[0] {
+						if batched[i][j] != one[0][j] {
+							t.Fatalf("batch %d env %d task %d: batched %d, solo %d",
+								b, i, j, batched[i][j], one[0][j])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPredictBatchReusesOutputBuffers pins the zero-allocation contract: a
+// second call with the same out slice must append into the existing backing
+// arrays rather than allocating fresh ones.
+func TestPredictBatchReusesOutputBuffers(t *testing.T) {
+	rng := mathx.NewRand(5)
+	crl := randomCRLFixture(t, rng)
+	var scratch KNNScratch
+	env := &Environment{}
+	if err := crl.DefineEnvironmentInto([]float64{0.5}, env, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	envs := []*Environment{env}
+	out := make([]Allocation, 1)
+	if err := crl.PredictBatchInto(envs, out); err != nil {
+		t.Fatal(err)
+	}
+	first := &out[0][0]
+	if err := crl.PredictBatchInto(envs, out); err != nil {
+		t.Fatal(err)
+	}
+	if &out[0][0] != first {
+		t.Fatal("second batch call reallocated the output backing array")
+	}
+}
+
+// TestPredictBatchErrors covers the guard rails around the batch entry point.
+func TestPredictBatchErrors(t *testing.T) {
+	p, store := storeFixture(t, 4, 2, 5)
+	crl, err := NewCRL(p, store, DefaultCRLConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &Environment{Importance: []float64{1, 0, 0, 1}, Capacity: []float64{1, 1}}
+	if err := crl.PredictBatchInto([]*Environment{env}, make([]Allocation, 1)); !errors.Is(err, ErrNotTrained) {
+		t.Fatalf("untrained err = %v", err)
+	}
+	rng := mathx.NewRand(9)
+	trained := randomCRLFixture(t, rng)
+	if err := trained.PredictBatchInto(nil, nil); err != nil {
+		t.Fatalf("empty batch err = %v", err)
+	}
+	var scratch KNNScratch
+	good := &Environment{}
+	if err := trained.DefineEnvironmentInto([]float64{0.2}, good, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	if err := trained.PredictBatchInto([]*Environment{good, good}, make([]Allocation, 1)); err == nil {
+		t.Fatal("short out slice accepted")
+	}
+	bad := &Environment{Importance: []float64{1}, Capacity: good.Capacity}
+	if err := trained.PredictBatchInto([]*Environment{bad}, make([]Allocation, 1)); err == nil {
+		t.Fatal("mismatched environment accepted")
+	}
+}

@@ -48,6 +48,7 @@ type CRL struct {
 	store    *EnvironmentStore
 	agent    *rl.DQN
 	trained  bool
+	rollout  rolloutScratch
 }
 
 // NewCRL builds a CRL model over a problem template and historical store.
@@ -144,6 +145,19 @@ func (c *CRL) DefineEnvironment(z []float64) (*Environment, error) {
 	return c.store.Define(z)
 }
 
+// DefineEnvironmentInto is DefineEnvironment writing into a caller-owned
+// environment with reusable kNN scratch — the zero-allocation variant the
+// serving warm path uses. Environment definition only reads the (concurrency
+// safe) store, so any goroutine may call this on a shared CRL.
+func (c *CRL) DefineEnvironmentInto(z []float64, dst *Environment, scratch *KNNScratch) error {
+	if c.cfg.Blend && c.cfg.K > 1 {
+		return c.store.DefineBlendedInto(z, c.cfg.K, dst, scratch)
+	}
+	// k=1 inside DefineBlendedInto copies the single nearest entry verbatim —
+	// bitwise-identical to Define — without Define's result allocation.
+	return c.store.DefineBlendedInto(z, 1, dst, scratch)
+}
+
 // Predict is the prediction phase of Alg. 1: define the environment for Z,
 // then roll the greedy policy to an allocation. The MDP construction makes
 // every greedy rollout feasible by design.
@@ -177,6 +191,106 @@ func (c *CRL) PredictWithEnvironment(env *Environment) (Allocation, error) {
 		return nil, fmt.Errorf("crl greedy rollout: %w", err)
 	}
 	return ae.Allocation(), nil
+}
+
+// rolloutScratch is the reusable workspace behind PredictBatchInto: one MDP
+// lane per batch slot, a state matrix sized to the largest batch seen, and
+// per-lane action buffers. It belongs to exactly one CRL (an inference
+// replica), which the serving layer checks out exclusively per batch.
+type rolloutScratch struct {
+	lanes    []*AllocEnv
+	states   *mathx.Matrix
+	view     mathx.Matrix // row-window header over states, reused per step
+	valid    [][]int      // per-lane valid-action buffers
+	rowValid [][]int      // per-live-row views into valid
+	acts     []int
+	live     []int // lane indices still mid-episode
+}
+
+// PredictBatchInto rolls the greedy policy for a batch of environments in
+// lockstep: every step evaluates all live episodes' states through one
+// neural.ForwardBatch pass and advances each episode by its own argmax
+// action. out[i] receives the allocation for envs[i], appended into its
+// existing backing array.
+//
+// Equivalence invariant: the batched GEMM kernels compute every output row
+// from that row's inputs alone, with a deterministic ascending-k
+// accumulation per element, so PredictBatchInto(envs, out) is bitwise
+// identical to B separate single-environment calls — batch composition can
+// never change an answer. The request coalescer in internal/serve leans on
+// this, and the property is pinned by TestPredictBatchMatchesSequential.
+//
+// Not goroutine-safe: the rollout runs through the agent's and the scratch's
+// shared buffers, so concurrent callers need separate Clone replicas.
+func (c *CRL) PredictBatchInto(envs []*Environment, out []Allocation) error {
+	if !c.trained {
+		return ErrNotTrained
+	}
+	b := len(envs)
+	if b == 0 {
+		return nil
+	}
+	if len(out) < b {
+		return fmt.Errorf("core: %d outputs for %d environments", len(out), b)
+	}
+	s := &c.rollout
+	for len(s.lanes) < b {
+		lane, err := NewAllocEnv(c.template.Clone(), nil)
+		if err != nil {
+			return fmt.Errorf("crl batch lane: %w", err)
+		}
+		lane.DenseReward = c.cfg.DenseReward
+		s.lanes = append(s.lanes, lane)
+		s.valid = append(s.valid, make([]int, 0, lane.ActionSize()))
+	}
+	stateSize := s.lanes[0].StateSize()
+	if s.states == nil || s.states.Rows < b {
+		s.states = mathx.NewMatrix(b, stateSize)
+		s.rowValid = make([][]int, b)
+		s.acts = make([]int, b)
+		s.live = make([]int, 0, b)
+	}
+	s.live = s.live[:0]
+	for i := 0; i < b; i++ {
+		if len(envs[i].Importance) != len(c.template.Tasks) {
+			return fmt.Errorf("core: environment %d has %d importances for %d tasks",
+				i, len(envs[i].Importance), len(c.template.Tasks))
+		}
+		if err := s.lanes[i].Reinit(envs[i].Importance); err != nil {
+			return fmt.Errorf("crl batch lane %d: %w", i, err)
+		}
+		s.live = append(s.live, i)
+	}
+	maxSteps := s.lanes[0].N() + s.lanes[0].M() + 1
+	for step := 0; step < maxSteps && len(s.live) > 0; step++ {
+		rows := len(s.live)
+		for r, li := range s.live {
+			lane := s.lanes[li]
+			lane.StateInto(s.states.Row(r))
+			s.valid[li] = lane.ValidActionsInto(s.valid[li])
+			s.rowValid[r] = s.valid[li]
+		}
+		s.view = mathx.Matrix{Rows: rows, Cols: stateSize, Data: s.states.Data[:rows*stateSize]}
+		if err := c.agent.GreedyActionsBatch(&s.view, s.rowValid[:rows], s.acts[:rows]); err != nil {
+			return fmt.Errorf("crl batch rollout: %w", err)
+		}
+		w := 0
+		for r, li := range s.live {
+			done, err := s.lanes[li].Apply(s.acts[r])
+			if err != nil {
+				return fmt.Errorf("crl batch rollout lane %d: %w", li, err)
+			}
+			if !done {
+				s.live[w] = li
+				w++
+			}
+		}
+		s.live = s.live[:w]
+	}
+	for i := 0; i < b; i++ {
+		out[i] = s.lanes[i].CopyAllocation(out[i])
+	}
+	return nil
 }
 
 // TaskScores returns a per-task desirability score in [0, 1] from the

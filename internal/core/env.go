@@ -120,23 +120,75 @@ func (e *AllocEnv) M() int { return len(e.problem.Processors) }
 // SkipAction is the action index that advances to the next processor.
 func (e *AllocEnv) SkipAction() int { return e.N() }
 
-// Reset starts a fresh episode.
+// Reset starts a fresh episode. Internal episode buffers are reused across
+// resets (nothing outside the env aliases them — encode and Allocation both
+// copy), so per-episode setup is allocation-free after the first call.
 func (e *AllocEnv) Reset() []float64 {
+	e.reset()
+	return e.encode()
+}
+
+// reset reinitializes the episode state in place.
+func (e *AllocEnv) reset() {
 	n, m := e.N(), e.M()
-	e.state = make([]float64, n*m)
-	e.assigned = make([]int, n)
+	if len(e.state) != n*m {
+		e.state = make([]float64, n*m)
+		e.assigned = make([]int, n)
+		e.remTime = make([]float64, m)
+		e.remRes = make([]float64, m)
+	}
+	for i := range e.state {
+		e.state[i] = 0
+	}
 	for i := range e.assigned {
 		e.assigned[i] = Unassigned
 	}
-	e.remTime = make([]float64, m)
-	e.remRes = make([]float64, m)
 	for i, pr := range e.problem.Processors {
 		e.remTime[i] = e.problem.TimeLimit
 		e.remRes[i] = pr.Capacity
 	}
 	e.current = 0
 	e.done = false
-	return e.encode()
+}
+
+// Reinit rebinds the env to a new importance vector and starts a fresh
+// episode, all in place: the owned problem's task importances are overwritten
+// (clamped to [0,1], matching CRL.problemFor) and the environment matrix is
+// recomputed into its existing buffer. The problem structure (costs,
+// processors, time limit) is unchanged, so a pooled inference lane serves any
+// request against the same template without per-request allocation. The
+// sensing signature is not part of the state encoding and is left alone.
+func (e *AllocEnv) Reinit(importance []float64) error {
+	n, m := e.N(), e.M()
+	if len(importance) != n {
+		return fmt.Errorf("core: reinit with %d importances for %d tasks", len(importance), n)
+	}
+	for j := range e.problem.Tasks {
+		v := importance[j]
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		e.problem.Tasks[j].Importance = v
+		e.env.Importance[j] = v
+	}
+	maxCap := 0.0
+	for _, c := range e.env.Capacity {
+		if c > maxCap {
+			maxCap = c
+		}
+	}
+	if maxCap == 0 {
+		maxCap = 1
+	}
+	for j := 0; j < n; j++ {
+		for p := 0; p < m; p++ {
+			e.envMatrix[j*m+p] = e.env.Importance[j] * (e.env.Capacity[p] / maxCap)
+		}
+	}
+	e.reset()
+	return nil
 }
 
 // StateSize is N*M (selection matrix) + N*M (environment matrix).
@@ -147,9 +199,16 @@ func (e *AllocEnv) ActionSize() int { return e.N() + 1 }
 
 func (e *AllocEnv) encode() []float64 {
 	out := make([]float64, e.StateSize())
-	copy(out, e.state)
-	copy(out[len(e.state):], e.envMatrix)
+	e.StateInto(out)
 	return out
+}
+
+// StateInto writes the current state encoding (selection matrix ++
+// environment matrix) into dst, which must have length StateSize. The
+// allocation-free variant of the encoding Reset/Step return.
+func (e *AllocEnv) StateInto(dst []float64) {
+	copy(dst, e.state)
+	copy(dst[len(e.state):], e.envMatrix)
 }
 
 // curProc returns the processor the episode is currently filling.
@@ -175,14 +234,62 @@ func (e *AllocEnv) ValidActions() []int {
 	return acts
 }
 
+// ValidActionsInto is ValidActions appending into buf[:0], so steady-state
+// batched rollouts reuse one buffer per lane. The action order (ascending
+// task index, then skip) matches ValidActions exactly.
+func (e *AllocEnv) ValidActionsInto(buf []int) []int {
+	buf = buf[:0]
+	if e.done {
+		return buf
+	}
+	cur := e.curProc()
+	for j, t := range e.problem.Tasks {
+		if e.assigned[j] != Unassigned {
+			continue
+		}
+		if t.TimeCost <= e.remTime[cur]+1e-12 && t.Resource <= e.remRes[cur]+1e-12 {
+			buf = append(buf, j)
+		}
+	}
+	return append(buf, e.SkipAction())
+}
+
 // Step applies an action per the MDP above.
 func (e *AllocEnv) Step(action int) ([]float64, float64, bool, error) {
 	if e.done {
 		return nil, 0, true, rl.ErrEpisodeDone
 	}
+	reward, err := e.apply(action)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if e.done && !e.DenseReward {
+		// Terminal-only reward: Σ I_j over allocated tasks.
+		reward = e.problem.Objective(e.assigned)
+	}
+	return e.encode(), reward, e.done, nil
+}
+
+// Apply advances the episode like Step but materializes neither the state
+// encoding nor the reward — the batched greedy rollout reads the state via
+// StateInto and only needs the final assignment, so the per-step encode
+// allocation (and the Objective scan on sparse-reward terminals) is pure
+// waste there. Returns whether the episode finished.
+func (e *AllocEnv) Apply(action int) (bool, error) {
+	if e.done {
+		return true, rl.ErrEpisodeDone
+	}
+	if _, err := e.apply(action); err != nil {
+		return false, err
+	}
+	return e.done, nil
+}
+
+// apply mutates the episode per the MDP, returning the dense-reward portion.
+func (e *AllocEnv) apply(action int) (float64, error) {
 	n, m := e.N(), e.M()
 	if action < 0 || action > n {
-		return nil, 0, false, fmt.Errorf("core: action %d out of range [0,%d]", action, n)
+		return 0, fmt.Errorf("core: action %d out of range [0,%d]", action, n)
 	}
 	reward := 0.0
 	if action == e.SkipAction() {
@@ -195,10 +302,10 @@ func (e *AllocEnv) Step(action int) ([]float64, float64, bool, error) {
 		cur := e.curProc()
 		t := e.problem.Tasks[j]
 		if e.assigned[j] != Unassigned {
-			return nil, 0, false, fmt.Errorf("core: task %d already assigned", j)
+			return 0, fmt.Errorf("core: task %d already assigned", j)
 		}
 		if t.TimeCost > e.remTime[cur]+1e-12 || t.Resource > e.remRes[cur]+1e-12 {
-			return nil, 0, false, fmt.Errorf("core: task %d does not fit processor %d", j, cur)
+			return 0, fmt.Errorf("core: task %d does not fit processor %d", j, cur)
 		}
 		e.assigned[j] = cur
 		e.remTime[cur] -= t.TimeCost
@@ -211,12 +318,11 @@ func (e *AllocEnv) Step(action int) ([]float64, float64, bool, error) {
 			e.done = true
 		}
 	}
-	if e.done && !e.DenseReward {
-		// Terminal-only reward: Σ I_j over allocated tasks.
-		reward = e.problem.Objective(e.assigned)
-	}
-	return e.encode(), reward, e.done, nil
+	return reward, nil
 }
+
+// Done reports whether the episode has terminated.
+func (e *AllocEnv) Done() bool { return e.done }
 
 func (e *AllocEnv) allAssigned() bool {
 	for _, a := range e.assigned {
@@ -229,9 +335,13 @@ func (e *AllocEnv) allAssigned() bool {
 
 // Allocation returns a copy of the current assignment.
 func (e *AllocEnv) Allocation() Allocation {
-	out := make(Allocation, len(e.assigned))
-	copy(out, e.assigned)
-	return out
+	return e.CopyAllocation(nil)
+}
+
+// CopyAllocation appends the current assignment into dst[:0], reusing its
+// backing array when it is large enough.
+func (e *AllocEnv) CopyAllocation(dst Allocation) Allocation {
+	return append(dst[:0], e.assigned...)
 }
 
 var _ rl.Environment = (*AllocEnv)(nil)

@@ -187,3 +187,85 @@ func (s *EnvironmentStore) DefineBlended(z []float64, k int) (*Environment, erro
 		Signature:  mathx.Clone(z),
 	}, nil
 }
+
+// KNNScratch is reusable workspace for DefineBlendedInto, so the serving
+// warm path performs zero steady-state allocations per kNN query.
+type KNNScratch struct {
+	scored []envDist
+}
+
+type envDist struct {
+	env  *Environment
+	dist float64
+}
+
+// DefineBlendedInto is DefineBlended writing into a caller-owned dst
+// environment using scratch instead of allocating. The blended importance is
+// bitwise-identical to DefineBlended's: the same selection sort (strict <,
+// earlier index wins ties) orders the candidates, and the inverse-distance
+// accumulation visits them in the same nearest-first order. dst's buffers are
+// grown once and reused afterwards.
+func (s *EnvironmentStore) DefineBlendedInto(z []float64, k int, dst *Environment, scratch *KNNScratch) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.entries) == 0 {
+		return ErrEmptyStore
+	}
+	if len(z) != len(s.entries[0].Signature) {
+		return fmt.Errorf("core: signature length %d, want %d",
+			len(z), len(s.entries[0].Signature))
+	}
+	if k < 1 {
+		k = 1
+	}
+	all := scratch.scored[:0]
+	for _, e := range s.entries {
+		all = append(all, envDist{env: e, dist: mathx.EuclideanDistance(z, e.Signature)})
+	}
+	scratch.scored = all
+	if k > len(all) {
+		k = len(all)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].dist < all[best].dist {
+				best = j
+			}
+		}
+		all[i], all[best] = all[best], all[i]
+	}
+	if k == 1 {
+		// Degenerate to Define: copy the single nearest entry verbatim.
+		e := all[0].env
+		dst.Importance = append(dst.Importance[:0], e.Importance...)
+		dst.Capacity = append(dst.Capacity[:0], e.Capacity...)
+		dst.Signature = append(dst.Signature[:0], e.Signature...)
+		return nil
+	}
+	n := len(all[0].env.Importance)
+	if cap(dst.Importance) < n {
+		dst.Importance = make([]float64, n)
+	}
+	imp := dst.Importance[:n]
+	for i := range imp {
+		imp[i] = 0
+	}
+	var wsum float64
+	for i := 0; i < k; i++ {
+		e := all[i].env
+		d := mathx.EuclideanDistance(z, e.Signature)
+		w := 1 / (d + 1e-9)
+		wsum += w
+		for j, v := range e.Importance {
+			imp[j] += w * v
+		}
+	}
+	for i := range imp {
+		imp[i] /= wsum
+	}
+	dst.Importance = imp
+	dst.Capacity = append(dst.Capacity[:0], all[0].env.Capacity...)
+	dst.Signature = append(dst.Signature[:0], z...)
+	return nil
+}

@@ -1,0 +1,182 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// fastServer starts a net/http server (the same stack dcta-server uses) and
+// returns its host:port.
+func fastServer(t *testing.T, h http.Handler) string {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+func TestConnRoundTripAndKeepAlive(t *testing.T) {
+	var hits atomic.Int64
+	var conns atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/allocate", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		var req serve.AllocateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintf(w, `{"cache":"hit","mode":"normal","sig":%g}`, req.Signature[0])
+	})
+	srv := httptest.NewUnstartedServer(mux)
+	srv.Config.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	srv.Start()
+	t.Cleanup(srv.Close)
+
+	conn, err := DialFast(strings.TrimPrefix(srv.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	for i := 0; i < 5; i++ {
+		body, _ := json.Marshal(serve.AllocateRequest{Signature: []float64{float64(i)}})
+		code, resp, err := conn.Do(BuildFrame("/v1/allocate", body))
+		if err != nil {
+			t.Fatalf("do %d: %v", i, err)
+		}
+		if code != http.StatusOK {
+			t.Fatalf("do %d: HTTP %d", i, code)
+		}
+		want := fmt.Sprintf(`"sig":%d`, i)
+		if !bytes.Contains(resp, []byte(want)) {
+			t.Fatalf("do %d: body %q missing %q", i, resp, want)
+		}
+		if !bytes.Contains(resp, needleCacheHit) {
+			t.Fatalf("hit needle did not match real handler output %q", resp)
+		}
+	}
+	if got := hits.Load(); got != 5 {
+		t.Fatalf("server saw %d requests, want 5", got)
+	}
+	// All five requests must have ridden ONE TCP connection: the whole point
+	// of the fast client is that the closed loop never pays connection churn.
+	if got := conns.Load(); got != 1 {
+		t.Fatalf("server saw %d connections, want 1", got)
+	}
+}
+
+func TestConnNonOKStatus(t *testing.T) {
+	addr := fastServer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad request", http.StatusBadRequest)
+	}))
+	conn, err := DialFast(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	code, body, err := conn.Do(BuildFrame("/v1/allocate", []byte(`{}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusBadRequest {
+		t.Fatalf("code = %d, want 400", code)
+	}
+	if !bytes.Contains(body, []byte("bad request")) {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestConnChunkedResponse(t *testing.T) {
+	addr := fastServer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Flushing before the handler returns forces chunked encoding.
+		fl := w.(http.Flusher)
+		fmt.Fprint(w, `{"first":1,`)
+		fl.Flush()
+		fmt.Fprint(w, `"second":2}`)
+	}))
+	conn, err := DialFast(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 2; i++ {
+		code, body, err := conn.Do(BuildFrame("/", []byte(`{}`)))
+		if err != nil {
+			t.Fatalf("do %d: %v", i, err)
+		}
+		if code != http.StatusOK || string(body) != `{"first":1,"second":2}` {
+			t.Fatalf("do %d: %d %q", i, code, body)
+		}
+	}
+}
+
+func TestConnRedialsAfterServerClose(t *testing.T) {
+	addr := fastServer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/close" {
+			w.Header().Set("Connection", "close")
+		}
+		fmt.Fprint(w, `{}`)
+	}))
+	conn, err := DialFast(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if code, _, err := conn.Do(BuildFrame("/close", []byte(`{}`))); err != nil || code != 200 {
+		t.Fatalf("close request: %d %v", code, err)
+	}
+	// The server hung up; the next Do must transparently redial.
+	if code, _, err := conn.Do(BuildFrame("/", []byte(`{}`))); err != nil || code != 200 {
+		t.Fatalf("after close: %d %v", code, err)
+	}
+}
+
+func TestAppendFrameMatchesBuildFrame(t *testing.T) {
+	body := []byte(`{"allocation":[1,2,3]}`)
+	built := BuildFrame("/v1/feedback", body)
+	appended := AppendFrame(make([]byte, 7), "/v1/feedback", body)
+	if !bytes.Equal(built, appended) {
+		t.Fatalf("frames differ:\n%q\n%q", built, appended)
+	}
+}
+
+// TestNeedlesMatchWire pins the classification needles against the real
+// serializer: if AllocateResponse's JSON tags or the outcome constants ever
+// change, the warm loop's byte-scan classification must fail loudly here
+// rather than silently reporting a 0% hit rate.
+func TestNeedlesMatchWire(t *testing.T) {
+	hit, err := json.Marshal(serve.AllocateResponse{Cache: serve.CacheHit, Mode: serve.ModeNormal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(hit, needleCacheHit) {
+		t.Fatalf("hit needle %q missing from wire %q", needleCacheHit, hit)
+	}
+	if bytes.Contains(hit, needleDegraded) {
+		t.Fatalf("normal answer matched degraded needle: %q", hit)
+	}
+	warm, _ := json.Marshal(serve.AllocateResponse{Cache: serve.CacheWarm, Mode: serve.ModeNormal})
+	if !bytes.Contains(warm, needleCacheWarm) {
+		t.Fatalf("warm needle %q missing from wire %q", needleCacheWarm, warm)
+	}
+	deg, _ := json.Marshal(serve.AllocateResponse{Cache: "bypass", Mode: serve.ModeDegraded})
+	if !bytes.Contains(deg, needleDegraded) {
+		t.Fatalf("degraded needle %q missing from wire %q", needleDegraded, deg)
+	}
+	if bytes.Contains(deg, needleCacheHit) || bytes.Contains(deg, needleCacheWarm) {
+		t.Fatalf("degraded answer matched a hit needle: %q", deg)
+	}
+}

@@ -1,0 +1,76 @@
+package loadgen
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// DefaultGateSlack is the tail gate's default tolerance: a fresh sweep may
+// regress the committed baseline's warm p99 (or throughput) by at most 25%
+// before the gate fails. Noisy shared runners can widen it via the
+// -gate-slack flag or the DCTA_BENCH_GATE_SLACK environment variable.
+const DefaultGateSlack = 0.25
+
+// ResolveSlack picks the effective gate tolerance. Precedence: an explicit
+// non-negative flag value wins; otherwise a non-empty env value (the
+// documented DCTA_BENCH_GATE_SLACK override for noisy runners); otherwise
+// DefaultGateSlack. Pass the flag's sentinel default (any negative number)
+// to mean "not set".
+func ResolveSlack(flagVal float64, env string) (float64, error) {
+	if flagVal >= 0 {
+		return flagVal, nil
+	}
+	if env != "" {
+		v, err := strconv.ParseFloat(env, 64)
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("bad DCTA_BENCH_GATE_SLACK %q: want a non-negative fraction like 0.25", env)
+		}
+		return v, nil
+	}
+	return DefaultGateSlack, nil
+}
+
+// GateViolation is one failed baseline comparison.
+type GateViolation struct {
+	Metric   string  // json key of the regressed metric
+	Baseline float64 // committed value
+	Current  float64 // fresh sweep's value
+	Limit    float64 // the worst value the slack allowed
+}
+
+func (v GateViolation) String() string {
+	return fmt.Sprintf("%s regressed: baseline %.0f, current %.0f, limit %.0f",
+		v.Metric, v.Baseline, v.Current, v.Limit)
+}
+
+// Gate compares a fresh sweep against the committed baseline and returns the
+// violated limits (empty = pass). Two tail-collapse guarantees are enforced:
+// warm p99 may not exceed baseline×(1+slack), and best throughput may not
+// fall below baseline/(1+slack). Baseline fields that are zero or missing
+// are skipped — an old record without a metric cannot gate it.
+func Gate(current, baseline Report, slack float64) []GateViolation {
+	var out []GateViolation
+	if baseline.WarmP99Ns > 0 {
+		limit := baseline.WarmP99Ns * (1 + slack)
+		if current.WarmP99Ns > limit {
+			out = append(out, GateViolation{
+				Metric:   "serve_warm_p99_ns",
+				Baseline: baseline.WarmP99Ns,
+				Current:  current.WarmP99Ns,
+				Limit:    limit,
+			})
+		}
+	}
+	if baseline.BestThroughputRPS > 0 {
+		floor := baseline.BestThroughputRPS / (1 + slack)
+		if current.BestThroughputRPS < floor {
+			out = append(out, GateViolation{
+				Metric:   "serve_best_throughput_rps",
+				Baseline: baseline.BestThroughputRPS,
+				Current:  current.BestThroughputRPS,
+				Limit:    floor,
+			})
+		}
+	}
+	return out
+}

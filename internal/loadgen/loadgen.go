@@ -1,0 +1,428 @@
+// Package loadgen is the closed-loop load harness behind cmd/dcta-load and
+// the tail-latency regression gate in cmd/dcta-bench. It builds the same
+// experimental world as dcta-server, replays its held-out evaluation epochs
+// as allocate (and periodic feedback) requests, sweeps a list of concurrency
+// levels, and aggregates client-observed latency, throughput and hit rate
+// into the flat BENCH_PR*.json record committed as the serving baseline.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/mathx"
+	"repro/internal/serve"
+)
+
+// Options selects the world, the workload and the sweep shape for one run.
+type Options struct {
+	// Addr is an external server address; empty runs an in-process server
+	// on a loopback port.
+	Addr string
+	// Scale is the scenario scale: fast, default or full.
+	Scale string
+	// Seed is the scenario seed (must match the server's for meaningful
+	// requests when driving an external server).
+	Seed int64
+	// Levels are the concurrency levels to sweep, in order.
+	Levels []int
+	// Requests is the allocate budget per concurrency level.
+	Requests int
+	// FeedbackEvery posts a feedback request after every Nth allocate
+	// (0 disables feedback entirely).
+	FeedbackEvery int
+	// Neighborhood is the in-process server's stored environments per
+	// cluster sub-store.
+	Neighborhood int
+	// CRLEpisodes overrides the in-process server's per-cluster CRL
+	// episodes (0 uses the scale default).
+	CRLEpisodes int
+	// Logf receives human-readable progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// BaselineOptions is the canonical sweep used to produce the committed
+// BENCH_PR*.json baselines. The CI tail gate re-runs exactly this shape
+// (same seed, scale, levels and budgets) so its numbers are comparable with
+// the committed record — change it and the baseline must be regenerated.
+//
+// The shape is deliberately conservative for 1–2 core hosts: it sweeps only
+// to concurrency 4 and posts no feedback. Beyond ~4 always-runnable workers
+// on a single core, the closed loop measures the kernel's run-queue
+// timeslicing (milliseconds per descheduled period), not the server; and
+// feedback triggers local-model refits whose cost belongs to the write
+// path, not the warm-read tail this baseline pins. Wider sweeps remain
+// available via dcta-load's -levels/-feedback-every flags.
+func BaselineOptions(seed int64) Options {
+	return Options{
+		Scale:        "fast",
+		Seed:         seed,
+		Levels:       []int{1, 2, 4},
+		Requests:     2500,
+		Neighborhood: 5,
+	}
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// ParseLevels parses a comma-separated concurrency list ("1,2,4,8").
+func ParseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad concurrency level %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no concurrency levels")
+	}
+	return out, nil
+}
+
+// ScenarioConfig maps a -scale preset to a scenario configuration, mirroring
+// dcta-bench's figure presets.
+func ScenarioConfig(seed int64, scale string) (dcta.ScenarioConfig, error) {
+	cfg := dcta.DefaultScenarioConfig(seed)
+	switch scale {
+	case "fast":
+		cfg.Years = 1
+		cfg.Tasks = 24
+		cfg.HistoryContexts = 20
+		cfg.EvalContexts = 4
+		cfg.Workers = 5
+		cfg.CRLEpisodes = 10
+	case "default":
+	case "full":
+		cfg.Years = 4
+		cfg.StepHours = 1
+		cfg.HistoryContexts = 120
+		cfg.EvalContexts = 24
+		cfg.CRLEpisodes = 150
+	default:
+		return cfg, fmt.Errorf("unknown scale %q (fast, default, full)", scale)
+	}
+	return cfg, nil
+}
+
+// Workload is the precomputed request population: one entry per evaluation
+// epoch, replayed round-robin by the closed-loop workers. Allocate requests
+// are preassembled into complete HTTP frames so the hot loop never touches
+// the JSON encoder.
+type Workload struct {
+	Allocs      []serve.AllocateRequest
+	AllocFrames [][]byte                // full POST /v1/allocate frames
+	Feedbacks   []serve.FeedbackRequest // allocation filled in per response
+}
+
+// BuildWorkload extracts the allocate/feedback request pairs from a
+// scenario's held-out evaluation epochs.
+func BuildWorkload(scn *dcta.Scenario) (*Workload, error) {
+	w := &Workload{}
+	for _, ep := range scn.Eval {
+		vecs, err := scn.Extractor.Vectors(ep.FeatureCtx)
+		if err != nil {
+			return nil, fmt.Errorf("features: %w", err)
+		}
+		req := serve.AllocateRequest{
+			Signature: ep.Signature,
+			Features:  vecs,
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return nil, fmt.Errorf("encode allocate: %w", err)
+		}
+		w.Allocs = append(w.Allocs, req)
+		w.AllocFrames = append(w.AllocFrames, BuildFrame("/v1/allocate", body))
+		w.Feedbacks = append(w.Feedbacks, serve.FeedbackRequest{
+			Signature: ep.Signature,
+			Features:  vecs,
+		})
+	}
+	if len(w.Allocs) == 0 {
+		return nil, fmt.Errorf("scenario has no evaluation epochs")
+	}
+	return w, nil
+}
+
+// LevelResult is one concurrency level's aggregate.
+type LevelResult struct {
+	Concurrency int
+	Requests    int
+	Throughput  float64 // allocates per second
+	P50, P95    float64 // ns
+	P99, Max    float64 // ns
+	HitRate     float64 // (hit+warm) / requests
+	Degraded    int     // 200s answered by the fallback path
+	NonOK       int     // non-2xx responses (should be zero)
+}
+
+// ColdResult is the sequential cold sweep's aggregate.
+type ColdResult struct {
+	Clusters     int
+	TrainNs      []float64 // server-reported training time per cold cluster
+	ClientP50Ns  float64
+	ClientMeanNs float64
+}
+
+// Result bundles one full run: the cold sweep, every level's aggregate and
+// the flat report derived from them.
+type Result struct {
+	Cold   *ColdResult
+	Levels []LevelResult
+	Report Report
+}
+
+// Run executes the two-phase sweep described by opts: build the world,
+// start (or dial) the server, pay the cold training costs sequentially,
+// then run one closed loop per concurrency level.
+func Run(opts Options) (*Result, error) {
+	if len(opts.Levels) == 0 {
+		return nil, fmt.Errorf("no concurrency levels")
+	}
+	if opts.Requests < 1 {
+		return nil, fmt.Errorf("requests per level must be positive")
+	}
+	scnCfg, err := ScenarioConfig(opts.Seed, opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	opts.logf("building scenario (seed=%d scale=%s: %d tasks, %d workers, %d stored environments)...\n",
+		opts.Seed, opts.Scale, scnCfg.Tasks, scnCfg.Workers, scnCfg.HistoryContexts)
+	scn, err := dcta.NewScenario(scnCfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	wl, err := BuildWorkload(scn)
+	if err != nil {
+		return nil, err
+	}
+
+	base := opts.Addr
+	if base == "" {
+		cfg := serve.DefaultConfig()
+		cfg.ClusterNeighborhood = opts.Neighborhood
+		cfg.Seed = opts.Seed
+		cfg.CRL.Episodes = opts.CRLEpisodes
+		if cfg.CRL.Episodes < 1 {
+			cfg.CRL.Episodes = scnCfg.CRLEpisodes
+		}
+		s, err := serve.NewServer(scn.Template, scn.Store, scn.Local, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		ready := make(chan string, 1)
+		errc := make(chan error, 1)
+		go func() {
+			errc <- serve.ListenAndServe(ctx, "127.0.0.1:0", s, serve.HTTPOptions{},
+				func(a net.Addr) { ready <- a.String() })
+		}()
+		select {
+		case a := <-ready:
+			base = a
+			opts.logf("in-process server on %s\n", base)
+		case err := <-errc:
+			return nil, fmt.Errorf("in-process server: %w", err)
+		}
+		defer func() {
+			cancel()
+			<-errc
+		}()
+	}
+	cold, err := ColdSweep(base, wl)
+	if err != nil {
+		return nil, err
+	}
+	opts.logf("cold sweep: %d distinct signatures, %d policy trainings, train p50 %s, client mean %s\n",
+		len(wl.Allocs), cold.Clusters, Ns(mathx.Quantile(cold.TrainNs, 0.5)), Ns(cold.ClientMeanNs))
+
+	var results []LevelResult
+	for _, c := range opts.Levels {
+		r, err := RunLevel(base, wl, c, opts.Requests, opts.FeedbackEvery)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+		total := r.Requests + r.NonOK
+		opts.logf("c=%-3d  %8.0f req/s  p50 %-10s p95 %-10s p99 %-10s max %-10s hit %.1f%%  degraded %.1f%%  non-2xx %.1f%%\n",
+			r.Concurrency, r.Throughput, Ns(r.P50), Ns(r.P95), Ns(r.P99), Ns(r.Max), r.HitRate*100,
+			100*float64(r.Degraded)/float64(max(1, r.Requests)), 100*float64(r.NonOK)/float64(max(1, total)))
+	}
+
+	return &Result{Cold: cold, Levels: results, Report: BuildReport(cold, results)}, nil
+}
+
+// ColdSweep touches every distinct evaluation signature once, sequentially,
+// recording the server-reported training time of each cluster it warms.
+func ColdSweep(addr string, wl *Workload) (*ColdResult, error) {
+	conn, err := DialFast(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	cold := &ColdResult{}
+	var lats []float64
+	for i := range wl.AllocFrames {
+		start := time.Now()
+		code, body, err := conn.Do(wl.AllocFrames[i])
+		if err != nil {
+			return nil, fmt.Errorf("cold allocate %d: %w", i, err)
+		}
+		if code != http.StatusOK {
+			return nil, fmt.Errorf("cold allocate %d: HTTP %d", i, code)
+		}
+		var resp serve.AllocateResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return nil, fmt.Errorf("cold allocate %d: %w", i, err)
+		}
+		lats = append(lats, float64(time.Since(start).Nanoseconds()))
+		if resp.TrainNanos > 0 {
+			cold.Clusters++
+			cold.TrainNs = append(cold.TrainNs, float64(resp.TrainNanos))
+		}
+	}
+	cold.ClientP50Ns = mathx.Quantile(lats, 0.5)
+	cold.ClientMeanNs = mathx.Mean(lats)
+	return cold, nil
+}
+
+// Response-classification needles. The warm loop must not pay a full JSON
+// decode per response (on a small host the decoder would cost more than the
+// server's entire warm path), so outcomes are classified by scanning for
+// the serialized fields. The compile-time checks below pin the constants
+// these needles are built from; TestNeedlesMatchWire pins the wire format.
+var (
+	needleCacheHit  = []byte(`"cache":"` + serve.CacheHit + `"`)
+	needleCacheWarm = []byte(`"cache":"` + serve.CacheWarm + `"`)
+	needleDegraded  = []byte(`"mode":"` + serve.ModeDegraded + `"`)
+)
+
+// RunLevel runs one closed-loop phase: `concurrency` workers each looping
+// allocate (plus every-Nth feedback) until the shared request budget
+// drains. Every worker owns a private connection and private stat counters;
+// the only shared state is the atomic ticket counter, so the harness itself
+// adds no lock contention to the measurement.
+func RunLevel(addr string, wl *Workload, concurrency, requests, feedbackNth int) (LevelResult, error) {
+	type workerStats struct {
+		lats     []float64
+		hits     int
+		degraded int
+		nonOK    int
+		err      error
+	}
+	var next atomic.Int64
+	stats := make([]workerStats, concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(st *workerStats) {
+			defer wg.Done()
+			conn, err := DialFast(addr)
+			if err != nil {
+				st.err = err
+				return
+			}
+			defer conn.Close()
+			st.lats = make([]float64, 0, requests/concurrency+1)
+			var fbResp struct {
+				Allocation []int `json:"allocation"`
+			}
+			var fbBody, fbFrame []byte
+			for {
+				ticket := int(next.Add(1)) - 1
+				if ticket >= requests {
+					return
+				}
+				t0 := time.Now()
+				code, body, err := conn.Do(wl.AllocFrames[ticket%len(wl.AllocFrames)])
+				if err != nil {
+					st.err = fmt.Errorf("allocate: %w", err)
+					return
+				}
+				if code != http.StatusOK {
+					st.nonOK++
+					continue
+				}
+				st.lats = append(st.lats, float64(time.Since(t0).Nanoseconds()))
+				if bytes.Contains(body, needleCacheHit) || bytes.Contains(body, needleCacheWarm) {
+					st.hits++
+				}
+				if bytes.Contains(body, needleDegraded) {
+					st.degraded++
+				}
+				if feedbackNth > 0 && ticket%feedbackNth == feedbackNth-1 {
+					fbResp.Allocation = fbResp.Allocation[:0]
+					if err := json.Unmarshal(body, &fbResp); err != nil {
+						st.err = fmt.Errorf("decode allocate: %w", err)
+						return
+					}
+					fb := wl.Feedbacks[ticket%len(wl.Feedbacks)]
+					fb.Allocation = fbResp.Allocation
+					fbBody, err = json.Marshal(fb)
+					if err != nil {
+						st.err = fmt.Errorf("encode feedback: %w", err)
+						return
+					}
+					fbFrame = AppendFrame(fbFrame, "/v1/feedback", fbBody)
+					code, _, err := conn.Do(fbFrame)
+					if err != nil {
+						st.err = fmt.Errorf("feedback: %w", err)
+						return
+					}
+					if code != http.StatusOK {
+						st.nonOK++
+					}
+				}
+			}
+		}(&stats[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	var lats []float64
+	var hits, degraded, nonOK int
+	for i := range stats {
+		if stats[i].err != nil {
+			return LevelResult{}, stats[i].err
+		}
+		lats = append(lats, stats[i].lats...)
+		hits += stats[i].hits
+		degraded += stats[i].degraded
+		nonOK += stats[i].nonOK
+	}
+	if len(lats) == 0 {
+		return LevelResult{}, fmt.Errorf("level %d: no successful requests", concurrency)
+	}
+	return LevelResult{
+		Concurrency: concurrency,
+		Requests:    len(lats),
+		Throughput:  float64(len(lats)) / elapsed,
+		P50:         mathx.Quantile(lats, 0.50),
+		P95:         mathx.Quantile(lats, 0.95),
+		P99:         mathx.Quantile(lats, 0.99),
+		Max:         mathx.Quantile(lats, 1),
+		HitRate:     float64(hits) / float64(len(lats)),
+		Degraded:    degraded,
+		NonOK:       nonOK,
+	}, nil
+}
+
+// Ns renders a nanosecond float as a human duration.
+func Ns(v float64) string { return time.Duration(v).String() }

@@ -1,0 +1,97 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/mathx"
+)
+
+// Report is the flat machine-readable record (the BENCH_PR*.json shape)
+// committed as the serving baseline. Field names are load-bearing: the tail
+// gate reads old baselines by these keys, so renaming one silently breaks
+// every committed record.
+type Report struct {
+	GoVersion          string  `json:"go_version"`
+	GOMAXPROCS         int     `json:"gomaxprocs"`
+	ColdTrainP50Ns     float64 `json:"serve_cold_train_p50_ns"`
+	ColdClientMeanNs   float64 `json:"serve_cold_client_mean_ns"`
+	WarmP50Ns          float64 `json:"serve_warm_p50_ns"`
+	WarmP95Ns          float64 `json:"serve_warm_p95_ns"`
+	WarmP99Ns          float64 `json:"serve_warm_p99_ns"`
+	WarmHitRate        float64 `json:"serve_warm_hit_rate"`
+	BestThroughputRPS  float64 `json:"serve_best_throughput_rps"`
+	ColdOverWarmP99    float64 `json:"serve_cold_train_over_warm_p99"`
+	SweptConcurrencies int     `json:"serve_swept_concurrencies"`
+	DegradedRate       float64 `json:"serve_degraded_rate"`
+	NonOKRate          float64 `json:"serve_non2xx_rate"`
+}
+
+// BuildReport folds the per-level aggregates into the flat record. The
+// per-request samples are gone by now, so the warm quantiles are derived
+// conservatively from the per-level numbers: p99 is the WORST level's p99,
+// p50/p95 the best level's, throughput the max.
+func BuildReport(cold *ColdResult, results []LevelResult) Report {
+	rep := Report{
+		GoVersion:          runtime.Version(),
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		SweptConcurrencies: len(results),
+	}
+	if cold != nil {
+		rep.ColdTrainP50Ns = mathx.Quantile(cold.TrainNs, 0.5)
+		rep.ColdClientMeanNs = cold.ClientMeanNs
+	}
+	var total, hits, degraded, nonOK float64
+	for i, r := range results {
+		if i == 0 || r.P50 < rep.WarmP50Ns {
+			rep.WarmP50Ns = r.P50
+		}
+		if i == 0 || r.P95 < rep.WarmP95Ns {
+			rep.WarmP95Ns = r.P95
+		}
+		if r.P99 > rep.WarmP99Ns {
+			rep.WarmP99Ns = r.P99
+		}
+		if r.Throughput > rep.BestThroughputRPS {
+			rep.BestThroughputRPS = r.Throughput
+		}
+		total += float64(r.Requests)
+		hits += r.HitRate * float64(r.Requests)
+		degraded += float64(r.Degraded)
+		nonOK += float64(r.NonOK)
+	}
+	if total > 0 {
+		rep.WarmHitRate = hits / total
+		rep.DegradedRate = degraded / total
+		rep.NonOKRate = nonOK / (total + nonOK)
+	}
+	if rep.WarmP99Ns > 0 {
+		rep.ColdOverWarmP99 = rep.ColdTrainP50Ns / rep.WarmP99Ns
+	}
+	return rep
+}
+
+// WriteReport writes the record as indented JSON.
+func WriteReport(path string, rep Report) error {
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// LoadReport reads a committed baseline record.
+func LoadReport(path string) (Report, error) {
+	var rep Report
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}

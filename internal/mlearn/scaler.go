@@ -59,6 +59,22 @@ func (s *StandardScaler) Transform(x []float64) ([]float64, error) {
 	return out, nil
 }
 
+// TransformInPlace standardizes x in place — the allocation-free Transform
+// used on serving hot paths. The arithmetic is identical to Transform.
+func (s *StandardScaler) TransformInPlace(x []float64) error {
+	if !s.Fitted() {
+		return ErrNotFitted
+	}
+	if len(x) != len(s.mean) {
+		return fmt.Errorf("scaler transform: %d features, want %d: %w",
+			len(x), len(s.mean), ErrBadShape)
+	}
+	for j := range x {
+		x[j] = (x[j] - s.mean[j]) / s.scale[j]
+	}
+	return nil
+}
+
 // TransformAll standardizes every row, returning fresh rows.
 func (s *StandardScaler) TransformAll(rows [][]float64) ([][]float64, error) {
 	out := make([][]float64, len(rows))

@@ -149,6 +149,47 @@ func (d *DQN) GreedyAction(s []float64, valid []int) (int, error) {
 	return argmaxOver(q, valid)
 }
 
+// QValuesBatch evaluates the online network over a batch of states (one per
+// row) in a single ForwardBatch pass. The returned matrix is scratch owned
+// by the network, valid until the next forward or training call.
+func (d *DQN) QValuesBatch(states *mathx.Matrix) (*mathx.Matrix, error) {
+	q, err := d.online.ForwardBatch(states)
+	if err != nil {
+		return nil, fmt.Errorf("dqn q-values batch: %w", err)
+	}
+	return q, nil
+}
+
+// GreedyActionsBatch picks the highest-Q valid action for every row of
+// states in one batched forward pass, writing the chosen actions into out.
+// Row i maxes only over valid[i]. The per-row argmax depends only on that
+// row's Q values, and the batched GEMM kernels accumulate each output
+// element independently in ascending-k order, so out[i] is bitwise-identical
+// to a GreedyActionsBatch call on the single-row batch {states.Row(i)} — the
+// invariant the serving layer's request coalescer is built on. Performs no
+// steady-state allocations once the network's batch scratch has grown.
+func (d *DQN) GreedyActionsBatch(states *mathx.Matrix, valid [][]int, out []int) error {
+	if states == nil || states.Rows < 1 {
+		return fmt.Errorf("dqn greedy batch: empty batch")
+	}
+	if len(valid) < states.Rows || len(out) < states.Rows {
+		return fmt.Errorf("dqn greedy batch: %d rows with %d valid sets / %d outputs",
+			states.Rows, len(valid), len(out))
+	}
+	q, err := d.online.ForwardBatch(states)
+	if err != nil {
+		return fmt.Errorf("dqn greedy batch: %w", err)
+	}
+	for i := 0; i < states.Rows; i++ {
+		a, err := argmaxOver(q.Row(i), valid[i])
+		if err != nil {
+			return fmt.Errorf("dqn greedy batch row %d: %w", i, err)
+		}
+		out[i] = a
+	}
+	return nil
+}
+
 // ensureBatch sizes the reusable mini-batch scratch.
 func (d *DQN) ensureBatch() {
 	if d.batchTr != nil {

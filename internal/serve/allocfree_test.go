@@ -1,0 +1,102 @@
+//go:build !race
+
+// The race detector instruments allocations, making testing.AllocsPerRun
+// report nonzero even for allocation-free code — so this file is excluded
+// from -race runs and CI invokes it in a separate non-race pass.
+
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// zeroAllocServer warms cluster 0 and returns the server plus a manually-held
+// workspace, ready for steady-state measurement.
+func zeroAllocServer(t *testing.T, cfg Config) (*Server, *allocWS) {
+	t.Helper()
+	s := newTestServer(t, cfg)
+	if _, err := s.Allocate(context.Background(), AllocateRequest{Signature: []float64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	return s, s.getWS()
+}
+
+// TestWarmAllocateZeroAllocsCRL pins the tentpole's memory contract: a warm
+// CRL allocate (cache hit, batch-1 fast path) performs ZERO steady-state heap
+// allocations — the pooled workspace, the replica's rollout scratch, the kNN
+// scratch and the response backing arrays are all reused. Any regression here
+// (a fresh slice, a fmt.Sprintf, an interface box on the hot path) fails CI.
+func TestWarmAllocateZeroAllocsCRL(t *testing.T) {
+	s, ws := zeroAllocServer(t, fastConfig())
+	ctx := context.Background()
+	req := AllocateRequest{Signature: []float64{0}}
+	// Warm the per-workspace and per-replica scratch: the first calls grow
+	// buffers and clone the pooled replica.
+	for i := 0; i < 8; i++ {
+		if err := s.AllocateInto(ctx, req, ws); err != nil {
+			t.Fatal(err)
+		}
+		if ws.resp.Mode != ModeNormal || ws.resp.Cache != CacheHit {
+			t.Fatalf("warmup %d: %+v", i, ws.resp)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := s.AllocateInto(ctx, req, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warm CRL allocate: %.2f allocs/op, want 0", avg)
+	}
+	if ws.resp.Mode != ModeNormal || ws.resp.Allocator != "CRL" {
+		t.Fatalf("measured path was not the warm CRL path: %+v", ws.resp)
+	}
+}
+
+// TestWarmAllocateZeroAllocsDCTA extends the zero-alloc contract to the DCTA
+// warm path: combined scoring (local SVM + general importance) and the greedy
+// pack also run entirely on pooled scratch.
+func TestWarmAllocateZeroAllocsDCTA(t *testing.T) {
+	cfg := fastConfig()
+	cfg.RefitEvery = 12
+	s, ws := zeroAllocServer(t, cfg)
+	ctx := context.Background()
+
+	// Fit the local model through the feedback path (as production would).
+	imp := clusterImportance(0)
+	executed := []int{0, 0, 1, core.Unassigned, core.Unassigned, 1}
+	for i := 0; i < 2; i++ {
+		fb, err := s.Feedback(ctx, FeedbackRequest{
+			Signature:  []float64{0},
+			Features:   mkFeatures(imp, 0.05, int64(60+i)),
+			Allocation: executed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 && !fb.Refitted {
+			t.Fatalf("local model not refitted: %+v", fb)
+		}
+	}
+
+	req := AllocateRequest{Signature: []float64{0}, Features: mkFeatures(imp, 0.05, 61)}
+	for i := 0; i < 8; i++ {
+		if err := s.AllocateInto(ctx, req, ws); err != nil {
+			t.Fatal(err)
+		}
+		if ws.resp.Allocator != "DCTA" || ws.resp.Mode != ModeNormal {
+			t.Fatalf("warmup %d: %+v", i, ws.resp)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := s.AllocateInto(ctx, req, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warm DCTA allocate: %.2f allocs/op, want 0", avg)
+	}
+}

@@ -64,7 +64,7 @@ type policyEntry struct {
 	// from a checkpoint rather than trained in this process.
 	trainedAt time.Time
 	warm      bool
-	resolved  bool // guarded by the cache mutex
+	resolved  bool // guarded by the shard mutex
 	trainDur  time.Duration
 
 	stale atomic.Bool // set by drift detection; next get retrains
@@ -72,6 +72,11 @@ type policyEntry struct {
 	// replicas pools inference clones: every rollout runs on an exclusive
 	// clone because DQN forwards mutate shared activation scratch.
 	replicas chan *core.CRL
+
+	// co coalesces concurrent warm rollouts for this policy onto batched
+	// forward passes (coalesce.go). Valid only once the entry resolves
+	// with a healthy crl.
+	co *coalescer
 }
 
 // acquire returns an inference replica, cloning when the pool is dry.
@@ -95,7 +100,7 @@ func (e *policyEntry) release(r *core.CRL) {
 }
 
 // breaker is one cluster's training circuit breaker. All fields are guarded
-// by the cache mutex.
+// by the owning shard's mutex.
 type breaker struct {
 	state     string
 	failures  int           // consecutive training failures
@@ -104,13 +109,29 @@ type breaker struct {
 	probing   bool // a half-open trial training is in flight
 }
 
+// cacheShard is one lock domain of the policy cache: an independent LRU map
+// plus the breakers of the clusters that hash here. Cluster keys are store
+// indices, so key & mask spreads contiguous clusters round-robin across
+// shards and a hit never contends with another shard's cold train.
+type cacheShard struct {
+	c        *policyCache
+	capacity int
+
+	mu       sync.Mutex
+	entries  map[int]*policyEntry
+	lru      *list.List // front = most recently used; values are *policyEntry
+	breakers map[int]*breaker
+	rng      *rand.Rand // breaker jitter (guarded by mu)
+}
+
 // policyCache is the per-cluster policy cache: key = nearest stored
 // environment (the cluster of Alg. 1 line 2), value = trained policy
-// snapshot. Resident entries are bounded by an LRU; entries retrain on TTL
-// expiry or importance drift; cold clusters train exactly once under
-// concurrent identical requests. Trainings run in background goroutines
-// behind a bounded-concurrency gate, guarded per cluster by a circuit
-// breaker so persistent failures back off instead of burning the gate.
+// snapshot. The key space is sharded over a power-of-two array of
+// independently locked LRU maps; entries retrain on TTL expiry or importance
+// drift; cold clusters train exactly once under concurrent identical
+// requests. Trainings run in background goroutines behind a global
+// bounded-concurrency gate, guarded per cluster by a circuit breaker so
+// persistent failures back off instead of burning the gate.
 type policyCache struct {
 	capacity    int
 	ttl         time.Duration
@@ -124,15 +145,18 @@ type policyCache struct {
 	maxBackoff  time.Duration
 	logf        func(format string, args ...any)
 
+	maxBatch    int
+	batchWindow time.Duration
+	// batchAfter schedules a coalescer window flush; tests inject a fake
+	// to drive window expiry without sleeping.
+	batchAfter func(d time.Duration, f func())
+
 	gate    chan struct{} // training-concurrency semaphore
 	pending atomic.Int64  // trainings running or queued on the gate
 	maxWait int64         // pending ceiling (gate capacity + queue)
 
-	mu       sync.Mutex
-	entries  map[int]*policyEntry
-	lru      *list.List // front = most recently used; values are *policyEntry
-	breakers map[int]*breaker
-	rng      *rand.Rand // breaker jitter (guarded by mu)
+	shards []*cacheShard
+	mask   int
 
 	// counters (atomics so Stats never contends with the serving path)
 	hits, misses, coalesced  atomic.Int64
@@ -146,10 +170,25 @@ type policyCache struct {
 	breakerRejects           atomic.Int64
 	saturations              atomic.Int64
 	budgetMisses             atomic.Int64
+	batchRuns                atomic.Int64 // coalesced batch flushes (size ≥ 1)
+	batchedReqs              atomic.Int64 // requests served via coalesced batches
+	soloReqs                 atomic.Int64 // requests served on the batch-1 fast path
+	batchPanics              atomic.Int64 // batch rollouts that panicked
+}
+
+// shardCount returns the largest power of two ≤ min(want, capacity), so a
+// capacity-1 cache degenerates to a single shard with exact global LRU
+// semantics.
+func shardCount(want, capacity int) int {
+	n := 1
+	for n*2 <= want && n*2 <= capacity {
+		n *= 2
+	}
+	return n
 }
 
 func newPolicyCache(cfg Config, train trainFunc) *policyCache {
-	return &policyCache{
+	c := &policyCache{
 		capacity:    cfg.CacheCapacity,
 		ttl:         cfg.PolicyTTL,
 		drift:       cfg.DriftThreshold,
@@ -161,34 +200,56 @@ func newPolicyCache(cfg Config, train trainFunc) *policyCache {
 		baseBackoff: cfg.BreakerBackoff,
 		maxBackoff:  cfg.BreakerMaxBackoff,
 		logf:        cfg.Logf,
+		maxBatch:    cfg.MaxBatch,
+		batchWindow: cfg.BatchWindow,
+		batchAfter:  func(d time.Duration, f func()) { time.AfterFunc(d, f) },
 		gate:        make(chan struct{}, cfg.TrainConcurrency),
 		maxWait:     int64(cfg.TrainConcurrency + cfg.TrainQueue),
-		entries:     make(map[int]*policyEntry),
-		lru:         list.New(),
-		breakers:    make(map[int]*breaker),
-		rng:         mathx.NewRand(cfg.Seed + 31),
 	}
+	n := shardCount(cfg.CacheShards, cfg.CacheCapacity)
+	c.mask = n - 1
+	c.shards = make([]*cacheShard, n)
+	base, rem := cfg.CacheCapacity/n, cfg.CacheCapacity%n
+	for i := range c.shards {
+		cap := base
+		if i < rem {
+			cap++
+		}
+		c.shards[i] = &cacheShard{
+			c:        c,
+			capacity: cap,
+			entries:  make(map[int]*policyEntry),
+			lru:      list.New(),
+			breakers: make(map[int]*breaker),
+			rng:      mathx.NewRand(cfg.Seed + 31 + int64(i)*101),
+		}
+	}
+	return c
 }
 
-func (c *policyCache) newEntryLocked(key int) *policyEntry {
+// shard maps a cluster key onto its lock domain.
+func (c *policyCache) shard(key int) *cacheShard { return c.shards[key&c.mask] }
+
+func (sh *cacheShard) newEntryLocked(key int) *policyEntry {
 	e := &policyEntry{
 		key:      key,
 		ready:    make(chan struct{}),
-		replicas: make(chan *core.CRL, c.replicas),
+		replicas: make(chan *core.CRL, sh.c.replicas),
 	}
-	e.elem = c.lru.PushFront(e)
-	c.entries[key] = e
-	c.evictLocked()
+	e.co = newCoalescer(sh.c, e)
+	e.elem = sh.lru.PushFront(e)
+	sh.entries[key] = e
+	sh.evictLocked()
 	return e
 }
 
-// evictLocked drops least-recently-used resolved entries beyond capacity.
-// In-flight entries are skipped: their leader still needs to publish, and
-// being freshly created they sit near the front anyway.
-func (c *policyCache) evictLocked() {
-	for len(c.entries) > c.capacity {
+// evictLocked drops least-recently-used resolved entries beyond the shard's
+// capacity. In-flight entries are skipped: their leader still needs to
+// publish, and being freshly created they sit near the front anyway.
+func (sh *cacheShard) evictLocked() {
+	for len(sh.entries) > sh.capacity {
 		victim := (*policyEntry)(nil)
-		for el := c.lru.Back(); el != nil; el = el.Prev() {
+		for el := sh.lru.Back(); el != nil; el = el.Prev() {
 			if e := el.Value.(*policyEntry); e.resolved {
 				victim = e
 				break
@@ -197,17 +258,17 @@ func (c *policyCache) evictLocked() {
 		if victim == nil {
 			return // everything over capacity is in flight
 		}
-		c.removeLocked(victim)
-		c.evictions.Add(1)
+		sh.removeLocked(victim)
+		sh.c.evictions.Add(1)
 	}
 }
 
-func (c *policyCache) removeLocked(e *policyEntry) {
-	if c.entries[e.key] == e {
-		delete(c.entries, e.key)
+func (sh *cacheShard) removeLocked(e *policyEntry) {
+	if sh.entries[e.key] == e {
+		delete(sh.entries, e.key)
 	}
 	if e.elem != nil {
-		c.lru.Remove(e.elem)
+		sh.lru.Remove(e.elem)
 		e.elem = nil
 	}
 }
@@ -221,11 +282,12 @@ func (c *policyCache) removeLocked(e *policyEntry) {
 // degraded-path triggers: ErrCircuitOpen, ErrTrainSaturated, ErrTrainBudget,
 // training failures, or the waiter's ctx error.
 func (c *policyCache) get(ctx context.Context, key int) (*policyEntry, string, error) {
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
 		if !e.resolved {
 			// Training in flight: join it.
-			c.mu.Unlock()
+			sh.mu.Unlock()
 			c.coalesced.Add(1)
 			return c.wait(ctx, e, CacheCoalesced)
 		}
@@ -233,46 +295,47 @@ func (c *policyCache) get(ctx context.Context, key int) (*policyEntry, string, e
 		switch {
 		case e.err != nil:
 			// A failed training left a tombstone; retrain below.
-			c.removeLocked(e)
+			sh.removeLocked(e)
 		case c.ttl > 0 && c.now().Sub(e.trainedAt) > c.ttl:
 			outcome = CacheExpired
 			c.expired.Add(1)
-			c.removeLocked(e)
+			sh.removeLocked(e)
 		case e.stale.Load():
 			outcome = CacheDrift
 			c.driftRetrains.Add(1)
-			c.removeLocked(e)
+			sh.removeLocked(e)
 		default:
-			c.lru.MoveToFront(e.elem)
-			c.mu.Unlock()
+			sh.lru.MoveToFront(e.elem)
+			sh.mu.Unlock()
 			c.hits.Add(1)
 			if e.warm {
 				outcome = CacheWarm
 			}
 			return e, outcome, nil
 		}
-		return c.startTrainingLocked(ctx, key, outcome)
+		return sh.startTrainingLocked(ctx, key, outcome)
 	}
 	c.misses.Add(1)
-	return c.startTrainingLocked(ctx, key, CacheMiss)
+	return sh.startTrainingLocked(ctx, key, CacheMiss)
 }
 
 // startTrainingLocked launches the background training for a cold/expired/
 // drifted cluster — unless the cluster's breaker or the global gate refuses
-// — then waits for the result like a joiner. Called with c.mu held; unlocks.
-func (c *policyCache) startTrainingLocked(ctx context.Context, key int, outcome string) (*policyEntry, string, error) {
-	if err := c.admitLocked(key); err != nil {
-		c.mu.Unlock()
+// — then waits for the result like a joiner. Called with sh.mu held; unlocks.
+func (sh *cacheShard) startTrainingLocked(ctx context.Context, key int, outcome string) (*policyEntry, string, error) {
+	c := sh.c
+	if err := sh.admitLocked(key); err != nil {
+		sh.mu.Unlock()
 		return nil, outcome, err
 	}
-	e := c.newEntryLocked(key)
-	c.mu.Unlock()
+	e := sh.newEntryLocked(key)
+	sh.mu.Unlock()
 	c.pending.Add(1)
 	go func() {
 		defer c.pending.Add(-1)
 		c.gate <- struct{}{}
 		defer func() { <-c.gate }()
-		c.runTraining(e)
+		sh.runTraining(e)
 	}()
 	return c.wait(ctx, e, outcome)
 }
@@ -280,8 +343,9 @@ func (c *policyCache) startTrainingLocked(ctx context.Context, key int, outcome 
 // admitLocked decides whether a new training for the cluster may start:
 // the breaker must be closed (or due a half-open probe) and the training
 // gate must have room.
-func (c *policyCache) admitLocked(key int) error {
-	b := c.breakers[key]
+func (sh *cacheShard) admitLocked(key int) error {
+	c := sh.c
+	b := sh.breakers[key]
 	if b != nil && c.threshold > 0 {
 		switch b.state {
 		case BreakerOpen:
@@ -314,7 +378,8 @@ func (c *policyCache) admitLocked(key int) error {
 
 // runTraining executes one training (panic-safe) and publishes the result to
 // every waiter, updating the cluster's breaker.
-func (c *policyCache) runTraining(e *policyEntry) {
+func (sh *cacheShard) runTraining(e *policyEntry) {
+	c := sh.c
 	start := c.now()
 	crl, imp, err := c.safeTrain(e.key)
 	e.crl, e.imp, e.err = crl, imp, err
@@ -322,16 +387,16 @@ func (c *policyCache) runTraining(e *policyEntry) {
 	e.trainDur = e.trainedAt.Sub(start)
 	c.trainings.Add(1)
 	c.trainNanos.Add(int64(e.trainDur))
-	c.mu.Lock()
+	sh.mu.Lock()
 	e.resolved = true
 	if err != nil {
 		// Leave no tombstone: the next admitted request retries.
-		c.removeLocked(e)
-		c.recordFailureLocked(e.key)
+		sh.removeLocked(e)
+		sh.recordFailureLocked(e.key)
 	} else {
-		c.recordSuccessLocked(e.key)
+		sh.recordSuccessLocked(e.key)
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	close(e.ready)
 }
 
@@ -351,29 +416,30 @@ func (c *policyCache) safeTrain(cluster int) (crl *core.CRL, imp []float64, err 
 
 // recordSuccessLocked closes the cluster's breaker after a successful
 // training.
-func (c *policyCache) recordSuccessLocked(key int) {
-	b := c.breakers[key]
+func (sh *cacheShard) recordSuccessLocked(key int) {
+	b := sh.breakers[key]
 	if b == nil {
 		return
 	}
 	if b.state != BreakerClosed {
-		c.logf("serve: cluster %d breaker closed after successful training", key)
+		sh.c.logf("serve: cluster %d breaker closed after successful training", key)
 	}
-	delete(c.breakers, key)
+	delete(sh.breakers, key)
 }
 
 // recordFailureLocked counts a training failure and opens (or reopens) the
 // breaker when the consecutive-failure threshold is reached. The open window
 // grows exponentially with up to 20% jitter, capped at maxBackoff.
-func (c *policyCache) recordFailureLocked(key int) {
+func (sh *cacheShard) recordFailureLocked(key int) {
+	c := sh.c
 	c.trainFailures.Add(1)
 	if c.threshold <= 0 {
 		return
 	}
-	b := c.breakers[key]
+	b := sh.breakers[key]
 	if b == nil {
 		b = &breaker{state: BreakerClosed, window: c.baseBackoff}
-		c.breakers[key] = b
+		sh.breakers[key] = b
 	}
 	b.failures++
 	wasProbe := b.probing
@@ -382,7 +448,7 @@ func (c *policyCache) recordFailureLocked(key int) {
 		return
 	}
 	// Threshold crossed, or a half-open probe failed: (re)open.
-	jittered := time.Duration(float64(b.window) * (1 + 0.2*c.rng.Float64()))
+	jittered := time.Duration(float64(b.window) * (1 + 0.2*sh.rng.Float64()))
 	b.state = BreakerOpen
 	b.openUntil = c.now().Add(jittered)
 	if b.window *= 2; b.window > c.maxBackoff {
@@ -394,13 +460,52 @@ func (c *policyCache) recordFailureLocked(key int) {
 
 // breakerState reports a cluster's breaker state (tests and stats).
 func (c *policyCache) breakerState(key int) (state string, failures int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	b := c.breakers[key]
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b := sh.breakers[key]
 	if b == nil {
 		return BreakerClosed, 0
 	}
 	return b.state, b.failures
+}
+
+// entryCount sums resident entries across shards (tests and stats).
+func (c *policyCache) entryCount() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// entry returns the resident entry for a cluster, or nil (tests).
+func (c *policyCache) entry(key int) *policyEntry {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.entries[key]
+}
+
+// flushCoalescers flushes every resident entry's pending micro-batch — the
+// drain/SIGTERM path, so queued warm requests answer before the listener
+// closes instead of waiting out their window.
+func (c *policyCache) flushCoalescers() {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		entries := make([]*policyEntry, 0, len(sh.entries))
+		for _, e := range sh.entries {
+			entries = append(entries, e)
+		}
+		sh.mu.Unlock()
+		for _, e := range entries {
+			if e.co != nil {
+				e.co.flush()
+			}
+		}
+	}
 }
 
 // wait blocks until the entry resolves, the caller's context ends, or the
@@ -439,15 +544,17 @@ func (c *policyCache) install(key int, crl *core.CRL, imp []float64, trainedAt t
 		warm:      true,
 		resolved:  true,
 	}
+	e.co = newCoalescer(c, e)
 	close(e.ready)
-	c.mu.Lock()
-	if old, ok := c.entries[key]; ok && old.resolved {
-		c.removeLocked(old)
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if old, ok := sh.entries[key]; ok && old.resolved {
+		sh.removeLocked(old)
 	}
-	e.elem = c.lru.PushFront(e)
-	c.entries[key] = e
-	c.evictLocked()
-	c.mu.Unlock()
+	e.elem = sh.lru.PushFront(e)
+	sh.entries[key] = e
+	sh.evictLocked()
+	sh.mu.Unlock()
 	c.warmRestores.Add(1)
 }
 
@@ -458,10 +565,11 @@ func (c *policyCache) noteImportance(key int, observed []float64) bool {
 	if c.drift < 0 {
 		return false
 	}
-	c.mu.Lock()
-	e, ok := c.entries[key]
+	sh := c.shard(key)
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
 	resolved := ok && e.resolved
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	if !resolved || e.err != nil || e.stale.Load() {
 		return false
 	}
@@ -481,15 +589,17 @@ func (c *policyCache) noteImportance(key int, observed []float64) bool {
 }
 
 // snapshot returns the resolved, healthy entries for checkpointing, most
-// recently used first.
+// recently used first within each shard.
 func (c *policyCache) snapshot() []*policyEntry {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]*policyEntry, 0, len(c.entries))
-	for el := c.lru.Front(); el != nil; el = el.Next() {
-		if e := el.Value.(*policyEntry); e.resolved && e.err == nil {
-			out = append(out, e)
+	var out []*policyEntry
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			if e := el.Value.(*policyEntry); e.resolved && e.err == nil {
+				out = append(out, e)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -498,6 +608,7 @@ func (c *policyCache) snapshot() []*policyEntry {
 type CacheStats struct {
 	Size               int   `json:"size"`
 	Capacity           int   `json:"capacity"`
+	Shards             int   `json:"shards"`
 	Hits               int64 `json:"hits"`
 	Misses             int64 `json:"misses"`
 	Coalesced          int64 `json:"coalesced"`
@@ -516,21 +627,32 @@ type CacheStats struct {
 	BreakerRejects     int64 `json:"breaker_rejects"`
 	Saturations        int64 `json:"train_saturations"`
 	BudgetMisses       int64 `json:"train_budget_misses"`
+	// BatchRuns counts coalesced batch flushes, BatchedRequests the warm
+	// rollouts they served, SoloRequests the uncontended batch-1 fast
+	// path, and BatchPanics the batch rollouts that panicked (each
+	// degrading only its own requests).
+	BatchRuns       int64 `json:"batch_runs"`
+	BatchedRequests int64 `json:"batched_requests"`
+	SoloRequests    int64 `json:"solo_requests"`
+	BatchPanics     int64 `json:"batch_panics"`
 }
 
 func (c *policyCache) stats() CacheStats {
-	c.mu.Lock()
-	size := len(c.entries)
-	open := 0
-	for _, b := range c.breakers {
-		if b.state == BreakerOpen || b.state == BreakerHalfOpen {
-			open++
+	size, open := 0, 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		size += len(sh.entries)
+		for _, b := range sh.breakers {
+			if b.state == BreakerOpen || b.state == BreakerHalfOpen {
+				open++
+			}
 		}
+		sh.mu.Unlock()
 	}
-	c.mu.Unlock()
 	return CacheStats{
 		Size:               size,
 		Capacity:           c.capacity,
+		Shards:             len(c.shards),
 		Hits:               c.hits.Load(),
 		Misses:             c.misses.Load(),
 		Coalesced:          c.coalesced.Load(),
@@ -549,5 +671,9 @@ func (c *policyCache) stats() CacheStats {
 		BreakerRejects:     c.breakerRejects.Load(),
 		Saturations:        c.saturations.Load(),
 		BudgetMisses:       c.budgetMisses.Load(),
+		BatchRuns:          c.batchRuns.Load(),
+		BatchedRequests:    c.batchedReqs.Load(),
+		SoloRequests:       c.soloReqs.Load(),
+		BatchPanics:        c.batchPanics.Load(),
 	}
 }

@@ -287,9 +287,7 @@ func TestEvictionSkipsInFlight(t *testing.T) {
 	for s.cache.pending.Load() < 3 {
 		time.Sleep(time.Millisecond)
 	}
-	s.cache.mu.Lock()
-	over, evictions := len(s.cache.entries), s.cache.evictions.Load()
-	s.cache.mu.Unlock()
+	over, evictions := s.cache.entryCount(), s.cache.evictions.Load()
 	if over != 3 || evictions != 0 {
 		t.Fatalf("in-flight: %d entries, %d evictions; want 3 entries, 0 evictions", over, evictions)
 	}
@@ -300,9 +298,7 @@ func TestEvictionSkipsInFlight(t *testing.T) {
 	if _, err := s.Allocate(context.Background(), AllocateRequest{Signature: []float64{3}}); err != nil {
 		t.Fatal(err)
 	}
-	s.cache.mu.Lock()
-	size := len(s.cache.entries)
-	s.cache.mu.Unlock()
+	size := s.cache.entryCount()
 	if size > 1 {
 		t.Fatalf("post-churn cache size = %d, want ≤ capacity 1", size)
 	}
@@ -321,9 +317,7 @@ func TestEvictionChurnWithCheckedOutReplicas(t *testing.T) {
 	if _, err := s.Allocate(ctx, AllocateRequest{Signature: []float64{0}}); err != nil {
 		t.Fatal(err)
 	}
-	s.cache.mu.Lock()
-	e0 := s.cache.entries[0]
-	s.cache.mu.Unlock()
+	e0 := s.cache.entry(0)
 	if e0 == nil {
 		t.Fatal("cluster 0 entry missing after allocate")
 	}
@@ -339,10 +333,7 @@ func TestEvictionChurnWithCheckedOutReplicas(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	s.cache.mu.Lock()
-	_, resident := s.cache.entries[0]
-	s.cache.mu.Unlock()
-	if resident {
+	if s.cache.entry(0) != nil {
 		t.Fatal("cluster 0 still resident after churn past capacity")
 	}
 	if s.Stats().Cache.Evictions < 2 {

@@ -1,0 +1,391 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// fakeBatchTimer captures coalescer window timers instead of scheduling them, so
+// tests drive window expiry deterministically without sleeping.
+type fakeBatchTimer struct {
+	mu      sync.Mutex
+	pending []func()
+	armed   int // total timers ever armed
+}
+
+func (fc *fakeBatchTimer) after(d time.Duration, f func()) {
+	fc.mu.Lock()
+	fc.pending = append(fc.pending, f)
+	fc.armed++
+	fc.mu.Unlock()
+}
+
+// fire runs (and forgets) every pending timer callback.
+func (fc *fakeBatchTimer) fire() {
+	fc.mu.Lock()
+	cbs := fc.pending
+	fc.pending = nil
+	fc.mu.Unlock()
+	for _, f := range cbs {
+		f()
+	}
+}
+
+func (fc *fakeBatchTimer) armedCount() int {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.armed
+}
+
+// waitUntil polls cond for up to 5s — used for "request is queued" states
+// that a goroutine reaches asynchronously.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// warmEntry trains cluster's policy with one allocate and returns its cache
+// entry (and the baseline allocation a solo warm request produces).
+func warmEntry(t *testing.T, s *Server, cluster int) (*policyEntry, []int) {
+	t.Helper()
+	resp, err := s.Allocate(context.Background(),
+		AllocateRequest{Signature: []float64{float64(cluster)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mode != ModeNormal {
+		t.Fatalf("warming allocate degraded: %+v", resp)
+	}
+	e := s.cache.entry(cluster)
+	if e == nil {
+		t.Fatal("no cache entry after warming allocate")
+	}
+	return e, resp.Allocation
+}
+
+// TestCoalescerWindowFlush drives the window-expiry path with a fake clock:
+// two concurrent warm requests queue (the pool is forced to look saturated),
+// the window timer fires, and one batched forward pass answers both with the
+// same allocation a solo request gets.
+func TestCoalescerWindowFlush(t *testing.T) {
+	fc := &fakeBatchTimer{}
+	s := newTestServer(t, fastConfig())
+	s.cache.batchAfter = fc.after
+	entry, baseline := warmEntry(t, s, 0)
+	before := s.Stats().Cache
+
+	// Force the "pool saturated" branch so warm requests queue instead of
+	// taking the batch-1 fast path.
+	entry.co.poolCap = 0
+
+	const n = 2
+	results := make([]*AllocateResponse, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Allocate(context.Background(),
+				AllocateRequest{Signature: []float64{0}})
+		}(i)
+	}
+	waitUntil(t, "both requests queued", func() bool { return entry.co.qlen.Load() == n })
+	if fc.armedCount() != 1 {
+		t.Fatalf("armed timers = %d, want exactly 1 for one open window", fc.armedCount())
+	}
+	fc.fire()
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if results[i].Mode != ModeNormal {
+			t.Fatalf("request %d degraded: %+v", i, results[i])
+		}
+		for j := range baseline {
+			if results[i].Allocation[j] != baseline[j] {
+				t.Fatalf("request %d allocation %v differs from solo baseline %v",
+					i, results[i].Allocation, baseline)
+			}
+		}
+	}
+	after := s.Stats().Cache
+	if got := after.BatchRuns - before.BatchRuns; got != 1 {
+		t.Fatalf("batch runs = %d, want 1", got)
+	}
+	if got := after.BatchedRequests - before.BatchedRequests; got != n {
+		t.Fatalf("batched requests = %d, want %d", got, n)
+	}
+}
+
+// TestCoalescerMaxBatchFlushesInline pins the size-triggered flush: with
+// MaxBatch=2 the second arrival runs the batch itself — no timer ever needs
+// to fire, so completion without fc.fire() proves the inline path.
+func TestCoalescerMaxBatchFlushesInline(t *testing.T) {
+	fc := &fakeBatchTimer{}
+	cfg := fastConfig()
+	cfg.MaxBatch = 2
+	s := newTestServer(t, cfg)
+	s.cache.batchAfter = fc.after
+	entry, baseline := warmEntry(t, s, 0)
+	entry.co.poolCap = 0
+
+	var wg sync.WaitGroup
+	results := make([]*AllocateResponse, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Allocate(context.Background(),
+				AllocateRequest{Signature: []float64{0}})
+		}(i)
+	}
+	// Deliberately never fire the fake clock: the maxBatch flush must
+	// complete both requests on its own.
+	wg.Wait()
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if results[i].Mode != ModeNormal {
+			t.Fatalf("request %d degraded: %+v", i, results[i])
+		}
+		for j := range baseline {
+			if results[i].Allocation[j] != baseline[j] {
+				t.Fatalf("request %d allocation differs from baseline", i)
+			}
+		}
+	}
+	if stats := s.Stats().Cache; stats.BatchRuns < 1 {
+		t.Fatalf("no batch run recorded: %+v", stats)
+	}
+}
+
+// TestCoalescerRespectsRequestDeadline: a queued request whose own context
+// expires before the window flushes never waits for batch-mates — it leaves
+// the queue and answers degraded with reason "deadline".
+func TestCoalescerRespectsRequestDeadline(t *testing.T) {
+	fc := &fakeBatchTimer{}
+	s := newTestServer(t, fastConfig())
+	s.cache.batchAfter = fc.after
+	entry, _ := warmEntry(t, s, 0)
+	entry.co.poolCap = 0
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	resp, err := s.Allocate(ctx, AllocateRequest{Signature: []float64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mode != ModeDegraded || resp.DegradedReason != DegradedDeadline {
+		t.Fatalf("deadline-expired queued request = %+v, want degraded %q",
+			resp, DegradedDeadline)
+	}
+	if got := entry.co.qlen.Load(); got != 0 {
+		t.Fatalf("queue length after self-removal = %d, want 0", got)
+	}
+	// The stale window timer must be harmless once it finally fires.
+	fc.fire()
+	if stats := s.Stats().Cache; stats.BatchRuns != 0 {
+		t.Fatalf("stale timer ran a batch: %+v", stats)
+	}
+}
+
+// TestCoalescerDrainFlushesPartialBatch: Drain (the SIGTERM path) flushes a
+// queued partial batch immediately — the queued request answers normally
+// instead of waiting out a window that may never fire.
+func TestCoalescerDrainFlushesPartialBatch(t *testing.T) {
+	fc := &fakeBatchTimer{}
+	s := newTestServer(t, fastConfig())
+	s.cache.batchAfter = fc.after
+	entry, baseline := warmEntry(t, s, 0)
+	entry.co.poolCap = 0
+
+	var resp *AllocateResponse
+	var aerr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, aerr = s.Allocate(context.Background(), AllocateRequest{Signature: []float64{0}})
+	}()
+	waitUntil(t, "request queued", func() bool { return entry.co.qlen.Load() == 1 })
+	s.Drain()
+	<-done
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	if resp.Mode != ModeNormal {
+		t.Fatalf("drained queued request = %+v, want normal", resp)
+	}
+	for j := range baseline {
+		if resp.Allocation[j] != baseline[j] {
+			t.Fatalf("drained allocation %v differs from baseline %v",
+				resp.Allocation, baseline)
+		}
+	}
+}
+
+// TestCoalescerPanicPoisonsOnlyItsBatch: a panicking batch rollout degrades
+// exactly the requests that rode in it (tagged batch_error), and the policy
+// keeps serving normal answers afterwards.
+func TestCoalescerPanicPoisonsOnlyItsBatch(t *testing.T) {
+	fc := &fakeBatchTimer{}
+	cfg := fastConfig()
+	cfg.MaxBatch = 2
+	s := newTestServer(t, cfg)
+	s.cache.batchAfter = fc.after
+	entry, baseline := warmEntry(t, s, 0)
+	entry.co.poolCap = 0
+	healthy := entry.co.predict
+	entry.co.predict = func(*core.CRL, []*core.Environment, []core.Allocation) error {
+		panic("chaos: poisoned batch")
+	}
+
+	var wg sync.WaitGroup
+	results := make([]*AllocateResponse, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Allocate(context.Background(),
+				AllocateRequest{Signature: []float64{0}})
+		}(i)
+	}
+	wg.Wait()
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if results[i].Mode != ModeDegraded || results[i].DegradedReason != DegradedBatch {
+			t.Fatalf("request %d = %+v, want degraded %q", i, results[i], DegradedBatch)
+		}
+	}
+	if stats := s.Stats().Cache; stats.BatchPanics != 1 {
+		t.Fatalf("batch panics = %d, want 1", stats.BatchPanics)
+	}
+
+	// Heal the rollout: the same entry must serve normal answers again —
+	// the panic dropped one replica, not the policy.
+	entry.co.predict = healthy
+	entry.co.poolCap = int64(s.cache.replicas)
+	resp, err := s.Allocate(context.Background(), AllocateRequest{Signature: []float64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mode != ModeNormal {
+		t.Fatalf("post-panic request = %+v, want normal", resp)
+	}
+	for j := range baseline {
+		if resp.Allocation[j] != baseline[j] {
+			t.Fatalf("post-panic allocation differs from baseline")
+		}
+	}
+}
+
+// TestCoalescerSoloFastPathNeverArmsTimer pins the batch-1 invariant: an
+// uncontended warm request takes the solo path — no queue, no window timer —
+// so coalescing adds zero latency at low load.
+func TestCoalescerSoloFastPathNeverArmsTimer(t *testing.T) {
+	fc := &fakeBatchTimer{}
+	s := newTestServer(t, fastConfig())
+	s.cache.batchAfter = fc.after
+	warmEntry(t, s, 0)
+	before := s.Stats().Cache
+
+	for i := 0; i < 8; i++ {
+		resp, err := s.Allocate(context.Background(), AllocateRequest{Signature: []float64{0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Mode != ModeNormal || resp.Cache != CacheHit {
+			t.Fatalf("warm request %d = %+v", i, resp)
+		}
+	}
+	if fc.armedCount() != 0 {
+		t.Fatalf("uncontended requests armed %d window timers, want 0", fc.armedCount())
+	}
+	after := s.Stats().Cache
+	if got := after.SoloRequests - before.SoloRequests; got != 8 {
+		t.Fatalf("solo requests = %d, want 8", got)
+	}
+	if after.BatchRuns != before.BatchRuns {
+		t.Fatalf("uncontended requests ran batches: %+v", after)
+	}
+}
+
+// TestMaxBatchOneDisablesCoalescing: MaxBatch=1 routes everything solo even
+// under contention.
+func TestMaxBatchOneDisablesCoalescing(t *testing.T) {
+	cfg := fastConfig()
+	cfg.MaxBatch = 1
+	s := newTestServer(t, cfg)
+	entry, _ := warmEntry(t, s, 0)
+	entry.co.poolCap = 0 // even a "saturated" pool must not queue
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := s.Allocate(context.Background(), AllocateRequest{Signature: []float64{0}})
+			if err == nil && resp.Mode != ModeNormal {
+				err = fmt.Errorf("request %d degraded: %+v", i, resp)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stats := s.Stats().Cache; stats.BatchRuns != 0 || stats.BatchedRequests != 0 {
+		t.Fatalf("MaxBatch=1 still batched: %+v", stats)
+	}
+}
+
+// TestCoalescerCanceledContextErrors: a canceled (not merely deadline-
+// expired) caller gets its context error back — nobody reads the answer, so
+// no fallback is computed.
+func TestCoalescerCanceledContextErrors(t *testing.T) {
+	fc := &fakeBatchTimer{}
+	s := newTestServer(t, fastConfig())
+	s.cache.batchAfter = fc.after
+	entry, _ := warmEntry(t, s, 0)
+	entry.co.poolCap = 0
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var aerr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, aerr = s.Allocate(ctx, AllocateRequest{Signature: []float64{0}})
+	}()
+	waitUntil(t, "request queued", func() bool { return entry.co.qlen.Load() == 1 })
+	cancel()
+	<-done
+	if !errors.Is(aerr, context.Canceled) {
+		t.Fatalf("canceled queued request err = %v, want context.Canceled", aerr)
+	}
+	if got := entry.co.qlen.Load(); got != 0 {
+		t.Fatalf("queue length after cancel = %d, want 0", got)
+	}
+}

@@ -31,6 +31,10 @@ const (
 	// DegradedPolicyError: the warm policy path itself failed (replica
 	// clone, environment definition, rollout).
 	DegradedPolicyError = "policy_error"
+	// DegradedBatch: the coalesced micro-batch this request rode in
+	// panicked; only the batch's own requests degrade, the cluster's
+	// policy keeps serving.
+	DegradedBatch = "batch_error"
 )
 
 // degradedReason maps a policy-path error to the response tag.
@@ -58,12 +62,12 @@ func degradedReason(err error) string {
 // microseconds, so this path answers even while trainings fail, hang, or
 // queue — a feasible allocation always exists (dropping everything is
 // feasible), so well-formed requests never error here.
-func (s *Server) fallbackAllocate(req AllocateRequest, cluster int, start time.Time, reason string) (*AllocateResponse, error) {
+func (s *Server) fallbackAllocateInto(req AllocateRequest, cluster int, start time.Time, reason string, ws *allocWS) error {
 	env, err := s.store.DefineBlended(req.Signature, s.cfg.ClusterNeighborhood)
 	if err != nil {
 		// Signature dimensions were validated against the store already;
 		// reaching this is a server bug, not a client error.
-		return nil, fmt.Errorf("serve: fallback environment: %w", err)
+		return fmt.Errorf("serve: fallback environment: %w", err)
 	}
 	prob := s.problemWithImportance(env.Importance)
 	scores := make([]float64, len(prob.Tasks))
@@ -77,11 +81,11 @@ func (s *Server) fallbackAllocate(req AllocateRequest, cluster int, start time.T
 	}
 	instance, err := prob.ToKnapsack().WithValues(combined)
 	if err != nil {
-		return nil, fmt.Errorf("serve: fallback scores: %w", err)
+		return fmt.Errorf("serve: fallback scores: %w", err)
 	}
 	sol, err := knapsack.SolveGreedy(instance)
 	if err != nil {
-		return nil, fmt.Errorf("serve: fallback pack: %w", err)
+		return fmt.Errorf("serve: fallback pack: %w", err)
 	}
 	var predicted float64
 	for j, proc := range sol.Assignment {
@@ -93,14 +97,14 @@ func (s *Server) fallbackAllocate(req AllocateRequest, cluster int, start time.T
 	s.allocates.Add(1)
 	s.degraded.Add(1)
 	s.recordLatency(latency)
-	return &AllocateResponse{
-		Allocation:          sol.Assignment,
-		Cluster:             cluster,
-		Cache:               CacheBypass,
-		Allocator:           "greedy-fallback",
-		Mode:                ModeDegraded,
-		DegradedReason:      reason,
-		PredictedImportance: predicted,
-		LatencyNanos:        int64(latency),
-	}, nil
+	resp := &ws.resp
+	resp.Allocation = append(resp.Allocation[:0], sol.Assignment...)
+	resp.Cluster = cluster
+	resp.Cache = CacheBypass
+	resp.Allocator = "greedy-fallback"
+	resp.Mode = ModeDegraded
+	resp.DegradedReason = reason
+	resp.PredictedImportance = predicted
+	resp.LatencyNanos = int64(latency)
+	return nil
 }

@@ -56,9 +56,29 @@ func newHandler(s *Server, opts HTTPOptions, extra map[string]http.HandlerFunc) 
 	opts = opts.withDefaults()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/allocate", func(w http.ResponseWriter, r *http.Request) {
-		handleJSON(w, r, func(ctx context.Context, req AllocateRequest) (*AllocateResponse, error) {
-			return s.Allocate(ctx, req)
-		})
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+			return
+		}
+		// The allocate hot path decodes into and answers from a pooled
+		// workspace: the request's slice buffers, the response and every
+		// scratch the pipeline touches are recycled across requests.
+		ws := s.getWS()
+		defer s.putWS(ws)
+		ws.req.Signature = ws.req.Signature[:0]
+		ws.req.Features = ws.req.Features[:0]
+		ws.req.Allocator = ""
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&ws.req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+			return
+		}
+		if err := s.AllocateInto(r.Context(), ws.req, ws); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, &ws.resp)
 	})
 	mux.HandleFunc("/v1/feedback", func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(w, r, func(ctx context.Context, req FeedbackRequest) (*FeedbackResponse, error) {

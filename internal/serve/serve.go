@@ -91,6 +91,22 @@ type Config struct {
 	// concurrent rollouts clone on demand and the extras are dropped
 	// (default 8).
 	Replicas int
+	// CacheShards is the target shard count for the policy-cache lock:
+	// cluster keys map onto a power-of-two shard array so cache hits never
+	// serialize behind one global mutex or an unrelated cluster's cold
+	// train. Rounded down to the largest power of two ≤ min(CacheShards,
+	// CacheCapacity), so a capacity-1 cache keeps exact global LRU
+	// semantics (default 8).
+	CacheShards int
+	// MaxBatch bounds the request coalescer's micro-batch: concurrent
+	// warm CRL rollouts for one cluster gather onto a single
+	// neural.ForwardBatch pass of at most this many requests (default 16;
+	// 1 disables coalescing).
+	MaxBatch int
+	// BatchWindow is how long the first queued request waits for
+	// batch-mates before the partial batch flushes (default 200µs). The
+	// uncontended batch-1 fast path never arms this timer.
+	BatchWindow time.Duration
 	// RefitEvery refits the local model after this many fresh feedback
 	// samples (default 256).
 	RefitEvery int
@@ -151,6 +167,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Replicas < 1 {
 		c.Replicas = 8
+	}
+	if c.CacheShards < 1 {
+		c.CacheShards = 8
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 16
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 200 * time.Microsecond
 	}
 	if c.RefitEvery < 1 {
 		c.RefitEvery = 256

@@ -53,6 +53,10 @@ type Server struct {
 	lat     []int64 // ns ring, most recent latencyWindow allocates
 	latNext int
 	latFull bool
+
+	// wsPool recycles per-request allocate workspaces (allocWS) so the
+	// warm path runs allocation-free.
+	wsPool sync.Pool
 }
 
 // NewServer builds a service over a problem template (structure only — the
@@ -79,6 +83,9 @@ func NewServer(template *core.Problem, store *core.EnvironmentStore, local *allo
 		lat:      make([]int64, latencyWindow),
 	}
 	s.cache = newPolicyCache(cfg, s.trainCluster)
+	s.wsPool.New = func() any {
+		return &allocWS{waiter: batchWaiter{sig: make(chan batchSignal, 1)}}
+	}
 	return s, nil
 }
 
@@ -89,9 +96,14 @@ func (s *Server) Store() *core.EnvironmentStore { return s.store }
 func (s *Server) Template() *core.Problem { return s.template.Clone() }
 
 // Drain flips the server into draining mode: subsequent requests fail fast
-// with ErrDraining while in-flight ones finish. The HTTP layer calls this
-// before shutting the listener down.
-func (s *Server) Drain() { s.draining.Store(true) }
+// with ErrDraining while in-flight ones finish. Pending coalescer
+// micro-batches are flushed immediately so queued warm requests answer
+// instead of waiting out their window. The HTTP layer calls this before
+// shutting the listener down.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.cache.flushCoalescers()
+}
 
 // clusterStore builds the training sub-store for a cluster: the
 // ClusterNeighborhood stored environments nearest the cluster
@@ -219,139 +231,200 @@ type AllocateResponse struct {
 	LatencyNanos int64 `json:"latency_ns"`
 }
 
+// allocWS is the per-request workspace for the warm allocate path: the JSON
+// decode target, the response, and every scratch buffer the pipeline needs,
+// pooled so a steady-state warm request (cache hit, batch-1) performs zero
+// allocations end to end. The embedded batchWaiter carries the request
+// through the coalescer.
+type allocWS struct {
+	req  AllocateRequest  // HTTP decode target (slice capacity reused)
+	resp AllocateResponse // Allocation backing array reused
+
+	env      core.Environment // kNN-defined environment
+	knn      core.KNNScratch
+	pack     alloc.PackScratch
+	combined []float64 // DCTA mixed scores
+	featBuf  []float64 // local-model per-task feature scratch
+	guard    core.Allocation
+	waiter   batchWaiter
+}
+
+func (s *Server) getWS() *allocWS {
+	ws := s.wsPool.Get().(*allocWS)
+	// Drain a stale signal defensively: every rollout path consumes its
+	// own, but a leaked signal would mis-answer an unrelated request.
+	select {
+	case <-ws.waiter.sig:
+	default:
+	}
+	return ws
+}
+
+func (s *Server) putWS(ws *allocWS) { s.wsPool.Put(ws) }
+
+// importanceOf sums the defined importance captured by an allocation.
+func importanceOf(a core.Allocation, imp []float64) float64 {
+	var v float64
+	for j, proc := range a {
+		if proc != core.Unassigned && j < len(imp) {
+			v += imp[j]
+		}
+	}
+	return v
+}
+
 // Allocate answers one allocation query. Safe for arbitrary concurrency:
 // store reads are lock-protected, every DQN rollout runs on an exclusive
-// pooled replica, and the local model is immutable-after-Fit.
+// pooled replica (concurrent rollouts for one cluster coalesce onto batched
+// forward passes), and the local model is immutable-after-Fit.
 //
 // Availability contract: once the request is validated, Allocate answers.
 // Any policy-path failure — a training that errors, panics, outlives the
 // TrainBudget or the request deadline, an open circuit breaker, a saturated
-// training gate, draining, or a broken rollout — routes to the degraded
-// fallback allocator (fallback.go), which always produces a feasible
-// allocation. Only malformed requests and a canceled caller context error.
+// training gate, draining, a broken rollout, or a panicking micro-batch —
+// routes to the degraded fallback allocator (fallback.go), which always
+// produces a feasible allocation. Only malformed requests and a canceled
+// caller context error.
 func (s *Server) Allocate(ctx context.Context, req AllocateRequest) (*AllocateResponse, error) {
+	ws := s.getWS()
+	defer s.putWS(ws)
+	if err := s.AllocateInto(ctx, req, ws); err != nil {
+		return nil, err
+	}
+	resp := ws.resp
+	resp.Allocation = append([]int(nil), ws.resp.Allocation...)
+	return &resp, nil
+}
+
+// AllocateInto is Allocate writing into ws.resp — the zero-steady-state-
+// allocation entry point the HTTP layer and benchmarks use. ws must come
+// from getWS (or be zero-initialized with a buffered waiter signal) and must
+// not be reused until the response has been consumed.
+func (s *Server) AllocateInto(ctx context.Context, req AllocateRequest, ws *allocWS) error {
 	start := s.cfg.Now()
+	ws.resp = AllocateResponse{Allocation: ws.resp.Allocation[:0]}
 	if len(req.Signature) == 0 {
-		return nil, fmt.Errorf("%w: empty signature", ErrBadRequest)
+		return fmt.Errorf("%w: empty signature", ErrBadRequest)
 	}
 	if err := finiteVec("signature", req.Signature); err != nil {
-		return nil, err
+		return err
 	}
 	if err := finiteMat("features", req.Features); err != nil {
-		return nil, err
+		return err
 	}
 	switch req.Allocator {
 	case "", "auto", "crl", "dcta":
 	default:
-		return nil, fmt.Errorf("%w: unknown allocator %q", ErrBadRequest, req.Allocator)
+		return fmt.Errorf("%w: unknown allocator %q", ErrBadRequest, req.Allocator)
 	}
 	cluster, _, err := s.store.NearestIndex(req.Signature)
 	if err != nil {
 		// Dimension mismatch with the store's signatures (or an empty
 		// store, impossible after NewServer) is a client error.
-		return nil, fmt.Errorf("%w: cluster lookup: %v", ErrBadRequest, err)
+		return fmt.Errorf("%w: cluster lookup: %v", ErrBadRequest, err)
 	}
 	if req.Allocator == "dcta" {
 		if len(req.Features) != len(s.template.Tasks) {
-			return nil, fmt.Errorf("%w: dcta needs %d feature vectors, got %d",
+			return fmt.Errorf("%w: dcta needs %d feature vectors, got %d",
 				ErrBadRequest, len(s.template.Tasks), len(req.Features))
 		}
 		if local := s.localModel(); local == nil || !local.Fitted() {
-			return nil, fmt.Errorf("%w: local model not fitted", ErrBadRequest)
+			return fmt.Errorf("%w: local model not fitted", ErrBadRequest)
 		}
 	}
 	if s.draining.Load() {
 		// Draining-but-not-yet-stopped: never start a training, but keep
 		// answering until the listener closes.
-		return s.fallbackAllocate(req, cluster, start, DegradedDraining)
+		return s.fallbackAllocateInto(req, cluster, start, DegradedDraining, ws)
 	}
 	entry, outcome, err := s.cache.get(ctx, cluster)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
-			return nil, err // the caller is gone; no one reads the answer
+			return err // the caller is gone; no one reads the answer
 		}
-		return s.fallbackAllocate(req, cluster, start, degradedReason(err))
+		return s.fallbackAllocateInto(req, cluster, start, degradedReason(err), ws)
 	}
-	resp, err := s.policyAllocate(req, cluster, entry, outcome, start)
-	if err != nil {
-		if errors.Is(err, ErrBadRequest) {
-			return nil, err
+	if err := s.policyAllocateInto(ctx, req, cluster, entry, outcome, start, ws); err != nil {
+		if errors.Is(err, ErrBadRequest) || errors.Is(err, context.Canceled) {
+			return err
+		}
+		reason := DegradedPolicyError
+		switch {
+		case errors.Is(err, errBatchError):
+			reason = DegradedBatch
+		case errors.Is(err, context.DeadlineExceeded):
+			reason = DegradedDeadline
 		}
 		s.cfg.Logf("serve: policy path cluster %d: %v (answering degraded)", cluster, err)
-		return s.fallbackAllocate(req, cluster, start, DegradedPolicyError)
+		return s.fallbackAllocateInto(req, cluster, start, reason, ws)
 	}
-	return resp, nil
+	return nil
 }
 
-// policyAllocate is the warm path: roll the cached policy (or DCTA over it)
-// on a pooled replica.
-func (s *Server) policyAllocate(req AllocateRequest, cluster int, entry *policyEntry,
-	outcome string, start time.Time) (*AllocateResponse, error) {
-	replica, err := entry.acquire()
-	if err != nil {
-		return nil, fmt.Errorf("serve: replica: %w", err)
+// policyAllocateInto is the warm path. The environment is defined once,
+// replica-free, against the entry's cluster sub-store (environment
+// definition only reads the concurrency-safe store). Requests that mix in
+// the local process (DCTA) never touch a DQN at all — scores and packing
+// run on pure request-local scratch. CRL requests roll the policy through
+// the entry's coalescer: batch-1 uncontended, micro-batched under load,
+// guarded by a greedy pack on the defined importance (CRLAllocator
+// semantics: the better of rollout and guard ships).
+func (s *Server) policyAllocateInto(ctx context.Context, req AllocateRequest, cluster int,
+	entry *policyEntry, outcome string, start time.Time, ws *allocWS) error {
+	if err := entry.crl.DefineEnvironmentInto(req.Signature, &ws.env, &ws.knn); err != nil {
+		return fmt.Errorf("serve: define environment: %w", err)
 	}
-	defer entry.release(replica)
-
-	// Define the environment within the cluster's neighborhood and
-	// instantiate the problem the allocators pack against.
-	env, err := replica.DefineEnvironment(req.Signature)
-	if err != nil {
-		return nil, fmt.Errorf("serve: define environment: %w", err)
-	}
-	prob := s.problemWithImportance(env.Importance)
 
 	local := s.localModel()
 	useDCTA := false
 	switch req.Allocator {
 	case "", "auto":
-		useDCTA = len(req.Features) == len(prob.Tasks) && local != nil && local.Fitted()
+		useDCTA = len(req.Features) == len(s.template.Tasks) && local != nil && local.Fitted()
 	case "dcta":
-		useDCTA = true // validated in Allocate
+		useDCTA = true // validated in AllocateInto
 	case "crl":
 	}
 
-	var res *alloc.Result
+	w := &ws.waiter
 	var name string
 	if useDCTA {
-		d, err := alloc.NewDCTA(replica, local)
+		name = "DCTA"
+		var err error
+		ws.combined, ws.featBuf, err = alloc.CombineScoresInto(
+			local, ws.env.Importance, req.Features, s.cfg.W1, s.cfg.W2, ws.combined, ws.featBuf)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("serve: dcta: %w", err)
 		}
-		d.W1, d.W2, d.CoverageTarget = s.cfg.W1, s.cfg.W2, s.cfg.CoverageTarget
-		res, err = d.Allocate(alloc.Request{Problem: prob, Signature: req.Signature, Features: req.Features})
-		if err != nil {
-			return nil, fmt.Errorf("serve: dcta: %w", err)
-		}
-		name = d.Name()
+		w.out, _ = alloc.PackByScoreInto(s.template, ws.combined, s.cfg.CoverageTarget, w.out, &ws.pack)
 	} else {
-		ca, err := alloc.NewCRLAllocator(replica)
-		if err != nil {
-			return nil, err
+		name = "CRL"
+		w.env = &ws.env
+		if err := entry.co.rollout(ctx, w); err != nil {
+			return fmt.Errorf("serve: crl rollout: %w", err)
 		}
-		res, err = ca.Allocate(alloc.Request{Problem: prob, Signature: req.Signature})
-		if err != nil {
-			return nil, fmt.Errorf("serve: crl: %w", err)
+		// Greedy guard: whenever the rollout captures less of the defined
+		// importance than a greedy pack would, the guard's plan ships.
+		ws.guard, _ = alloc.PackByScoreInto(s.template, ws.env.Importance, 1.0, ws.guard, &ws.pack)
+		if importanceOf(ws.guard, ws.env.Importance) > importanceOf(w.out, ws.env.Importance) {
+			w.out, ws.guard = ws.guard, w.out
 		}
-		name = ca.Name()
 	}
 
 	latency := s.cfg.Now().Sub(start)
 	s.allocates.Add(1)
 	s.recordLatency(latency)
-	resp := &AllocateResponse{
-		Allocation:          res.Allocation,
-		Cluster:             cluster,
-		Cache:               outcome,
-		Allocator:           name,
-		Mode:                ModeNormal,
-		PredictedImportance: res.PredictedImportance,
-		LatencyNanos:        int64(latency),
-	}
+	resp := &ws.resp
+	resp.Allocation = append(resp.Allocation[:0], w.out...)
+	resp.Cluster = cluster
+	resp.Cache = outcome
+	resp.Allocator = name
+	resp.Mode = ModeNormal
+	resp.PredictedImportance = importanceOf(w.out, ws.env.Importance)
+	resp.LatencyNanos = int64(latency)
 	if outcome == CacheMiss || outcome == CacheExpired || outcome == CacheDrift {
 		resp.TrainNanos = int64(entry.trainDur)
 	}
-	return resp, nil
+	return nil
 }
 
 // problemWithImportance clones the template and installs an importance
