@@ -42,6 +42,14 @@ func runGate(baselinePath string, seed int64, slackFlag float64, outJSON string)
 		loadgen.Ns(baseline.WarmP99Ns), loadgen.Ns(cur.WarmP99Ns), loadgen.Ns(baseline.WarmP99Ns*(1+slack)))
 	fmt.Printf("gate: throughput  baseline %-12.0f current %-12.0f floor %.0f rps\n",
 		baseline.BestThroughputRPS, cur.BestThroughputRPS, baseline.BestThroughputRPS/(1+slack))
+	if baseline.ColdTrainP50Ns > 0 {
+		fmt.Printf("gate: cold p50    baseline %-12s current %-12s limit %s\n",
+			loadgen.Ns(baseline.ColdTrainP50Ns), loadgen.Ns(cur.ColdTrainP50Ns),
+			loadgen.Ns(baseline.ColdTrainP50Ns*(1+slack)))
+	}
+	if cur.ValueParity > 0 {
+		fmt.Printf("gate: value parity %.4f (collapsed cold-start vs full-budget scratch)\n", cur.ValueParity)
+	}
 
 	violations := loadgen.Gate(cur, baseline, slack)
 	if len(violations) == 0 {

@@ -6,7 +6,7 @@
 //
 //	dcta-load                          # in-process server on 127.0.0.1:0
 //	dcta-load -addr host:8080          # drive an external dcta-server
-//	dcta-load -preset baseline -json BENCH_PR6.json
+//	dcta-load -preset baseline -json BENCH_PR7.json
 //	                                   # regenerate the committed baseline
 //
 // The run has two phases: a sequential cold sweep that touches each distinct
@@ -35,18 +35,23 @@ func main() {
 		jsonPath     = flag.String("json", "", "write the flat benchmark record to this file")
 		neighborhood = flag.Int("neighborhood", 5, "in-process server: stored environments per cluster sub-store")
 		episodes     = flag.Int("crl-episodes", 0, "in-process server: per-cluster CRL episodes (0 = scale default)")
+		noWarmStart  = flag.Bool("no-warm-start", false, "in-process server: disable neighbour warm-start (cold clusters train from scratch)")
+		speculate    = flag.Int("speculate", 0, "in-process server: pre-train up to N predicted-next clusters per demand training (0 disables)")
+		prioritized  = flag.Bool("prioritized-replay", false, "in-process server: TD-error-prioritized experience replay (α=0.6)")
+		parityWorlds = flag.Int("parity-worlds", 0, "measure value parity (collapsed cold-start vs full-budget scratch) over N seeded worlds")
 		preset       = flag.String("preset", "", "\"baseline\" replaces the sweep flags with the canonical shape the CI tail gate replays")
 	)
 	flag.Parse()
 	if err := run(*addr, *scale, *seed, *levels, *requests, *feedbackNth, *jsonPath,
-		*neighborhood, *episodes, *preset); err != nil {
+		*neighborhood, *episodes, *noWarmStart, *speculate, *prioritized, *parityWorlds, *preset); err != nil {
 		fmt.Fprintln(os.Stderr, "dcta-load:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, scale string, seed int64, levelSpec string, requests, feedbackNth int,
-	jsonPath string, neighborhood, episodes int, preset string) error {
+	jsonPath string, neighborhood, episodes int, noWarmStart bool, speculate int,
+	prioritized bool, parityWorlds int, preset string) error {
 	var opts loadgen.Options
 	switch preset {
 	case "":
@@ -55,13 +60,17 @@ func run(addr, scale string, seed int64, levelSpec string, requests, feedbackNth
 			return err
 		}
 		opts = loadgen.Options{
-			Scale:         scale,
-			Seed:          seed,
-			Levels:        lv,
-			Requests:      requests,
-			FeedbackEvery: feedbackNth,
-			Neighborhood:  neighborhood,
-			CRLEpisodes:   episodes,
+			Scale:             scale,
+			Seed:              seed,
+			Levels:            lv,
+			Requests:          requests,
+			FeedbackEvery:     feedbackNth,
+			Neighborhood:      neighborhood,
+			CRLEpisodes:       episodes,
+			DisableWarmStart:  noWarmStart,
+			Speculate:         speculate,
+			PrioritizedReplay: prioritized,
+			ParityWorlds:      parityWorlds,
 		}
 	case "baseline":
 		opts = loadgen.BaselineOptions(seed)

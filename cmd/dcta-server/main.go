@@ -56,6 +56,10 @@ func main() {
 		brkThresh    = flag.Int("breaker-threshold", 3, "consecutive training failures that open a cluster's circuit breaker (<0 disables)")
 		brkBackoff   = flag.Duration("breaker-backoff", time.Second, "first breaker open window (doubles per reopen, jittered)")
 		trainConc    = flag.Int("train-concurrency", 0, "max concurrent policy trainings (0 = GOMAXPROCS/2)")
+		noWarmStart  = flag.Bool("no-warm-start", false, "disable neighbour warm-start: cold clusters always train from scratch")
+		warmFrac     = flag.Float64("warm-episode-frac", 0, "episode-budget fraction for warm-started trainings (0 = default 1/4)")
+		speculate    = flag.Int("speculate", 0, "pre-train up to N predicted-next clusters per demand training on idle gate capacity (0 disables)")
+		prioritized  = flag.Bool("prioritized-replay", false, "TD-error-prioritized experience replay (α=0.6) in policy trainings")
 	)
 	flag.Parse()
 	cfg := serveConfig(
@@ -65,6 +69,13 @@ func main() {
 	cfg.BreakerThreshold = *brkThresh
 	cfg.BreakerBackoff = *brkBackoff
 	cfg.TrainConcurrency = *trainConc
+	cfg.DisableWarmStart = *noWarmStart
+	cfg.WarmEpisodeFrac = *warmFrac
+	cfg.SpeculateNeighbors = *speculate
+	if *prioritized {
+		cfg.CRL.DQN.PrioritizedReplay = true
+		cfg.CRL.DQN.PriorityAlpha = 0.6
+	}
 	if err := run(*addr, *scale, *seed, *checkpoint, *ckptEvery, cfg,
 		serve.HTTPOptions{RequestTimeout: *reqTimeout, DrainTimeout: *drainTimeout}); err != nil {
 		fmt.Fprintln(os.Stderr, "dcta-server:", err)

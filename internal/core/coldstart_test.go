@@ -1,0 +1,182 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/rl"
+)
+
+// fastCRL builds a small CRL over the shared store fixture with an
+// inexpensive DQN, optionally tweaking the config first.
+func fastCRL(t *testing.T, mutate func(*CRLConfig)) *CRL {
+	t.Helper()
+	p, store := storeFixture(t, 6, 2, 10)
+	cfg := DefaultCRLConfig()
+	cfg.Episodes = 40
+	cfg.DQN = rl.DQNConfig{
+		Hidden:      []int{16},
+		Epsilon:     rl.EpsilonSchedule{Start: 1, End: 0.05, DecaySteps: 200},
+		WarmupSteps: 16,
+		BatchSize:   8,
+		Seed:        7,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	crl, err := NewCRL(p, store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return crl
+}
+
+func TestPlateaued(t *testing.T) {
+	flat := []float64{1, 1, 1, 1, 1, 1}
+	if !plateaued(flat, 3, 0.01) {
+		t.Fatal("flat returns should plateau")
+	}
+	rising := []float64{1, 1, 1, 2, 2, 2}
+	if plateaued(rising, 3, 0.01) {
+		t.Fatal("doubling returns should not plateau")
+	}
+	// Fewer than 2·window rewards can never plateau.
+	if plateaued([]float64{1, 1, 1, 1, 1}, 3, 0.01) {
+		t.Fatal("five rewards cannot fill two windows of three")
+	}
+	// Near-zero baseline: the epsilon denominator guard must not divide by 0.
+	if plateaued([]float64{0, 0, 0, 1, 1, 1}, 3, 0.01) {
+		t.Fatal("improvement from zero should not plateau")
+	}
+}
+
+// TestTrainEarlyStopNeverBeforeFloor: with a plateau detector armed from the
+// very first comparable window, the MinEpisodes floor must still hold — and
+// when the run does stop early, the result says so.
+func TestTrainEarlyStopNeverBeforeFloor(t *testing.T) {
+	const floor = 12
+	crl := fastCRL(t, func(cfg *CRLConfig) {
+		cfg.StopWindow = 2
+		cfg.StopEpsilon = 10 // everything counts as a plateau
+		cfg.MinEpisodes = floor
+	})
+	res, err := crl.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopReason != rl.StopPlateau {
+		t.Fatalf("stop reason = %q, want plateau with eps=10", res.StopReason)
+	}
+	if res.Episodes < floor {
+		t.Fatalf("stopped after %d episodes, floor is %d", res.Episodes, floor)
+	}
+	if res.Episodes != floor {
+		t.Fatalf("an always-true plateau should fire exactly at the floor, got %d", res.Episodes)
+	}
+}
+
+// TestTrainEarlyStopDisabled: StopWindow = 0 spends the whole budget.
+func TestTrainEarlyStopDisabled(t *testing.T) {
+	crl := fastCRL(t, nil)
+	res, err := crl.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopReason != rl.StopBudget || res.Episodes != 40 {
+		t.Fatalf("no-stop run: %d episodes, reason %q; want 40/budget",
+			res.Episodes, res.StopReason)
+	}
+}
+
+// TestTrainInterrupt: the cooperative interrupt ends the run after the
+// current episode and reports StopInterrupted — the speculative pre-trainer's
+// yield contract.
+func TestTrainInterrupt(t *testing.T) {
+	crl := fastCRL(t, func(cfg *CRLConfig) {
+		cfg.Interrupt = func() bool { return true }
+	})
+	res, err := crl.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopReason != rl.StopInterrupted {
+		t.Fatalf("stop reason = %q, want interrupted", res.StopReason)
+	}
+	if res.Episodes != 1 {
+		t.Fatalf("always-true interrupt should leave exactly the first episode, got %d", res.Episodes)
+	}
+	if !crl.Trained() {
+		t.Fatal("an interrupted model is still trained (partially)")
+	}
+}
+
+// TestWarmStartFrom checks the transfer contract: an untrained donor is
+// refused, a trained donor's policy carries over exactly, and the provenance
+// survives snapshot round trips.
+func TestWarmStartFrom(t *testing.T) {
+	donor := fastCRL(t, nil)
+	fresh := fastCRL(t, nil)
+	if err := fresh.WarmStartFrom(nil, WarmStart{}); err == nil {
+		t.Fatal("nil donor accepted")
+	}
+	if err := fresh.WarmStartFrom(donor, WarmStart{}); !errors.Is(err, ErrNotTrained) {
+		t.Fatalf("untrained donor err = %v", err)
+	}
+	if _, err := donor.Train(); err != nil {
+		t.Fatal(err)
+	}
+
+	info := WarmStart{Source: 4, Distance: 0.25}
+	if err := fresh.WarmStartFrom(donor, info); err != nil {
+		t.Fatal(err)
+	}
+	got := fresh.WarmStarted()
+	if got == nil || *got != info {
+		t.Fatalf("provenance = %+v, want %+v", got, info)
+	}
+	if donor.WarmStarted() != nil {
+		t.Fatal("donor must not inherit the recipient's provenance")
+	}
+
+	// Before any fine-tuning the recipient's greedy policy IS the donor's.
+	fresh.trained = true
+	for _, z := range []float64{0.1, 0.6, 0.9} {
+		a1, _, err := donor.Predict([]float64{z})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, _, err := fresh.Predict([]float64{z})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range a1 {
+			if a1[j] != a2[j] {
+				t.Fatalf("z=%v: transferred allocation differs at task %d", z, j)
+			}
+		}
+	}
+
+	// Snapshot round trip keeps the lineage; scratch models stay lineage-free.
+	data, err := fresh.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadCRL(data, fresh.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws := restored.WarmStarted(); ws == nil || *ws != info {
+		t.Fatalf("restored provenance = %+v, want %+v", ws, info)
+	}
+	scratch, err := donor.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := LoadCRL(scratch, donor.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.WarmStarted() != nil {
+		t.Fatal("scratch-trained snapshot grew a warm-start provenance")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"repro/internal/mathx"
 	"repro/internal/rl"
@@ -23,6 +24,23 @@ type CRLConfig struct {
 	// DenseReward is the ablation switch for per-step rewards (the paper
 	// uses terminal-only).
 	DenseReward bool
+	// StopWindow enables convergence-based early stopping: training stops
+	// once the mean episode return of the most recent StopWindow episodes
+	// improves on the preceding window by less than StopEpsilon (relative).
+	// 0 disables early stopping and the full Episodes budget is spent.
+	StopWindow int
+	// StopEpsilon is the relative-improvement plateau threshold (default
+	// 0.01 when StopWindow > 0).
+	StopEpsilon float64
+	// MinEpisodes floors early stopping: the plateau check never fires
+	// before this many episodes (default 2·StopWindow). The budget still
+	// caps at Episodes.
+	MinEpisodes int
+	// Interrupt, when non-nil, is polled between episodes; returning true
+	// ends training after the current episode with rl.StopInterrupted. The
+	// serving layer's speculative pre-trainer uses this to yield to
+	// foreground demand training. Never serialized.
+	Interrupt func() bool `json:"-"`
 	// Seed drives the training-time environment sampling.
 	Seed int64
 }
@@ -43,12 +61,24 @@ func DefaultCRLConfig() CRLConfig {
 // limit) is fixed; only the importance vector varies between environments —
 // the paper's "item value changed randomly over time" Knapsack variant.
 type CRL struct {
-	cfg      CRLConfig
-	template *Problem
-	store    *EnvironmentStore
-	agent    *rl.DQN
-	trained  bool
-	rollout  rolloutScratch
+	cfg       CRLConfig
+	template  *Problem
+	store     *EnvironmentStore
+	agent     *rl.DQN
+	trained   bool
+	warmStart *WarmStart
+	rollout   rolloutScratch
+}
+
+// WarmStart records transfer provenance for a warm-started model: which
+// cluster's policy seeded this one and how far apart their signatures were.
+// It rides along in the persisted snapshot so restored policies keep their
+// lineage.
+type WarmStart struct {
+	// Source identifies the donor cluster (the serving layer's store index).
+	Source int `json:"source"`
+	// Distance is the signature-space distance to the donor.
+	Distance float64 `json:"distance"`
 }
 
 // NewCRL builds a CRL model over a problem template and historical store.
@@ -95,16 +125,32 @@ func (c *CRL) problemFor(env *Environment) (*Problem, error) {
 }
 
 // Train runs the training phase of Alg. 1: episodes over environments
-// sampled from the historical store, updating the shared DQN.
+// sampled from the historical store, updating the shared DQN. With
+// StopWindow set, training early-stops once episode returns plateau
+// (relative improvement between consecutive StopWindow-episode windows below
+// StopEpsilon), never before the MinEpisodes floor; the outcome is reported
+// in TrainResult.StopReason.
 func (c *CRL) Train() (*rl.TrainResult, error) {
 	rng := mathx.NewRand(c.cfg.Seed)
 	envs := c.store.All()
+	minEp := c.cfg.MinEpisodes
+	if minEp <= 0 {
+		minEp = 2 * c.cfg.StopWindow
+	}
+	stopEps := c.cfg.StopEpsilon
+	if stopEps <= 0 {
+		stopEps = 0.01
+	}
 	// Each store environment keeps one AllocEnv for the whole run: the
 	// problem structure is fixed and Train resets the env per episode, so
 	// rebuilding the problem clone and MDP every episode is pure overhead.
 	cache := make([]*AllocEnv, len(envs))
-	agg := &rl.TrainResult{}
+	agg := &rl.TrainResult{StopReason: rl.StopBudget}
 	for ep := 0; ep < c.cfg.Episodes; ep++ {
+		if c.cfg.Interrupt != nil && ep > 0 && c.cfg.Interrupt() {
+			agg.StopReason = rl.StopInterrupted
+			break
+		}
 		ei := rng.Intn(len(envs))
 		alloc := cache[ei]
 		if alloc == nil {
@@ -127,6 +173,11 @@ func (c *CRL) Train() (*rl.TrainResult, error) {
 		agg.Episodes++
 		agg.TotalSteps += res.TotalSteps
 		agg.RewardsPerEp = append(agg.RewardsPerEp, res.RewardsPerEp...)
+		if c.cfg.StopWindow > 0 && agg.Episodes >= minEp &&
+			plateaued(agg.RewardsPerEp, c.cfg.StopWindow, stopEps) {
+			agg.StopReason = rl.StopPlateau
+			break
+		}
 	}
 	if n := len(agg.RewardsPerEp); n > 0 {
 		agg.MeanReward = mathx.Mean(agg.RewardsPerEp)
@@ -135,6 +186,47 @@ func (c *CRL) Train() (*rl.TrainResult, error) {
 	c.trained = true
 	return agg, nil
 }
+
+// plateaued reports whether the most recent `window` episode returns improve
+// on the preceding `window` returns by less than eps, relative to the earlier
+// window's magnitude — the convergence criterion behind early stopping.
+func plateaued(rewards []float64, window int, eps float64) bool {
+	if len(rewards) < 2*window {
+		return false
+	}
+	recent := mathx.Mean(rewards[len(rewards)-window:])
+	prev := mathx.Mean(rewards[len(rewards)-2*window : len(rewards)-window])
+	denom := math.Abs(prev)
+	if denom < 1e-12 {
+		denom = 1e-12
+	}
+	return (recent-prev)/denom < eps
+}
+
+// WarmStartFrom seeds c's agent from an already-trained donor model instead
+// of training from random initialization: online and target networks AND
+// optimizer state are copied (rl.DQN.CloneFrom), so the subsequent Train
+// call fine-tunes the transferred policy with a decayed ε-schedule. Both
+// models must share the problem shape (state/action sizes). info records the
+// transfer provenance, surfaced by WarmStarted and persisted in snapshots.
+func (c *CRL) WarmStartFrom(src *CRL, info WarmStart) error {
+	if src == nil {
+		return fmt.Errorf("crl warm start: nil source")
+	}
+	if !src.trained {
+		return ErrNotTrained
+	}
+	if err := c.agent.CloneFrom(src.agent); err != nil {
+		return fmt.Errorf("crl warm start: %w", err)
+	}
+	ws := info
+	c.warmStart = &ws
+	return nil
+}
+
+// WarmStarted returns the model's transfer provenance, or nil for policies
+// trained from scratch.
+func (c *CRL) WarmStarted() *WarmStart { return c.warmStart }
 
 // DefineEnvironment answers the environment-definition query for sensing
 // data Z per the configured kNN policy.
@@ -342,11 +434,12 @@ func (c *CRL) Clone() (*CRL, error) {
 		return nil, fmt.Errorf("crl clone: %w", err)
 	}
 	return &CRL{
-		cfg:      c.cfg,
-		template: c.template.Clone(),
-		store:    c.store,
-		agent:    agent,
-		trained:  c.trained,
+		cfg:       c.cfg,
+		template:  c.template.Clone(),
+		store:     c.store,
+		agent:     agent,
+		trained:   c.trained,
+		warmStart: c.warmStart,
 	}, nil
 }
 
@@ -367,6 +460,10 @@ type crlSnapshot struct {
 	Template *Problem        `json:"template"`
 	Policy   json.RawMessage `json:"policy"`
 	Trained  bool            `json:"trained"`
+	// WarmStart is the transfer provenance of warm-started policies; absent
+	// in snapshots written before it existed and for from-scratch policies,
+	// so old checkpoints load unchanged.
+	WarmStart *WarmStart `json:"warm_start,omitempty"`
 }
 
 // MarshalJSON persists the trained policy, configuration and problem
@@ -378,10 +475,11 @@ func (c *CRL) MarshalJSON() ([]byte, error) {
 		return nil, fmt.Errorf("crl marshal policy: %w", err)
 	}
 	return json.Marshal(crlSnapshot{
-		Config:   c.cfg,
-		Template: c.template,
-		Policy:   policy,
-		Trained:  c.trained,
+		Config:    c.cfg,
+		Template:  c.template,
+		Policy:    policy,
+		Trained:   c.trained,
+		WarmStart: c.warmStart,
 	})
 }
 
@@ -406,5 +504,6 @@ func LoadCRL(data []byte, store *EnvironmentStore) (*CRL, error) {
 		return nil, fmt.Errorf("crl restore policy: %w", err)
 	}
 	c.trained = snap.Trained
+	c.warmStart = snap.WarmStart
 	return c, nil
 }

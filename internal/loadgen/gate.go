@@ -44,12 +44,25 @@ func (v GateViolation) String() string {
 }
 
 // Gate compares a fresh sweep against the committed baseline and returns the
-// violated limits (empty = pass). Two tail-collapse guarantees are enforced:
-// warm p99 may not exceed baseline×(1+slack), and best throughput may not
-// fall below baseline/(1+slack). Baseline fields that are zero or missing
-// are skipped — an old record without a metric cannot gate it.
+// violated limits (empty = pass). Three guarantees are enforced: warm p99
+// may not exceed baseline×(1+slack), best throughput may not fall below
+// baseline/(1+slack), and the cold-start training p50 may not exceed
+// baseline×(1+slack) — the PR-7 cold-start collapse is a gated property,
+// not just a one-off number. Baseline fields that are zero or missing are
+// skipped — an old record without a metric cannot gate it.
 func Gate(current, baseline Report, slack float64) []GateViolation {
 	var out []GateViolation
+	if baseline.ColdTrainP50Ns > 0 {
+		limit := baseline.ColdTrainP50Ns * (1 + slack)
+		if current.ColdTrainP50Ns > limit {
+			out = append(out, GateViolation{
+				Metric:   "serve_cold_train_p50_ns",
+				Baseline: baseline.ColdTrainP50Ns,
+				Current:  current.ColdTrainP50Ns,
+				Limit:    limit,
+			})
+		}
+	}
 	if baseline.WarmP99Ns > 0 {
 		limit := baseline.WarmP99Ns * (1 + slack)
 		if current.WarmP99Ns > limit {

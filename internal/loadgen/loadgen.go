@@ -47,6 +47,19 @@ type Options struct {
 	// CRLEpisodes overrides the in-process server's per-cluster CRL
 	// episodes (0 uses the scale default).
 	CRLEpisodes int
+	// DisableWarmStart turns off the in-process server's neighbour
+	// warm-start (cold clusters then always train from scratch).
+	DisableWarmStart bool
+	// Speculate sets the in-process server's SpeculateNeighbors: after each
+	// demand training, pre-train up to this many predicted-next clusters on
+	// idle gate capacity (0 disables).
+	Speculate int
+	// PrioritizedReplay enables TD-error-prioritized experience replay
+	// (α=0.6) in the in-process server's DQN trainings.
+	PrioritizedReplay bool
+	// ParityWorlds, when positive, appends a value-parity measurement over
+	// this many consecutive seeds (see WorstParity) to the report.
+	ParityWorlds int
 	// Logf receives human-readable progress lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -70,6 +83,7 @@ func BaselineOptions(seed int64) Options {
 		Levels:       []int{1, 2, 4},
 		Requests:     2500,
 		Neighborhood: 5,
+		ParityWorlds: 3,
 	}
 }
 
@@ -176,6 +190,7 @@ type LevelResult struct {
 type ColdResult struct {
 	Clusters     int
 	TrainNs      []float64 // server-reported training time per cold cluster
+	SpecHits     int       // sweep requests answered by a pre-trained policy
 	ClientP50Ns  float64
 	ClientMeanNs float64
 }
@@ -222,6 +237,12 @@ func Run(opts Options) (*Result, error) {
 		if cfg.CRL.Episodes < 1 {
 			cfg.CRL.Episodes = scnCfg.CRLEpisodes
 		}
+		cfg.DisableWarmStart = opts.DisableWarmStart
+		cfg.SpeculateNeighbors = opts.Speculate
+		if opts.PrioritizedReplay {
+			cfg.CRL.DQN.PrioritizedReplay = true
+			cfg.CRL.DQN.PriorityAlpha = 0.6
+		}
 		s, err := serve.NewServer(scn.Template, scn.Store, scn.Local, cfg)
 		if err != nil {
 			return nil, err
@@ -250,8 +271,8 @@ func Run(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts.logf("cold sweep: %d distinct signatures, %d policy trainings, train p50 %s, client mean %s\n",
-		len(wl.Allocs), cold.Clusters, Ns(mathx.Quantile(cold.TrainNs, 0.5)), Ns(cold.ClientMeanNs))
+	opts.logf("cold sweep: %d distinct signatures, %d policy trainings (%d pre-trained), train p50 %s, client mean %s\n",
+		len(wl.Allocs), cold.Clusters, cold.SpecHits, Ns(mathx.Quantile(cold.TrainNs, 0.5)), Ns(cold.ClientMeanNs))
 
 	var results []LevelResult
 	for _, c := range opts.Levels {
@@ -266,7 +287,42 @@ func Run(opts Options) (*Result, error) {
 			100*float64(r.Degraded)/float64(max(1, r.Requests)), 100*float64(r.NonOK)/float64(max(1, total)))
 	}
 
-	return &Result{Cold: cold, Levels: results, Report: BuildReport(cold, results)}, nil
+	// The server-side cold-start counters (warm starts, early stops,
+	// speculation) ride along in the report so operators can see transfer
+	// efficacy next to the latency numbers.
+	stats, err := FetchStats(base)
+	if err != nil {
+		return nil, fmt.Errorf("stats: %w", err)
+	}
+	opts.logf("server: %d trainings (%d warm-started, %d early-stopped), speculation %d trained / %d installed / %d hit\n",
+		stats.Cache.Trainings, stats.Cache.WarmStarts, stats.Cache.EarlyStops,
+		stats.Cache.SpeculativeTrainings, stats.Cache.SpeculativeInstalls, stats.Cache.SpeculativeHits)
+
+	parity := 0.0
+	if opts.ParityWorlds > 0 {
+		if parity, err = WorstParity(opts.Seed, opts.ParityWorlds, opts.Scale, opts.Neighborhood, opts.Logf); err != nil {
+			return nil, err
+		}
+		opts.logf("value parity: worst ratio %.4f over %d worlds (collapsed cold-start vs full-budget scratch)\n",
+			parity, opts.ParityWorlds)
+	}
+
+	return &Result{Cold: cold, Levels: results, Report: BuildReport(cold, results, &stats, parity)}, nil
+}
+
+// FetchStats retrieves the server's /v1/stats counters.
+func FetchStats(addr string) (serve.Stats, error) {
+	var st serve.Stats
+	resp, err := http.Get("http://" + addr + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("stats: HTTP %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
 }
 
 // ColdSweep touches every distinct evaluation signature once, sequentially,
@@ -297,6 +353,9 @@ func ColdSweep(addr string, wl *Workload) (*ColdResult, error) {
 			cold.Clusters++
 			cold.TrainNs = append(cold.TrainNs, float64(resp.TrainNanos))
 		}
+		if resp.Cache == serve.CacheSpeculative {
+			cold.SpecHits++
+		}
 	}
 	cold.ClientP50Ns = mathx.Quantile(lats, 0.5)
 	cold.ClientMeanNs = mathx.Mean(lats)
@@ -311,6 +370,7 @@ func ColdSweep(addr string, wl *Workload) (*ColdResult, error) {
 var (
 	needleCacheHit  = []byte(`"cache":"` + serve.CacheHit + `"`)
 	needleCacheWarm = []byte(`"cache":"` + serve.CacheWarm + `"`)
+	needleCacheSpec = []byte(`"cache":"` + serve.CacheSpeculative + `"`)
 	needleDegraded  = []byte(`"mode":"` + serve.ModeDegraded + `"`)
 )
 
@@ -362,7 +422,8 @@ func RunLevel(addr string, wl *Workload, concurrency, requests, feedbackNth int)
 					continue
 				}
 				st.lats = append(st.lats, float64(time.Since(t0).Nanoseconds()))
-				if bytes.Contains(body, needleCacheHit) || bytes.Contains(body, needleCacheWarm) {
+				if bytes.Contains(body, needleCacheHit) || bytes.Contains(body, needleCacheWarm) ||
+					bytes.Contains(body, needleCacheSpec) {
 					st.hits++
 				}
 				if bytes.Contains(body, needleDegraded) {

@@ -3,6 +3,8 @@ package loadgen
 import (
 	"path/filepath"
 	"testing"
+
+	"repro/internal/serve"
 )
 
 func TestParseLevels(t *testing.T) {
@@ -48,9 +50,20 @@ func TestBuildReportAggregation(t *testing.T) {
 		{Concurrency: 8, Requests: 100, Throughput: 4000, P50: 70, P95: 120, P99: 400, HitRate: 0.5,
 			Degraded: 10, NonOK: 25},
 	}
-	rep := BuildReport(cold, levels)
+	stats := serve.Stats{}
+	stats.Cache.WarmStarts = 3
+	stats.Cache.EarlyStops = 2
+	stats.Cache.SpeculativeInstalls = 1
+	stats.Cache.SpeculativeHits = 4
+	rep := BuildReport(cold, levels, &stats, 0.97)
 	if rep.WarmP50Ns != 50 || rep.WarmP95Ns != 80 {
 		t.Fatalf("p50/p95 should be the best level's: %+v", rep)
+	}
+	if rep.WarmStarts != 3 || rep.EarlyStops != 2 || rep.SpeculativeInstalls != 1 || rep.SpeculativeHits != 4 {
+		t.Fatalf("server counters not forwarded: %+v", rep)
+	}
+	if rep.ValueParity != 0.97 || rep.ColdTrainings != 2 {
+		t.Fatalf("parity/cold trainings not recorded: %+v", rep)
 	}
 	if rep.WarmP99Ns != 400 {
 		t.Fatalf("p99 should be the worst level's: %+v", rep)
@@ -152,6 +165,20 @@ func TestGate(t *testing.T) {
 	// A baseline without the metric cannot gate it.
 	if v := Gate(Report{WarmP99Ns: 1e9}, Report{}, 0.25); len(v) != 0 {
 		t.Fatalf("empty baseline gated: %v", v)
+	}
+
+	// Cold-start training p50 is gated once a baseline records it.
+	coldBase := Report{ColdTrainP50Ns: 40e6}
+	if v := Gate(Report{ColdTrainP50Ns: 50e6}, coldBase, 0.25); len(v) != 0 {
+		t.Fatalf("at-the-limit cold p50 should pass: %v", v)
+	}
+	v = Gate(Report{ColdTrainP50Ns: 51e6}, coldBase, 0.25)
+	if len(v) != 1 || v[0].Metric != "serve_cold_train_p50_ns" {
+		t.Fatalf("cold p50 regression not caught: %v", v)
+	}
+	// Pre-PR7 baselines lack the field and must not gate fresh sweeps.
+	if v := Gate(Report{ColdTrainP50Ns: 1e12}, Report{WarmP99Ns: 1000}, 0.25); len(v) != 0 {
+		t.Fatalf("missing cold baseline gated: %v", v)
 	}
 }
 

@@ -1,0 +1,21 @@
+package loadgen
+
+import "testing"
+
+// TestValueParityWithinFivePercent is the transfer-quality acceptance bar:
+// across three seeded worlds, the collapsed cold-start pipeline (neighbour
+// warm-start + early stopping on a fraction of the episode budget) must
+// capture at least 95% of the importance a full-budget scratch training
+// captures on the same evaluation signatures.
+func TestValueParityWithinFivePercent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains full-budget scratch reference policies")
+	}
+	worst, err := WorstParity(1, 3, "fast", 5, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst < 0.95 {
+		t.Fatalf("worst value parity %.4f, want ≥ 0.95", worst)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"runtime"
 
 	"repro/internal/mathx"
+	"repro/internal/serve"
 )
 
 // Report is the flat machine-readable record (the BENCH_PR*.json shape)
@@ -27,21 +28,42 @@ type Report struct {
 	SweptConcurrencies int     `json:"serve_swept_concurrencies"`
 	DegradedRate       float64 `json:"serve_degraded_rate"`
 	NonOKRate          float64 `json:"serve_non2xx_rate"`
+	// Cold-start collapse metrics (PR-7; zero in older baselines, which the
+	// gate therefore skips). ValueParity is the worst captured-importance
+	// ratio of the collapsed cold-start path against full-budget scratch
+	// training across ParityWorlds seeded worlds; the counters are the
+	// server's own transfer telemetry for the sweep.
+	ColdTrainings       int     `json:"serve_cold_trainings,omitempty"`
+	WarmStarts          int64   `json:"serve_warm_starts,omitempty"`
+	EarlyStops          int64   `json:"serve_early_stops,omitempty"`
+	SpeculativeInstalls int64   `json:"serve_speculative_installs,omitempty"`
+	SpeculativeHits     int64   `json:"serve_speculative_hits,omitempty"`
+	ValueParity         float64 `json:"serve_value_parity,omitempty"`
 }
 
 // BuildReport folds the per-level aggregates into the flat record. The
 // per-request samples are gone by now, so the warm quantiles are derived
 // conservatively from the per-level numbers: p99 is the WORST level's p99,
-// p50/p95 the best level's, throughput the max.
-func BuildReport(cold *ColdResult, results []LevelResult) Report {
+// p50/p95 the best level's, throughput the max. stats (may be nil) adds the
+// server's cold-start transfer counters; parity > 0 records the value-parity
+// measurement.
+func BuildReport(cold *ColdResult, results []LevelResult, stats *serve.Stats, parity float64) Report {
 	rep := Report{
 		GoVersion:          runtime.Version(),
 		GOMAXPROCS:         runtime.GOMAXPROCS(0),
 		SweptConcurrencies: len(results),
+		ValueParity:        parity,
 	}
 	if cold != nil {
 		rep.ColdTrainP50Ns = mathx.Quantile(cold.TrainNs, 0.5)
 		rep.ColdClientMeanNs = cold.ClientMeanNs
+		rep.ColdTrainings = cold.Clusters
+	}
+	if stats != nil {
+		rep.WarmStarts = stats.Cache.WarmStarts
+		rep.EarlyStops = stats.Cache.EarlyStops
+		rep.SpeculativeInstalls = stats.Cache.SpeculativeInstalls
+		rep.SpeculativeHits = stats.Cache.SpeculativeHits
 	}
 	var total, hits, degraded, nonOK float64
 	for i, r := range results {

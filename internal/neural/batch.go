@@ -128,10 +128,12 @@ func (n *Network) ForwardBatch(x *mathx.Matrix) (*mathx.Matrix, error) {
 
 // TrainBatch runs one optimizer step on the mini-batch (x, target),
 // minimizing the summed ½‖out − target‖² over rows, with an optional
-// per-element output mask (non-nil mask trains only outputs with
-// mask[r][o] != 0 — how the DQN trains one action's Q-value per transition).
-// It returns the summed masked squared error. A 1-row batch takes exactly
-// the step Train takes.
+// per-element output mask sharing Train's semantics: mask[r][o] == 0
+// disables that output, and fractional masks scale its loss and gradient
+// (prioritized replay's importance-sampling weights; exactly 1 is a bitwise
+// no-op, so plain 0/1 masks — how the DQN trains one action's Q-value per
+// transition — remain a pure gate). It returns the summed masked squared
+// error. A 1-row batch takes exactly the step Train takes.
 func (n *Network) TrainBatch(x, target, mask *mathx.Matrix) (float64, error) {
 	if target.Cols != n.OutputSize() || target.Rows != x.Rows {
 		return 0, fmt.Errorf("train batch: target %dx%d for batch %d, output %d: %w",
@@ -161,9 +163,13 @@ func (n *Network) TrainBatch(x, target, mask *mathx.Matrix) (float64, error) {
 				drow[o] = 0
 				continue
 			}
+			w := 1.0
+			if mrow != nil {
+				w = mrow[o]
+			}
 			diff := v - trow[o]
-			loss += 0.5 * diff * diff
-			drow[o] = diff * lastAct.derivative(v)
+			loss += w * 0.5 * diff * diff
+			drow[o] = w * diff * lastAct.derivative(v)
 		}
 	}
 	// Backpropagate deltas: Δ_l = (Δ_{l+1} · W_{l+1}) ⊙ act'(A_l).

@@ -213,9 +213,13 @@ func (n *Network) Forward(x []float64) ([]float64, error) {
 }
 
 // Train runs one SGD step on (x, target) minimizing ½‖out − target‖², with an
-// optional per-output mask: when mask is non-nil, only outputs with
-// mask[i] != 0 contribute gradient. The mask is how the DQN trains a single
-// action's Q-value per transition. It returns the (masked) squared error.
+// optional per-output mask: when mask is non-nil, output i contributes
+// mask[i]·½(out[i]−target[i])² to the loss, so mask[i] == 0 disables the
+// output and fractional masks scale its gradient — the importance-sampling
+// weights of prioritized replay ride through here. A mask of exactly 1 is a
+// bitwise no-op, so plain 0/1 masks (how the DQN trains a single action's
+// Q-value per transition) behave as a pure gate. It returns the (masked)
+// squared error.
 func (n *Network) Train(x, target, mask []float64) (float64, error) {
 	if len(target) != n.OutputSize() {
 		return 0, fmt.Errorf("train: got %d targets, want %d: %w",
@@ -237,8 +241,12 @@ func (n *Network) Train(x, target, mask []float64) (float64, error) {
 			n.deltas[last][o] = 0
 			continue
 		}
-		loss += 0.5 * diff * diff
-		n.deltas[last][o] = diff * n.layers[last].act.derivative(out[o])
+		w := 1.0
+		if mask != nil {
+			w = mask[o]
+		}
+		loss += w * 0.5 * diff * diff
+		n.deltas[last][o] = w * diff * n.layers[last].act.derivative(out[o])
 	}
 	// Backpropagate deltas.
 	for li := last - 1; li >= 0; li-- {
@@ -327,6 +335,35 @@ func (n *Network) CopyWeightsFrom(src *Network) error {
 		copy(l.weights, sl.weights)
 		copy(l.bias, sl.bias)
 	}
+	return nil
+}
+
+// CopyStateFrom overwrites n's parameters AND optimizer state (momentum /
+// Adam moment buffers and the Adam step counter) with src's. Both networks
+// must share a topology. This is the transfer-learning warm start: unlike
+// Clone/CopyWeightsFrom, a network seeded this way resumes optimization
+// exactly where the source left off instead of restarting momentum and Adam
+// bias correction from zero.
+func (n *Network) CopyStateFrom(src *Network) error {
+	if err := n.CopyWeightsFrom(src); err != nil {
+		return fmt.Errorf("copy state: %w", err)
+	}
+	for i, l := range n.layers {
+		sl := src.layers[i]
+		copy(l.vWeights, sl.vWeights)
+		copy(l.vBias, sl.vBias)
+		if sl.mWeights == nil {
+			l.mWeights, l.mBias = nil, nil
+			continue
+		}
+		if l.mWeights == nil {
+			l.mWeights = make([]float64, len(l.weights))
+			l.mBias = make([]float64, len(l.bias))
+		}
+		copy(l.mWeights, sl.mWeights)
+		copy(l.mBias, sl.mBias)
+	}
+	n.adamStep = src.adamStep
 	return nil
 }
 

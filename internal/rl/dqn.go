@@ -2,6 +2,7 @@ package rl
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/mathx"
@@ -32,6 +33,22 @@ type DQNConfig struct {
 	// reducing the max-operator's overestimation bias. Off by default — the
 	// paper uses plain deep Q-learning.
 	DoubleDQN bool
+	// PrioritizedReplay samples replay transitions with probability
+	// proportional to |TD error|^PriorityAlpha instead of uniformly, with
+	// importance-sampling weight correction (Schaul et al.) — cold policies
+	// re-learn their surprising transitions first and converge in fewer
+	// episodes. Off by default.
+	PrioritizedReplay bool
+	// PriorityAlpha is the prioritization exponent. 0 keeps sampling exactly
+	// uniform (same RNG stream, unit weights — the A/B-equivalence knob);
+	// typical transfer settings use 0.6. Only read when PrioritizedReplay.
+	PriorityAlpha float64
+	// PriorityBeta is the importance-sampling correction exponent (default
+	// 0.4 when PrioritizedReplay).
+	PriorityBeta float64
+	// PriorityEps is added to |TD error| so no transition starves
+	// (default 1e-3).
+	PriorityEps float64
 	// Seed drives all agent randomness.
 	Seed int64
 }
@@ -61,6 +78,14 @@ func (c DQNConfig) withDefaults() DQNConfig {
 	if c.WarmupSteps < 1 {
 		c.WarmupSteps = 100
 	}
+	if c.PrioritizedReplay {
+		if c.PriorityBeta <= 0 {
+			c.PriorityBeta = 0.4
+		}
+		if c.PriorityEps <= 0 {
+			c.PriorityEps = 1e-3
+		}
+	}
 	return c
 }
 
@@ -77,16 +102,27 @@ type DQN struct {
 	replay *ReplayBuffer
 	rng    *rand.Rand
 	steps  int
+	// warmup is the replay fill level learning waits for: cfg.WarmupSteps
+	// normally, lowered to one mini-batch by CloneFrom (a warm-started agent
+	// starts competent, so it fine-tunes as soon as a batch of fresh
+	// experience exists instead of idling through a full exploration warmup).
+	warmup int
 
 	// Reusable mini-batch scratch: sampled transitions plus the state,
 	// next-state, target and mask matrices handed to the batched network
 	// kernels. Sized once from cfg.BatchSize, so steady-state Observe calls
-	// allocate nothing.
+	// allocate nothing. slots/weights/qNext serve the prioritized path:
+	// sampled buffer slots (for priority write-back), importance-sampling
+	// weights (fed through the mask, which TrainBatch treats as a per-output
+	// weight) and per-row bootstrap values.
 	batchTr []Transition
 	states  *mathx.Matrix
 	nexts   *mathx.Matrix
 	targets *mathx.Matrix
 	mask    *mathx.Matrix
+	slots   []int
+	weights []float64
+	qNext   []float64
 }
 
 // NewDQN builds an agent for an environment with the given state/action
@@ -114,9 +150,18 @@ func NewDQN(stateSize, actionSize int, cfg DQNConfig) (*DQN, error) {
 		cfg:    cfg,
 		online: online,
 		target: target,
-		replay: NewReplayBuffer(cfg.ReplayCapacity),
+		replay: newReplayFor(cfg),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		warmup: cfg.WarmupSteps,
 	}, nil
+}
+
+// newReplayFor builds the replay buffer matching cfg's sampling mode.
+func newReplayFor(cfg DQNConfig) *ReplayBuffer {
+	if cfg.PrioritizedReplay {
+		return NewPrioritizedReplayBuffer(cfg.ReplayCapacity, cfg.PriorityAlpha)
+	}
+	return NewReplayBuffer(cfg.ReplayCapacity)
 }
 
 // QValues returns the online network's Q estimates for state s.
@@ -201,6 +246,9 @@ func (d *DQN) ensureBatch() {
 	d.nexts = mathx.NewMatrix(b, d.online.InputSize())
 	d.targets = mathx.NewMatrix(b, d.online.OutputSize())
 	d.mask = mathx.NewMatrix(b, d.online.OutputSize())
+	d.slots = make([]int, b)
+	d.weights = make([]float64, b)
+	d.qNext = make([]float64, b)
 }
 
 // Observe records a transition and performs one learning step. It implements
@@ -211,11 +259,18 @@ func (d *DQN) ensureBatch() {
 func (d *DQN) Observe(t Transition) error {
 	d.replay.Add(t)
 	d.steps++
-	if d.replay.Len() < d.cfg.WarmupSteps {
+	if d.replay.Len() < d.warmup {
 		return nil
 	}
 	d.ensureBatch()
-	d.replay.SampleInto(d.rng, d.batchTr)
+	prio := d.replay.Prioritized()
+	if d.cfg.PrioritizedReplay {
+		// With alpha <= 0 this is the exact uniform path (same RNG stream,
+		// unit weights), keeping seeded runs bitwise-comparable.
+		d.replay.SamplePrioritizedInto(d.rng, d.batchTr, d.slots, d.weights, d.cfg.PriorityBeta)
+	} else {
+		d.replay.SampleInto(d.rng, d.batchTr)
+	}
 	stateSize := d.online.InputSize()
 	for i, tr := range d.batchTr {
 		srow := d.states.Row(i)
@@ -253,25 +308,49 @@ func (d *DQN) Observe(t Transition) error {
 			return fmt.Errorf("dqn online forward: %w", err)
 		}
 	}
+	// Bootstrap values must be gathered before any further online forward:
+	// a later ForwardBatch would overwrite oq's scratch rows.
 	for i, tr := range d.batchTr {
-		qNext := 0.0
-		if !tr.Done {
-			if oq != nil {
-				if a, err := argmaxOver(oq.Row(i), tr.NextValid); err == nil {
-					qNext = tq.Row(i)[a]
-				}
-			} else {
-				qNext = maxOver(tq.Row(i), tr.NextValid)
-			}
+		d.qNext[i] = 0
+		if tr.Done {
+			continue
 		}
-		y := tr.Reward + d.cfg.Gamma*qNext
-		// Train only the taken action's output.
+		if oq != nil {
+			if a, err := argmaxOver(oq.Row(i), tr.NextValid); err == nil {
+				d.qNext[i] = tq.Row(i)[a]
+			}
+		} else {
+			d.qNext[i] = maxOver(tq.Row(i), tr.NextValid)
+		}
+	}
+	// Prioritized replay needs the pre-update Q(s,a) to refresh each sampled
+	// slot's TD-error priority. This extra forward is deterministic and
+	// RNG-free, so it does not perturb the uniform-equivalence invariant.
+	var sq *mathx.Matrix
+	if prio {
+		if sq, err = d.online.ForwardBatch(d.states); err != nil {
+			return fmt.Errorf("dqn priority forward: %w", err)
+		}
+	}
+	for i, tr := range d.batchTr {
+		y := tr.Reward + d.cfg.Gamma*d.qNext[i]
+		// Train only the taken action's output; under prioritized replay the
+		// mask carries the sample's importance weight (1 elsewhere means the
+		// plain gate semantics are unchanged).
 		trow, mrow := d.targets.Row(i), d.mask.Row(i)
 		for k := range trow {
 			trow[k], mrow[k] = 0, 0
 		}
 		trow[tr.Action] = y
-		mrow[tr.Action] = 1
+		if d.cfg.PrioritizedReplay {
+			mrow[tr.Action] = d.weights[i]
+		} else {
+			mrow[tr.Action] = 1
+		}
+		if prio {
+			td := y - sq.Row(i)[tr.Action]
+			d.replay.UpdatePriority(d.slots[i], math.Abs(td)+d.cfg.PriorityEps)
+		}
 	}
 	if _, err := d.online.TrainBatch(d.states, d.targets, d.mask); err != nil {
 		return fmt.Errorf("dqn train: %w", err)
@@ -305,11 +384,47 @@ func (d *DQN) Clone() (*DQN, error) {
 		cfg:    d.cfg,
 		online: online,
 		target: target,
-		replay: NewReplayBuffer(d.cfg.ReplayCapacity),
+		replay: newReplayFor(d.cfg),
 		rng:    rand.New(rand.NewSource(d.cfg.Seed)),
 		steps:  d.steps,
+		warmup: d.warmup,
 	}, nil
 }
+
+// CloneFrom warm-starts d from an already-trained source agent: the online
+// and target networks' parameters AND optimizer state are copied (not
+// reinitialized), and the step counter is inherited so the ε-schedule and
+// target-sync cadence resume where the donor left off — a transferred agent
+// explores less and fine-tunes instead of relearning from scratch. d keeps
+// its own replay buffer and RNG; the learning warmup drops to one mini-batch
+// so short fine-tuning budgets actually take gradient steps instead of
+// spending their whole run refilling an exploration warmup the donor already
+// paid for. Both agents must share a network topology.
+func (d *DQN) CloneFrom(src *DQN) error {
+	if src == nil {
+		return fmt.Errorf("dqn clone from: nil source")
+	}
+	if err := d.online.CopyStateFrom(src.online); err != nil {
+		return fmt.Errorf("dqn clone from online: %w", err)
+	}
+	if err := d.target.CopyStateFrom(src.target); err != nil {
+		return fmt.Errorf("dqn clone from target: %w", err)
+	}
+	d.steps = src.steps
+	d.warmup = d.cfg.BatchSize
+	return nil
+}
+
+// Stop reasons reported in TrainResult.StopReason.
+const (
+	// StopBudget: the full episode budget was spent.
+	StopBudget = "budget"
+	// StopPlateau: episode returns plateaued and training early-stopped.
+	StopPlateau = "plateau"
+	// StopInterrupted: a cooperative interrupt (e.g. foreground demand
+	// training preempting a speculative run) ended training early.
+	StopInterrupted = "interrupted"
+)
 
 // TrainResult summarizes a training run.
 type TrainResult struct {
@@ -319,6 +434,9 @@ type TrainResult struct {
 	RewardsPerEp   []float64
 	TotalSteps     int
 	GreedyEpisodes int
+	// StopReason records why training ended: StopBudget, StopPlateau or
+	// StopInterrupted. Empty in results from agents that predate the field.
+	StopReason string
 }
 
 // Train runs the agent on env for the given number of episodes, learning
@@ -331,7 +449,7 @@ func (d *DQN) Train(env Environment, episodes, maxSteps int) (*TrainResult, erro
 	if maxSteps <= 0 {
 		maxSteps = env.StateSize()*env.StateSize() + 1
 	}
-	res := &TrainResult{Episodes: episodes}
+	res := &TrainResult{Episodes: episodes, StopReason: StopBudget}
 	for ep := 0; ep < episodes; ep++ {
 		state := env.Reset()
 		var total float64

@@ -8,6 +8,7 @@ package rl
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -48,11 +49,21 @@ type Transition struct {
 	Done      bool
 }
 
-// ReplayBuffer is a bounded FIFO of transitions with uniform sampling.
+// ReplayBuffer is a bounded FIFO of transitions with uniform sampling, and —
+// when built with NewPrioritizedReplayBuffer — TD-error-proportional
+// prioritized sampling (Schaul et al.) over a sum tree.
 type ReplayBuffer struct {
 	buf  []Transition
 	next int
 	full bool
+
+	// Prioritized-sampling state; tree is nil for plain uniform buffers.
+	// tree is an iterative segment tree: leaves at [cap, 2·cap) hold each
+	// slot's priority^alpha, internal node i sums children 2i and 2i+1, so
+	// updates and proportional descent are O(log cap) with no allocation.
+	alpha   float64
+	tree    []float64
+	maxPrio float64 // largest stored priority^alpha; seeds new entries
 }
 
 // NewReplayBuffer creates a buffer holding up to capacity transitions.
@@ -64,14 +75,117 @@ func NewReplayBuffer(capacity int) *ReplayBuffer {
 	return &ReplayBuffer{buf: make([]Transition, capacity)}
 }
 
-// Add appends a transition, evicting the oldest when full.
+// NewPrioritizedReplayBuffer creates a buffer whose SamplePrioritizedInto
+// draws transitions with probability ∝ priority^alpha. alpha ≤ 0 degenerates
+// to the plain uniform sampler: sampling then consumes the RNG exactly like
+// SampleInto and every importance weight is exactly 1, so a seeded run is
+// bitwise-identical to a uniform buffer — the equivalence tests pin this.
+func NewPrioritizedReplayBuffer(capacity int, alpha float64) *ReplayBuffer {
+	r := NewReplayBuffer(capacity)
+	if alpha <= 0 {
+		return r
+	}
+	r.alpha = alpha
+	r.tree = make([]float64, 2*len(r.buf))
+	r.maxPrio = 1
+	return r
+}
+
+// Prioritized reports whether the buffer samples by priority.
+func (r *ReplayBuffer) Prioritized() bool { return r.tree != nil }
+
+// Add appends a transition, evicting the oldest when full. In a prioritized
+// buffer the new entry gets the largest priority seen so far, guaranteeing
+// every transition is replayed at least once before its priority decays.
 func (r *ReplayBuffer) Add(t Transition) {
-	r.buf[r.next] = t
+	slot := r.next
+	r.buf[slot] = t
 	r.next++
 	if r.next == len(r.buf) {
 		r.next = 0
 		r.full = true
 	}
+	if r.tree != nil {
+		r.setLeaf(slot, r.maxPrio)
+	}
+}
+
+// setLeaf writes an already-exponentiated priority into the tree.
+func (r *ReplayBuffer) setLeaf(slot int, p float64) {
+	i := slot + len(r.buf)
+	r.tree[i] = p
+	for i >>= 1; i >= 1; i >>= 1 {
+		r.tree[i] = r.tree[2*i] + r.tree[2*i+1]
+	}
+}
+
+// UpdatePriority sets slot's raw priority (|TD error| + ε by convention);
+// the stored mass is priority^alpha. No-op on uniform buffers.
+func (r *ReplayBuffer) UpdatePriority(slot int, priority float64) {
+	if r.tree == nil || slot < 0 || slot >= len(r.buf) {
+		return
+	}
+	if priority <= 0 {
+		priority = 1e-12 // keep every slot reachable
+	}
+	p := math.Pow(priority, r.alpha)
+	if p > r.maxPrio {
+		r.maxPrio = p
+	}
+	r.setLeaf(slot, p)
+}
+
+// SamplePrioritizedInto fills dst with priority-proportional samples (with
+// replacement), recording each sample's buffer slot in slots and its
+// max-normalized importance-sampling weight (N·P(i))^−β / max_j w_j in
+// weights. Like SampleInto it allocates nothing and reports how many entries
+// were filled. On a uniform buffer (or alpha ≤ 0) it falls back to the exact
+// uniform path: same rng.Intn consumption, weights all exactly 1.
+func (r *ReplayBuffer) SamplePrioritizedInto(rng *rand.Rand, dst []Transition,
+	slots []int, weights []float64, beta float64) int {
+	sz := r.Len()
+	if sz == 0 {
+		return 0
+	}
+	if r.tree == nil || r.tree[1] <= 0 {
+		for i := range dst {
+			j := rng.Intn(sz)
+			dst[i] = r.buf[j]
+			slots[i] = j
+			weights[i] = 1
+		}
+		return len(dst)
+	}
+	n := len(r.buf)
+	total := r.tree[1]
+	maxW := 0.0
+	for i := range dst {
+		v := rng.Float64() * total
+		j := 1
+		for j < n {
+			if left := r.tree[2*j]; v < left {
+				j = 2 * j
+			} else {
+				v -= left
+				j = 2*j + 1
+			}
+		}
+		slot := j - n
+		dst[i] = r.buf[slot]
+		slots[i] = slot
+		prob := r.tree[j] / total
+		w := math.Pow(float64(sz)*prob, -beta)
+		weights[i] = w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW > 0 {
+		for i := range weights[:len(dst)] {
+			weights[i] /= maxW
+		}
+	}
+	return len(dst)
 }
 
 // Len returns the number of stored transitions.

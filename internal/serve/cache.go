@@ -30,10 +30,28 @@ const (
 	// CacheWarm served from a checkpoint-restored policy that has not been
 	// retrained in this process.
 	CacheWarm = "warm"
+	// CacheSpeculative served from a policy the background pre-trainer built
+	// before any request asked for it. The first such hit promotes the entry
+	// (full TTL from promotion time); the outcome keeps reporting the
+	// speculative provenance so operators can see transfer efficacy.
+	CacheSpeculative = "speculative"
 	// CacheBypass marks a degraded answer that never consulted a policy:
 	// the fallback allocator computed it directly from the store.
 	CacheBypass = "bypass"
 )
+
+// Training provenance of a resolved cache entry. TTL and drift treat
+// provenances differently: an unpromoted speculative policy lives on half
+// the TTL and half the drift tolerance until real traffic confirms it.
+const (
+	provDemand      = iota // trained because a request needed it
+	provCheckpoint         // restored from a checkpoint, not trained here
+	provSpeculative        // pre-trained on idle gate capacity
+)
+
+// specFraction discounts the TTL and drift tolerance of speculative policies
+// that no request has confirmed yet.
+const specFraction = 0.5
 
 // Circuit-breaker states (CacheStats.Breakers keys, test assertions).
 const (
@@ -60,12 +78,18 @@ type policyEntry struct {
 	crl   *core.CRL
 	imp   []float64 // train-time importance snapshot (drift baseline)
 	err   error
-	// trainedAt and warm describe provenance: warm entries were restored
-	// from a checkpoint rather than trained in this process.
+	// trainedAt and prov describe provenance: provCheckpoint entries were
+	// restored rather than trained in this process, provSpeculative ones
+	// were pre-trained before any request asked.
 	trainedAt time.Time
-	warm      bool
+	prov      int
 	resolved  bool // guarded by the shard mutex
 	trainDur  time.Duration
+
+	// promotedAt is the UnixNano time real traffic first hit a speculative
+	// entry (0 = unpromoted). Promotion grants the full TTL measured from
+	// that moment; atomic so checkpointing never races the serving path.
+	promotedAt atomic.Int64
 
 	stale atomic.Bool // set by drift detection; next get retrains
 
@@ -152,8 +176,12 @@ type policyCache struct {
 	batchAfter func(d time.Duration, f func())
 
 	gate    chan struct{} // training-concurrency semaphore
-	pending atomic.Int64  // trainings running or queued on the gate
+	pending atomic.Int64  // demand trainings running or queued on the gate
 	maxWait int64         // pending ceiling (gate capacity + queue)
+
+	// onTrained, when non-nil, runs (in its own goroutine) after every
+	// successful demand training — the speculative pre-trainer's trigger.
+	onTrained func(cluster int)
 
 	shards []*cacheShard
 	mask   int
@@ -174,6 +202,11 @@ type policyCache struct {
 	batchedReqs              atomic.Int64 // requests served via coalesced batches
 	soloReqs                 atomic.Int64 // requests served on the batch-1 fast path
 	batchPanics              atomic.Int64 // batch rollouts that panicked
+	warmStarts               atomic.Int64 // trainings seeded from a neighbour policy
+	earlyStops               atomic.Int64 // trainings that stopped on a return plateau
+	specTrainings            atomic.Int64 // speculative pre-trainings completed
+	specInstalls             atomic.Int64 // speculative policies installed
+	specHits                 atomic.Int64 // requests served by a speculative policy
 }
 
 // shardCount returns the largest power of two ≤ min(want, capacity), so a
@@ -296,7 +329,7 @@ func (c *policyCache) get(ctx context.Context, key int) (*policyEntry, string, e
 		case e.err != nil:
 			// A failed training left a tombstone; retrain below.
 			sh.removeLocked(e)
-		case c.ttl > 0 && c.now().Sub(e.trainedAt) > c.ttl:
+		case c.expiredLocked(e):
 			outcome = CacheExpired
 			c.expired.Add(1)
 			sh.removeLocked(e)
@@ -306,17 +339,45 @@ func (c *policyCache) get(ctx context.Context, key int) (*policyEntry, string, e
 			sh.removeLocked(e)
 		default:
 			sh.lru.MoveToFront(e.elem)
+			switch e.prov {
+			case provCheckpoint:
+				outcome = CacheWarm
+			case provSpeculative:
+				outcome = CacheSpeculative
+				c.specHits.Add(1)
+				// First real-traffic hit promotes the entry: the policy is
+				// demand-confirmed, so it earns the full TTL from now.
+				if e.promotedAt.Load() == 0 {
+					e.promotedAt.Store(c.now().UnixNano())
+				}
+			}
 			sh.mu.Unlock()
 			c.hits.Add(1)
-			if e.warm {
-				outcome = CacheWarm
-			}
 			return e, outcome, nil
 		}
 		return sh.startTrainingLocked(ctx, key, outcome)
 	}
 	c.misses.Add(1)
 	return sh.startTrainingLocked(ctx, key, CacheMiss)
+}
+
+// expiredLocked applies the provenance-aware TTL: demand and checkpoint
+// entries age from trainedAt over the full TTL; an unpromoted speculative
+// entry gets only specFraction of it, and a promoted one ages from its
+// promotion time — "refreshed by real traffic" resets the clock.
+func (c *policyCache) expiredLocked(e *policyEntry) bool {
+	if c.ttl <= 0 {
+		return false
+	}
+	ttl, ref := c.ttl, e.trainedAt
+	if e.prov == provSpeculative {
+		if p := e.promotedAt.Load(); p != 0 {
+			ref = time.Unix(0, p)
+		} else {
+			ttl = time.Duration(float64(ttl) * specFraction)
+		}
+	}
+	return c.now().Sub(ref) > ttl
 }
 
 // startTrainingLocked launches the background training for a cold/expired/
@@ -398,6 +459,11 @@ func (sh *cacheShard) runTraining(e *policyEntry) {
 	}
 	sh.mu.Unlock()
 	close(e.ready)
+	if err == nil && c.onTrained != nil {
+		// The hot cluster just trained; let the pre-trainer predict and warm
+		// its neighbours off the request path.
+		go c.onTrained(e.key)
+	}
 }
 
 // safeTrain invokes the train function, converting a panic into an error so
@@ -532,8 +598,10 @@ func (c *policyCache) wait(ctx context.Context, e *policyEntry, outcome string) 
 }
 
 // install publishes a checkpoint-restored policy without training. It
-// overwrites any resident entry for the cluster.
-func (c *policyCache) install(key int, crl *core.CRL, imp []float64, trainedAt time.Time) {
+// overwrites any resident entry for the cluster. prov distinguishes plain
+// restored entries (provCheckpoint) from restored speculative ones that were
+// never demand-confirmed (provSpeculative keeps the discounted TTL/drift).
+func (c *policyCache) install(key int, crl *core.CRL, imp []float64, trainedAt time.Time, prov int) {
 	e := &policyEntry{
 		key:       key,
 		ready:     make(chan struct{}),
@@ -541,7 +609,7 @@ func (c *policyCache) install(key int, crl *core.CRL, imp []float64, trainedAt t
 		crl:       crl,
 		imp:       imp,
 		trainedAt: trainedAt,
-		warm:      true,
+		prov:      prov,
 		resolved:  true,
 	}
 	e.co = newCoalescer(c, e)
@@ -558,9 +626,48 @@ func (c *policyCache) install(key int, crl *core.CRL, imp []float64, trainedAt t
 	c.warmRestores.Add(1)
 }
 
+// installSpeculative publishes a speculatively pre-trained policy. Unlike
+// install it NEVER displaces a resident entry — if a demand training raced
+// past the pre-trainer (resolved or in flight), the speculative result is
+// dropped. The entry joins at the LRU back so it is also the shard's first
+// eviction candidate; a full shard simply refuses it. Reports whether the
+// policy was installed.
+func (c *policyCache) installSpeculative(key int, crl *core.CRL, imp []float64) bool {
+	e := &policyEntry{
+		key:       key,
+		ready:     make(chan struct{}),
+		replicas:  make(chan *core.CRL, c.replicas),
+		crl:       crl,
+		imp:       imp,
+		trainedAt: c.now(),
+		prov:      provSpeculative,
+		resolved:  true,
+	}
+	e.co = newCoalescer(c, e)
+	close(e.ready)
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if _, ok := sh.entries[key]; ok {
+		sh.mu.Unlock()
+		return false
+	}
+	if len(sh.entries) >= sh.capacity {
+		sh.mu.Unlock()
+		return false // never evict demand entries for a speculation
+	}
+	e.elem = sh.lru.PushBack(e)
+	sh.entries[key] = e
+	sh.mu.Unlock()
+	c.specInstalls.Add(1)
+	return true
+}
+
 // noteImportance feeds an observed importance vector for a cluster into
 // drift detection, returning true when it invalidated the resident policy.
-// The distance is relative L2: ‖obs − trained‖ / (‖trained‖ + ε).
+// The distance is relative L2: ‖obs − trained‖ / (‖trained‖ + ε). Unpromoted
+// speculative policies tolerate only specFraction of the threshold: their
+// train-time importance was a neighbour's guess, so weaker evidence of
+// mismatch should already retrain them.
 func (c *policyCache) noteImportance(key int, observed []float64) bool {
 	if c.drift < 0 {
 		return false
@@ -576,13 +683,17 @@ func (c *policyCache) noteImportance(key int, observed []float64) bool {
 	if len(e.imp) == 0 || len(observed) != len(e.imp) {
 		return false
 	}
+	threshold := c.drift
+	if e.prov == provSpeculative && e.promotedAt.Load() == 0 {
+		threshold *= specFraction
+	}
 	var dd, base float64
 	for i, v := range e.imp {
 		d := observed[i] - v
 		dd += d * d
 		base += v * v
 	}
-	if math.Sqrt(dd)/(math.Sqrt(base)+1e-9) > c.drift {
+	if math.Sqrt(dd)/(math.Sqrt(base)+1e-9) > threshold {
 		return !e.stale.Swap(true)
 	}
 	return false
@@ -635,6 +746,16 @@ type CacheStats struct {
 	BatchedRequests int64 `json:"batched_requests"`
 	SoloRequests    int64 `json:"solo_requests"`
 	BatchPanics     int64 `json:"batch_panics"`
+	// Cold-start transfer counters: WarmStarts counts trainings seeded from
+	// the nearest already-trained neighbour, EarlyStops trainings that
+	// converged before their episode budget, SpeculativeTrainings/Installs
+	// the background pre-trainer's completed runs and installed policies,
+	// and SpeculativeHits requests answered by a pre-trained policy.
+	WarmStarts           int64 `json:"warm_starts"`
+	EarlyStops           int64 `json:"early_stops"`
+	SpeculativeTrainings int64 `json:"speculative_trainings"`
+	SpeculativeInstalls  int64 `json:"speculative_installs"`
+	SpeculativeHits      int64 `json:"speculative_hits"`
 }
 
 func (c *policyCache) stats() CacheStats {
@@ -650,30 +771,35 @@ func (c *policyCache) stats() CacheStats {
 		sh.mu.Unlock()
 	}
 	return CacheStats{
-		Size:               size,
-		Capacity:           c.capacity,
-		Shards:             len(c.shards),
-		Hits:               c.hits.Load(),
-		Misses:             c.misses.Load(),
-		Coalesced:          c.coalesced.Load(),
-		Expired:            c.expired.Load(),
-		DriftInvalidations: c.driftRetrains.Load(),
-		Evictions:          c.evictions.Load(),
-		Trainings:          c.trainings.Load(),
-		TrainNanosTotal:    c.trainNanos.Load(),
-		WarmRestores:       c.warmRestores.Load(),
-		TrainFailures:      c.trainFailures.Load(),
-		TrainPanics:        c.trainPanics.Load(),
-		TrainPending:       c.pending.Load(),
-		BreakersOpen:       open,
-		BreakerOpens:       c.breakerOpens.Load(),
-		BreakerProbes:      c.breakerProbes.Load(),
-		BreakerRejects:     c.breakerRejects.Load(),
-		Saturations:        c.saturations.Load(),
-		BudgetMisses:       c.budgetMisses.Load(),
-		BatchRuns:          c.batchRuns.Load(),
-		BatchedRequests:    c.batchedReqs.Load(),
-		SoloRequests:       c.soloReqs.Load(),
-		BatchPanics:        c.batchPanics.Load(),
+		Size:                 size,
+		Capacity:             c.capacity,
+		Shards:               len(c.shards),
+		Hits:                 c.hits.Load(),
+		Misses:               c.misses.Load(),
+		Coalesced:            c.coalesced.Load(),
+		Expired:              c.expired.Load(),
+		DriftInvalidations:   c.driftRetrains.Load(),
+		Evictions:            c.evictions.Load(),
+		Trainings:            c.trainings.Load(),
+		TrainNanosTotal:      c.trainNanos.Load(),
+		WarmRestores:         c.warmRestores.Load(),
+		TrainFailures:        c.trainFailures.Load(),
+		TrainPanics:          c.trainPanics.Load(),
+		TrainPending:         c.pending.Load(),
+		BreakersOpen:         open,
+		BreakerOpens:         c.breakerOpens.Load(),
+		BreakerProbes:        c.breakerProbes.Load(),
+		BreakerRejects:       c.breakerRejects.Load(),
+		Saturations:          c.saturations.Load(),
+		BudgetMisses:         c.budgetMisses.Load(),
+		BatchRuns:            c.batchRuns.Load(),
+		BatchedRequests:      c.batchedReqs.Load(),
+		SoloRequests:         c.soloReqs.Load(),
+		BatchPanics:          c.batchPanics.Load(),
+		WarmStarts:           c.warmStarts.Load(),
+		EarlyStops:           c.earlyStops.Load(),
+		SpeculativeTrainings: c.specTrainings.Load(),
+		SpeculativeInstalls:  c.specInstalls.Load(),
+		SpeculativeHits:      c.specHits.Load(),
 	}
 }

@@ -52,11 +52,20 @@ type checkpoint struct {
 }
 
 type checkpointEntry struct {
-	Cluster    int             `json:"cluster"`
-	TrainedAt  time.Time       `json:"trained_at"`
-	Importance []float64       `json:"importance"`
+	Cluster    int       `json:"cluster"`
+	TrainedAt  time.Time `json:"trained_at"`
+	Importance []float64 `json:"importance"`
+	// Provenance is "speculative" for pre-trained policies no request has
+	// confirmed yet — they restore with the same discounted TTL/drift budget
+	// they had in the saving process. Absent (pre-PR7 checkpoints included)
+	// means demand-confirmed; such entries restore as plain warm policies.
+	Provenance string          `json:"provenance,omitempty"`
 	Policy     json.RawMessage `json:"policy"`
 }
+
+// provSpeculativeName is checkpointEntry.Provenance's wire value for
+// unpromoted speculative entries.
+const provSpeculativeName = "speculative"
 
 // writeSection frames one JSON payload.
 func writeSection(w io.Writer, v any) error {
@@ -118,6 +127,15 @@ func (s *Server) SaveCheckpoint(w io.Writer) error {
 			TrainedAt:  e.trainedAt,
 			Importance: e.imp,
 			Policy:     policy,
+		}
+		if e.prov == provSpeculative {
+			if p := e.promotedAt.Load(); p != 0 {
+				// Promoted by real traffic: persists as a demand-confirmed
+				// policy whose TTL clock started at promotion.
+				entry.TrainedAt = time.Unix(0, p)
+			} else {
+				entry.Provenance = provSpeculativeName
+			}
 		}
 		if err := writeSection(w, entry); err != nil {
 			return fmt.Errorf("serve: checkpoint cluster %d: %w", e.key, err)
@@ -225,7 +243,11 @@ func (s *Server) restoreEntry(e checkpointEntry) bool {
 		s.skipCheckpointSection(fmt.Sprintf("cluster %d policy", e.Cluster), err)
 		return false
 	}
-	s.cache.install(e.Cluster, crl, e.Importance, e.TrainedAt)
+	prov := provCheckpoint
+	if e.Provenance == provSpeculativeName {
+		prov = provSpeculative
+	}
+	s.cache.install(e.Cluster, crl, e.Importance, e.TrainedAt, prov)
 	return true
 }
 

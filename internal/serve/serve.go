@@ -75,8 +75,28 @@ type Config struct {
 	// the policy generalizes over (default 5).
 	ClusterNeighborhood int
 	// CRL is the per-cluster training configuration (episode budget, kNN
-	// blending, DQN shape). Zero values fall back to core defaults.
+	// blending, DQN shape). Zero values fall back to core defaults; a zero
+	// StopWindow additionally enables serve's convergence-based early
+	// stopping (window 3, floor 6 episodes — set StopWindow < 0 to burn the
+	// full budget unconditionally).
 	CRL core.CRLConfig
+	// DisableWarmStart turns off neighbour warm-start: by default a cold
+	// cluster's training seeds its DQN from the nearest already-trained
+	// resident policy (signature distance) and fine-tunes on a reduced
+	// episode budget instead of training from scratch.
+	DisableWarmStart bool
+	// WarmEpisodeFrac scales the episode budget of warm-started trainings
+	// (default 1/4, at least one episode). The transferred policy only
+	// needs fine-tuning, not a full from-scratch run.
+	WarmEpisodeFrac float64
+	// SpeculateNeighbors enables the background pre-trainer: after every
+	// successful demand training, up to this many nearest untrained
+	// neighbour clusters are trained speculatively on idle training-gate
+	// capacity, strictly subordinate to demand trainings (a speculative run
+	// only starts when the gate has a free slot and nothing demand-side is
+	// pending, and yields between episodes as soon as demand arrives).
+	// 0 (the default) disables speculation.
+	SpeculateNeighbors int
 	// CacheCapacity bounds resident cluster policies; least-recently-used
 	// entries are evicted beyond it (default 64).
 	CacheCapacity int
@@ -161,6 +181,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheCapacity < 1 {
 		c.CacheCapacity = 64
+	}
+	if c.WarmEpisodeFrac <= 0 || c.WarmEpisodeFrac > 1 {
+		c.WarmEpisodeFrac = 1.0 / 4
 	}
 	if c.DriftThreshold == 0 {
 		c.DriftThreshold = 0.35

@@ -13,6 +13,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/core"
 	"repro/internal/mathx"
+	"repro/internal/rl"
 )
 
 // latencyWindow bounds the ring of recent allocate latencies kept for
@@ -83,6 +84,9 @@ func NewServer(template *core.Problem, store *core.EnvironmentStore, local *allo
 		lat:      make([]int64, latencyWindow),
 	}
 	s.cache = newPolicyCache(cfg, s.trainCluster)
+	if cfg.SpeculateNeighbors > 0 {
+		s.cache.onTrained = s.speculate
+	}
 	s.wsPool.New = func() any {
 		return &allocWS{waiter: batchWaiter{sig: make(chan batchSignal, 1)}}
 	}
@@ -126,18 +130,15 @@ func (s *Server) clusterStore(cluster int) (*core.EnvironmentStore, error) {
 	return sub, nil
 }
 
-// trainCluster is the cache's trainFunc: train a CRL over the cluster's
-// neighborhood sub-store. Seeding is deterministic per cluster so identical
-// deployments cache identical policies.
-func (s *Server) trainCluster(cluster int) (*core.CRL, []float64, error) {
-	rep, err := s.store.At(cluster)
-	if err != nil {
-		return nil, nil, err
-	}
-	sub, err := s.clusterStore(cluster)
-	if err != nil {
-		return nil, nil, err
-	}
+// defaultStopWindow is serve's convergence-based early-stop window when the
+// operator leaves CRL.StopWindow at 0: compare the last 3 episode returns
+// against the 3 before (so the plateau check can fire from episode 6 on).
+const defaultStopWindow = 3
+
+// trainCRLConfig resolves the effective per-cluster training configuration:
+// core defaults, deterministic per-cluster seeds, and serve's default
+// early-stopping window (StopWindow < 0 opts out).
+func (s *Server) trainCRLConfig(cluster int) core.CRLConfig {
 	cfg := s.cfg.CRL
 	if cfg.K < 1 {
 		cfg.K = core.DefaultCRLConfig().K
@@ -152,14 +153,109 @@ func (s *Server) trainCluster(cluster int) (*core.CRL, []float64, error) {
 	if cfg.DQN.Seed == 0 {
 		cfg.DQN.Seed = cfg.Seed + 1
 	}
+	switch {
+	case cfg.StopWindow == 0:
+		cfg.StopWindow = defaultStopWindow
+	case cfg.StopWindow < 0:
+		cfg.StopWindow = 0
+	}
+	return cfg
+}
+
+// trainCluster is the cache's trainFunc: train a CRL over the cluster's
+// neighborhood sub-store. Seeding is deterministic per cluster; with warm
+// starting enabled (the default) the trained weights additionally depend on
+// which neighbour policies were resident, so identical deployments converge
+// to equivalent — not bitwise-identical — caches.
+func (s *Server) trainCluster(cluster int) (*core.CRL, []float64, error) {
+	return s.trainClusterMode(cluster, nil)
+}
+
+// trainClusterMode is trainCluster with an optional between-episode
+// interrupt hook — the speculative pre-trainer's yield check. The cold-start
+// pipeline: seed from the nearest trained neighbour when one is resident
+// (shrinking the episode budget to WarmEpisodeFrac), then train with
+// convergence-based early stopping.
+func (s *Server) trainClusterMode(cluster int, interrupt func() bool) (*core.CRL, []float64, error) {
+	rep, err := s.store.At(cluster)
+	if err != nil {
+		return nil, nil, err
+	}
+	sub, err := s.clusterStore(cluster)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := s.trainCRLConfig(cluster)
+	cfg.Interrupt = interrupt
+	var donor *core.CRL
+	var prov core.WarmStart
+	if !s.cfg.DisableWarmStart {
+		if donor, prov = s.nearestTrainedDonor(cluster, rep.Signature); donor != nil {
+			// A transferred policy only fine-tunes: cut the episode budget to
+			// the warm fraction. Below the plateau detector's 2×window floor
+			// the cut itself is the early exit (Train just runs the budget).
+			warmEp := int(float64(cfg.Episodes) * s.cfg.WarmEpisodeFrac)
+			if warmEp < 1 {
+				warmEp = 1
+			}
+			if warmEp < cfg.Episodes {
+				cfg.Episodes = warmEp
+			}
+		}
+	}
 	crl, err := core.NewCRL(s.template.Clone(), sub, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	if _, err := crl.Train(); err != nil {
+	if donor != nil {
+		if err := crl.WarmStartFrom(donor, prov); err != nil {
+			// Shape mismatch cannot happen on a shared template; if it ever
+			// does, training from scratch is the safe degradation.
+			s.cfg.Logf("serve: warm start cluster %d from %d: %v (training from scratch)",
+				cluster, prov.Source, err)
+		} else {
+			s.cache.warmStarts.Add(1)
+		}
+	}
+	res, err := crl.Train()
+	if err != nil {
 		return nil, nil, err
 	}
+	if res.StopReason == rl.StopPlateau {
+		s.cache.earlyStops.Add(1)
+	}
 	return crl, mathx.Clone(rep.Importance), nil
+}
+
+// nearestTrainedDonor scans the resident, healthy policies for the one whose
+// cluster signature is nearest to sig — the warm-start neighbour selection
+// rule. Returns nil when no other cluster has a usable policy. Reading a
+// resident entry's model is safe concurrently: resolved policies are only
+// ever read (rollouts run on clones), and WarmStartFrom only reads the
+// donor.
+func (s *Server) nearestTrainedDonor(cluster int, sig []float64) (*core.CRL, core.WarmStart) {
+	var best *core.CRL
+	bestKey, bestDist := -1, math.Inf(1)
+	for _, sh := range s.cache.shards {
+		sh.mu.Lock()
+		for key, e := range sh.entries {
+			if key == cluster || !e.resolved || e.err != nil || e.crl == nil {
+				continue
+			}
+			env, err := s.store.At(key)
+			if err != nil || len(env.Signature) != len(sig) {
+				continue
+			}
+			if d := mathx.EuclideanDistance(sig, env.Signature); d < bestDist {
+				best, bestKey, bestDist = e.crl, key, d
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if best == nil {
+		return nil, core.WarmStart{}
+	}
+	return best, core.WarmStart{Source: bestKey, Distance: bestDist}
 }
 
 // AllocateRequest is one allocation query: the sensing signature Z, plus

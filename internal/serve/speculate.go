@@ -1,0 +1,125 @@
+package serve
+
+// Speculative background pre-training: after every successful demand
+// training, the server predicts which clusters a workload drifting through
+// signature space is likely to ask for next — the nearest still-untrained
+// neighbours of the cluster that just ran hot — and trains them on idle
+// training-gate capacity. A later request for a predicted cluster then hits
+// a resident policy (reported as CacheSpeculative) instead of paying a cold
+// train.
+//
+// Speculation is strictly subordinate to demand:
+//
+//   - a speculative run starts only when the gate has a free slot AND no
+//     demand training is running or queued (pending == 0);
+//   - once running, it polls pending between episodes and stops early the
+//     moment demand arrives, publishing whatever it has (a partially trained
+//     policy is still a better warm-start donor than nothing, and its
+//     discounted TTL bounds how long it serves);
+//   - installSpeculative never displaces a resident entry and never evicts
+//     one — a full shard simply refuses the speculation.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+)
+
+// speculate is the cache's onTrained hook: predict and pre-train up to
+// SpeculateNeighbors clusters near the one that just trained. It runs in its
+// own goroutine, sequentially per trigger, so a burst of demand trainings
+// never stacks more than one speculative training per trigger.
+func (s *Server) speculate(hot int) {
+	if s.draining.Load() {
+		return
+	}
+	for _, key := range s.speculationCandidates(hot, s.cfg.SpeculateNeighbors) {
+		if s.draining.Load() {
+			return
+		}
+		s.speculateCluster(key)
+	}
+}
+
+// speculationCandidates picks the n untrained clusters nearest the hot
+// cluster in signature space — the prediction that workloads move to similar
+// environments next. Clusters already resident (resolved or in flight) are
+// excluded.
+func (s *Server) speculationCandidates(hot, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	rep, err := s.store.At(hot)
+	if err != nil {
+		return nil
+	}
+	type cand struct {
+		key int
+		d   float64
+	}
+	var cands []cand
+	for i, env := range s.store.All() {
+		if i == hot || len(env.Signature) != len(rep.Signature) {
+			continue
+		}
+		if s.cache.entry(i) != nil {
+			continue
+		}
+		cands = append(cands, cand{i, mathx.EuclideanDistance(rep.Signature, env.Signature)})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		return cands[a].key < cands[b].key
+	})
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	keys := make([]int, len(cands))
+	for i, c := range cands {
+		keys[i] = c.key
+	}
+	return keys
+}
+
+// speculateCluster pre-trains one predicted cluster if — and only as long
+// as — the training gate is otherwise idle.
+func (s *Server) speculateCluster(key int) {
+	c := s.cache
+	if c.pending.Load() > 0 {
+		return // demand is waiting; never compete for the gate
+	}
+	select {
+	case c.gate <- struct{}{}:
+	default:
+		return // no free slot; speculation never queues
+	}
+	defer func() { <-c.gate }()
+	if c.pending.Load() > 0 {
+		return // demand arrived while acquiring the slot
+	}
+	if c.entry(key) != nil {
+		return // a demand training raced past the prediction
+	}
+	c.specTrainings.Add(1)
+	crl, imp, err := s.safeSpeculativeTrain(key)
+	if err != nil || crl == nil {
+		return // speculation failures are silent: no breaker, no tombstone
+	}
+	c.installSpeculative(key, crl, imp)
+}
+
+// safeSpeculativeTrain runs one speculative training with the demand-yield
+// interrupt, converting panics into errors like the demand path does.
+func (s *Server) safeSpeculativeTrain(key int) (crl *core.CRL, imp []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.cfg.Logf("serve: speculative training cluster %d panicked: %v", key, r)
+			crl, imp, err = nil, nil, fmt.Errorf("serve: speculative train cluster %d panic: %v", key, r)
+		}
+	}()
+	return s.trainClusterMode(key, func() bool { return s.cache.pending.Load() > 0 })
+}
