@@ -61,3 +61,59 @@ func runGate(baselinePath string, seed int64, slackFlag float64, outJSON string)
 	}
 	return fmt.Errorf("%d tail-latency gate violation(s); rerun with -gate-slack or DCTA_BENCH_GATE_SLACK to widen tolerance on noisy runners", len(violations))
 }
+
+// runClusterGate is the scale-out regression gate: it replays the canonical
+// 3-shard + router sweep (loadgen.ClusterBaselineOptions — the shape that
+// produced the committed cluster baseline) and fails if (a) the topology
+// regressed against its own committed cluster baseline, or (b) it no longer
+// clears the scale-out bar over the committed single-node baseline —
+// aggregate throughput ≥ ScaleOutBar(cores)× single-node, warm p99 within
+// 2× the single-node tail, and zero non-2xx responses.
+func runClusterGate(clusterPath, singlePath string, seed int64, slackFlag float64, outJSON string) error {
+	slack, err := loadgen.ResolveSlack(slackFlag, os.Getenv("DCTA_BENCH_GATE_SLACK"))
+	if err != nil {
+		return err
+	}
+	clusterBase, err := loadgen.LoadReport(clusterPath)
+	if err != nil {
+		return fmt.Errorf("cluster baseline: %w", err)
+	}
+	single, err := loadgen.LoadReport(singlePath)
+	if err != nil {
+		return fmt.Errorf("single-node baseline: %w", err)
+	}
+	opts := loadgen.ClusterBaselineOptions(seed)
+	opts.Logf = func(format string, args ...any) { fmt.Printf(format, args...) }
+	res, err := loadgen.Run(opts)
+	if err != nil {
+		return fmt.Errorf("cluster gate sweep: %w", err)
+	}
+	cur := res.Report
+	if outJSON != "" {
+		if err := loadgen.WriteReport(outJSON, cur); err != nil {
+			return err
+		}
+		fmt.Println("cluster gate: wrote", outJSON)
+	}
+
+	bar := loadgen.ScaleOutBar(cur.GOMAXPROCS)
+	fmt.Printf("cluster gate: slack %.0f%%, %d cores → scale-out bar %.2f× single-node\n",
+		slack*100, cur.GOMAXPROCS, bar)
+	fmt.Printf("cluster gate: throughput  single %-10.0f cluster %-10.0f floor %.0f rps\n",
+		single.BestThroughputRPS, cur.BestThroughputRPS, single.BestThroughputRPS*bar/(1+slack))
+	fmt.Printf("cluster gate: warm p99    single %-12s cluster %-12s limit %s\n",
+		loadgen.Ns(single.WarmP99Ns), loadgen.Ns(cur.WarmP99Ns), loadgen.Ns(single.WarmP99Ns*2*(1+slack)))
+	fmt.Printf("cluster gate: non-2xx rate %.4f (must be 0), retries %d, rebalances %d\n",
+		cur.NonOKRate, cur.ClusterRetries, cur.ClusterRebalances)
+
+	violations := loadgen.ClusterGate(cur, single, slack)
+	violations = append(violations, loadgen.Gate(cur, clusterBase, slack)...)
+	if len(violations) == 0 {
+		fmt.Println("cluster gate: PASS")
+		return nil
+	}
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "cluster gate: FAIL:", v)
+	}
+	return fmt.Errorf("%d scale-out gate violation(s); rerun with -gate-slack or DCTA_BENCH_GATE_SLACK to widen tolerance on noisy runners", len(violations))
+}

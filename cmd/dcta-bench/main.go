@@ -26,8 +26,17 @@ func main() {
 		baseline  = flag.String("serve-baseline", "", "run the tail-latency gate: replay the canonical serving sweep and compare against this committed BENCH_PR*.json")
 		gateSlack = flag.Float64("gate-slack", -1, "gate tolerance as a fraction (default 0.25; DCTA_BENCH_GATE_SLACK overrides the default on noisy runners)")
 		gateJSON  = flag.String("gate-json", "", "also write the gate sweep's fresh report to this file")
+		clusterBL = flag.String("cluster-baseline", "", "run the scale-out gate: replay the canonical 3-shard router sweep and compare against this committed cluster BENCH_PR*.json")
+		singleBL  = flag.String("single-baseline", "BENCH_PR7.json", "single-node baseline the scale-out gate measures its throughput bar against")
 	)
 	flag.Parse()
+	if *clusterBL != "" {
+		if err := runClusterGate(*clusterBL, *singleBL, *seed, *gateSlack, *gateJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "dcta-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *baseline != "" {
 		if err := runGate(*baseline, *seed, *gateSlack, *gateJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "dcta-bench:", err)

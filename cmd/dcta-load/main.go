@@ -40,10 +40,11 @@ func main() {
 		prioritized  = flag.Bool("prioritized-replay", false, "in-process server: TD-error-prioritized experience replay (α=0.6)")
 		parityWorlds = flag.Int("parity-worlds", 0, "measure value parity (collapsed cold-start vs full-budget scratch) over N seeded worlds")
 		preset       = flag.String("preset", "", "\"baseline\" replaces the sweep flags with the canonical shape the CI tail gate replays")
+		shards       = flag.Int("shards", 0, "router mode: run an in-process N-shard cluster behind the consistent-hash router and drive that (0 = single server)")
 	)
 	flag.Parse()
 	if err := run(*addr, *scale, *seed, *levels, *requests, *feedbackNth, *jsonPath,
-		*neighborhood, *episodes, *noWarmStart, *speculate, *prioritized, *parityWorlds, *preset); err != nil {
+		*neighborhood, *episodes, *noWarmStart, *speculate, *prioritized, *parityWorlds, *preset, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "dcta-load:", err)
 		os.Exit(1)
 	}
@@ -51,7 +52,10 @@ func main() {
 
 func run(addr, scale string, seed int64, levelSpec string, requests, feedbackNth int,
 	jsonPath string, neighborhood, episodes int, noWarmStart bool, speculate int,
-	prioritized bool, parityWorlds int, preset string) error {
+	prioritized bool, parityWorlds int, preset string, shards int) error {
+	if shards > 0 && addr != "" {
+		return fmt.Errorf("-shards runs an in-process cluster; it cannot be combined with -addr")
+	}
 	var opts loadgen.Options
 	switch preset {
 	case "":
@@ -73,10 +77,15 @@ func run(addr, scale string, seed int64, levelSpec string, requests, feedbackNth
 			ParityWorlds:      parityWorlds,
 		}
 	case "baseline":
-		opts = loadgen.BaselineOptions(seed)
+		if shards > 0 {
+			opts = loadgen.ClusterBaselineOptions(seed)
+		} else {
+			opts = loadgen.BaselineOptions(seed)
+		}
 	default:
 		return fmt.Errorf("unknown preset %q (only \"baseline\")", preset)
 	}
+	opts.Shards = shards
 	opts.Addr = addr
 	opts.Logf = func(format string, args ...any) { fmt.Printf(format, args...) }
 

@@ -1,0 +1,110 @@
+// Command dcta-router is the cluster front-end for a fleet of dcta-server
+// shards: it resolves each request's sensing signature to its cluster key
+// (the same nearest-neighbour index the servers cache policies under),
+// looks the key up on a consistent-hash ring over the shard fleet, and
+// proxies the request to the owning shard over persistent connections.
+//
+//	dcta-router -addr :8090 -scale fast -seed 1 \
+//	    -shards s0=127.0.0.1:8080,s1=127.0.0.1:8081,s2=127.0.0.1:8082
+//
+// The router probes every shard's /healthz; a shard that misses its
+// liveness budget is ejected and its ring ranges reassign to the survivors
+// (requests for those ranges degrade to the survivors' cold/degraded path —
+// they never 5xx while any shard lives). A shard that comes back is
+// re-admitted on its next healthy probe and its ranges return.
+//
+// Endpoints: POST /v1/allocate and /v1/feedback (proxied), GET /v1/stats
+// (fleet aggregate + per-shard counters), GET /v1/cluster (the shard map),
+// GET /healthz.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/cluster"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8090", "listen address")
+		scale      = flag.String("scale", "fast", "scenario scale: fast, default, full (must match the shards')")
+		seed       = flag.Int64("seed", 1, "scenario seed (must match the shards')")
+		shardSpec  = flag.String("shards", "", "comma-separated shard list: id=host:port,id=host:port,...")
+		vnodes     = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per shard on the ring")
+		probeEvery = flag.Duration("probe-every", 250*time.Millisecond, "liveness probe cadence")
+		misses     = flag.Int("liveness-misses", 3, "consecutive failed probes before a shard is ejected")
+		proxyTO    = flag.Duration("proxy-timeout", 30*time.Second, "per-request proxy deadline (cold shards train)")
+	)
+	flag.Parse()
+	if err := run(*addr, *scale, *seed, *shardSpec, *vnodes, *probeEvery, *misses, *proxyTO); err != nil {
+		fmt.Fprintln(os.Stderr, "dcta-router:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, scale string, seed int64, shardSpec string, vnodes int,
+	probeEvery time.Duration, misses int, proxyTO time.Duration) error {
+	shards, err := cluster.ParseShards(shardSpec)
+	if err != nil {
+		return err
+	}
+	scnCfg, err := scenarioConfig(seed, scale)
+	if err != nil {
+		return err
+	}
+	log.Printf("building scenario (seed=%d scale=%s) for signature routing...", seed, scale)
+	scn, err := dcta.NewScenario(scnCfg)
+	if err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	router, err := cluster.NewRouter(scn.Store, shards, cluster.RouterConfig{
+		VNodes:         vnodes,
+		ProbeEvery:     probeEvery,
+		LivenessMisses: misses,
+		ProxyTimeout:   proxyTO,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	return cluster.ListenAndServe(ctx, addr, router, func(a net.Addr) {
+		log.Printf("routing on %s: %d shards, %d vnodes each, probe %v ×%d",
+			a, len(shards), vnodes, probeEvery, misses)
+	})
+}
+
+// scenarioConfig mirrors dcta-server's -scale presets: the router must build
+// the exact store its shards serve from, or signatures would resolve to
+// different cluster keys on the two tiers.
+func scenarioConfig(seed int64, scale string) (dcta.ScenarioConfig, error) {
+	cfg := dcta.DefaultScenarioConfig(seed)
+	switch scale {
+	case "fast":
+		cfg.Years = 1
+		cfg.Tasks = 24
+		cfg.HistoryContexts = 20
+		cfg.EvalContexts = 4
+		cfg.Workers = 5
+		cfg.CRLEpisodes = 10
+	case "default":
+	case "full":
+		cfg.Years = 4
+		cfg.StepHours = 1
+		cfg.HistoryContexts = 120
+		cfg.EvalContexts = 24
+		cfg.CRLEpisodes = 150
+	default:
+		return cfg, fmt.Errorf("unknown scale %q (fast, default, full)", scale)
+	}
+	return cfg, nil
+}

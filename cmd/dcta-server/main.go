@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cluster"
 	"repro/internal/serve"
 )
 
@@ -60,6 +61,11 @@ func main() {
 		warmFrac     = flag.Float64("warm-episode-frac", 0, "episode-budget fraction for warm-started trainings (0 = default 1/4)")
 		speculate    = flag.Int("speculate", 0, "pre-train up to N predicted-next clusters per demand training on idle gate capacity (0 disables)")
 		prioritized  = flag.Bool("prioritized-replay", false, "TD-error-prioritized experience replay (α=0.6) in policy trainings")
+		nodeID       = flag.String("node-id", "", "cluster shard id (joins the -cluster fleet; empty runs standalone)")
+		clusterSpec  = flag.String("cluster", "", "full shard list incl. this node: id=host:port,id=host:port,... (needs -node-id)")
+		vnodes       = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per shard on the cluster ring")
+		joinPull     = flag.Bool("join-pull", true, "on cluster join, pull this shard's owned policy checkpoints from its peers")
+		handoffTO    = flag.Duration("handoff-timeout", cluster.DefaultHandoffTimeout, "per-peer deadline for join-time checkpoint pulls")
 	)
 	flag.Parse()
 	cfg := serveConfig(
@@ -76,11 +82,65 @@ func main() {
 		cfg.CRL.DQN.PrioritizedReplay = true
 		cfg.CRL.DQN.PriorityAlpha = 0.6
 	}
+	join := joinOptions{
+		NodeID:  *nodeID,
+		Cluster: *clusterSpec,
+		VNodes:  *vnodes,
+		Pull:    *joinPull,
+		Timeout: *handoffTO,
+	}
 	if err := run(*addr, *scale, *seed, *checkpoint, *ckptEvery, cfg,
-		serve.HTTPOptions{RequestTimeout: *reqTimeout, DrainTimeout: *drainTimeout}); err != nil {
+		serve.HTTPOptions{RequestTimeout: *reqTimeout, DrainTimeout: *drainTimeout}, join); err != nil {
 		fmt.Fprintln(os.Stderr, "dcta-server:", err)
 		os.Exit(1)
 	}
+}
+
+// joinOptions is the cluster-membership flag bundle.
+type joinOptions struct {
+	NodeID  string
+	Cluster string
+	VNodes  int
+	Pull    bool
+	Timeout time.Duration
+}
+
+// joinCluster wires the shard into its fleet: identity from the full ring
+// (recorded in /v1/stats and /v1/cluster), then — unless -join-pull=false —
+// a warm boot pulling this shard's owned checkpoint sections from its
+// peers. An unreachable peer just leaves those clusters cold.
+func joinCluster(s *serve.Server, j joinOptions) error {
+	if j.NodeID == "" {
+		return nil
+	}
+	all, err := cluster.ParseShards(j.Cluster)
+	if err != nil {
+		return fmt.Errorf("cluster join: %w", err)
+	}
+	var self cluster.Shard
+	found := false
+	for _, sh := range all {
+		if sh.ID == j.NodeID {
+			self, found = sh, true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("cluster join: -node-id %q not in -cluster list", j.NodeID)
+	}
+	pulled := 0
+	if j.Pull {
+		pulled, err = cluster.JoinWarm(s, self, all, j.VNodes, j.Timeout, log.Printf)
+	} else {
+		_, err = cluster.AssignIdentity(s, self, all, j.VNodes)
+	}
+	if err != nil {
+		return fmt.Errorf("cluster join: %w", err)
+	}
+	id := s.ClusterIdentity()
+	log.Printf("joined cluster as %s: %d owned clusters (%.1f%% of the ring), %d policies pulled warm",
+		j.NodeID, len(id.OwnedClusters), id.OwnedFraction*100, pulled)
+	return nil
 }
 
 func serveConfig(neighborhood, capacity int, ttl time.Duration, drift float64,
@@ -122,7 +182,7 @@ func scenarioConfig(seed int64, scale string) (dcta.ScenarioConfig, error) {
 }
 
 func run(addr, scale string, seed int64, checkpoint string, ckptEvery time.Duration,
-	cfg serve.Config, opts serve.HTTPOptions) error {
+	cfg serve.Config, opts serve.HTTPOptions, join joinOptions) error {
 	scnCfg, err := scenarioConfig(seed, scale)
 	if err != nil {
 		return err
@@ -150,6 +210,10 @@ func run(addr, scale string, seed int64, checkpoint string, ckptEvery time.Durat
 		} else {
 			log.Printf("no policies restored from %s; starting cold", checkpoint)
 		}
+	}
+
+	if err := joinCluster(s, join); err != nil {
+		return err
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

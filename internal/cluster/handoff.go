@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/rawhttp"
+	"repro/internal/serve"
+)
+
+// DefaultHandoffTimeout bounds one peer checkpoint pull.
+const DefaultHandoffTimeout = 10 * time.Second
+
+// PullWarmState boots a joining shard warm: it asks each peer for the
+// checkpoint-v2 sections of exactly the clusters this shard owns and
+// installs whatever comes back, so a join or rejoin moves trained policies
+// instead of repaying their training budgets. Returns how many policies
+// were installed.
+//
+// Failures are soft by design — an unreachable peer, a torn stream, a
+// corrupt section — all of it just leaves some clusters cold, and the
+// shard's own cold path retrains them on demand. The per-section CRC
+// framing of the v2 format is what makes applying a partial transfer safe.
+func PullWarmState(s *serve.Server, peers []Shard, owned []int, timeout time.Duration, logf func(string, ...any)) int {
+	if len(owned) == 0 || len(peers) == 0 {
+		return 0
+	}
+	if timeout <= 0 {
+		timeout = DefaultHandoffTimeout
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	path := checkpointPath(owned)
+	installed := 0
+	for _, p := range peers {
+		conn, err := rawhttp.Dial(p.Addr)
+		if err != nil {
+			logf("cluster: handoff: peer %s (%s) unreachable: %v", p.ID, p.Addr, err)
+			continue
+		}
+		conn.Timeout = timeout
+		code, body, err := conn.Do(rawhttp.BuildGetFrame(path))
+		if err != nil || code != http.StatusOK {
+			logf("cluster: handoff: peer %s pull failed: code=%d err=%v", p.ID, code, err)
+			conn.Close()
+			continue
+		}
+		n, err := s.InstallFromCheckpoint(bytes.NewReader(body))
+		if err != nil {
+			logf("cluster: handoff: peer %s checkpoint: %v", p.ID, err)
+		}
+		installed += n
+		conn.Close()
+	}
+	return installed
+}
+
+// checkpointPath renders the shard-scoped export URL for a cluster set.
+func checkpointPath(clusters []int) string {
+	var b []byte
+	b = append(b, "/v1/checkpoint?clusters="...)
+	for i, k := range clusters {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(k), 10)
+	}
+	return string(b)
+}
+
+// AssignIdentity computes a node's ownership on the full (all-member) ring
+// and records it on the server (visible in /v1/stats and /v1/cluster).
+// Ownership is a property of the deployment's member list, not of any
+// router's current live view. Returns the owned cluster keys.
+func AssignIdentity(s *serve.Server, self Shard, all []Shard, vnodes int) ([]int, error) {
+	ids := make([]string, 0, len(all))
+	found := false
+	for _, sh := range all {
+		ids = append(ids, sh.ID)
+		if sh.ID == self.ID {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: join: %q not in shard list", self.ID)
+	}
+	ring, err := NewRing(vnodes, ids)
+	if err != nil {
+		return nil, err
+	}
+	owned := ring.OwnedClusters(self.ID, s.Store().Len())
+	s.SetClusterIdentity(serve.ClusterIdentity{
+		NodeID:        self.ID,
+		RingPositions: ring.VNodes(),
+		OwnedClusters: owned,
+		OwnedFraction: ring.OwnedFraction(self.ID),
+	})
+	return owned, nil
+}
+
+// JoinWarm is the one-call boot path for dcta-server's join flags and
+// LocalCluster's restart: assign identity from the full ring, then pull the
+// owned clusters' warm state from the peers.
+func JoinWarm(s *serve.Server, self Shard, all []Shard, vnodes int, timeout time.Duration, logf func(string, ...any)) (int, error) {
+	owned, err := AssignIdentity(s, self, all, vnodes)
+	if err != nil {
+		return 0, err
+	}
+	var peers []Shard
+	for _, sh := range all {
+		if sh.ID != self.ID {
+			peers = append(peers, sh)
+		}
+	}
+	return PullWarmState(s, peers, owned, timeout, logf), nil
+}

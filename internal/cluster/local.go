@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// LocalOptions shapes an in-process topology.
+type LocalOptions struct {
+	// Shards is the replica count (default 3).
+	Shards int
+	// VNodes is the per-shard virtual-node count (default DefaultVNodes).
+	VNodes int
+	// Serve configures every shard's server.
+	Serve serve.Config
+	// HTTP configures every shard's front-end.
+	HTTP serve.HTTPOptions
+	// Router configures the routing tier (VNodes is forced to match).
+	Router RouterConfig
+	// HandoffTimeout bounds a restarting shard's peer pulls.
+	HandoffTimeout time.Duration
+	// WrapShardAddr optionally interposes on the router→shard link: given a
+	// shard's id and real address it returns the address the router should
+	// dial (e.g. a netfault proxy) and a closer. Nil routes direct.
+	WrapShardAddr func(id, addr string) (string, func(), error)
+	// Logf sinks progress lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (o LocalOptions) withDefaults() LocalOptions {
+	if o.Shards < 1 {
+		o.Shards = 3
+	}
+	if o.VNodes < 1 {
+		o.VNodes = DefaultVNodes
+	}
+	if o.HandoffTimeout <= 0 {
+		o.HandoffTimeout = DefaultHandoffTimeout
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// localShard is one in-process replica and its lifecycle handles.
+type localShard struct {
+	id   string
+	addr string // concrete listen address, stable across restarts
+
+	mu     sync.Mutex
+	srv    *serve.Server
+	cancel context.CancelFunc
+	done   chan error
+}
+
+// LocalCluster is an in-process N-shard + router topology over one shared
+// scenario world: every shard serves the same template/store/local model
+// (exactly as N processes booted from the same scenario seed would), the
+// router fronts them on a loopback port. It backs the cluster tests,
+// dcta-load's router mode and the CI scale-out gate.
+type LocalCluster struct {
+	opts     LocalOptions
+	template *core.Problem
+	store    *core.EnvironmentStore
+	local    *alloc.LocalModel
+
+	router       *Router
+	routerAddr   string
+	routerCancel context.CancelFunc
+	routerDone   chan error
+
+	shards   []*localShard
+	wrapped  []Shard // what the router dials (possibly proxied)
+	closers  []func()
+	closeOne sync.Once
+}
+
+// StartLocal boots the topology: every shard live, identities assigned from
+// the full ring, router probing.
+func StartLocal(template *core.Problem, store *core.EnvironmentStore, local *alloc.LocalModel, opts LocalOptions) (*LocalCluster, error) {
+	opts = opts.withDefaults()
+	lc := &LocalCluster{opts: opts, template: template, store: store, local: local}
+
+	for i := 0; i < opts.Shards; i++ {
+		sh := &localShard{id: "s" + strconv.Itoa(i)}
+		if err := lc.bootShard(sh, ""); err != nil {
+			lc.Close()
+			return nil, err
+		}
+		lc.shards = append(lc.shards, sh)
+	}
+	// Identities come from the full (all-member) ring: ownership is a
+	// property of the deployment, not of the router's current live view.
+	all := lc.allShards()
+	for i, sh := range lc.shards {
+		if _, err := AssignIdentity(sh.srv, all[i], all, opts.VNodes); err != nil {
+			lc.Close()
+			return nil, err
+		}
+	}
+
+	// Interpose on the router→shard links if asked.
+	for _, sh := range lc.shards {
+		routeAddr := sh.addr
+		if opts.WrapShardAddr != nil {
+			wrapped, closer, err := opts.WrapShardAddr(sh.id, sh.addr)
+			if err != nil {
+				lc.Close()
+				return nil, err
+			}
+			routeAddr = wrapped
+			lc.closers = append(lc.closers, closer)
+		}
+		lc.wrapped = append(lc.wrapped, Shard{ID: sh.id, Addr: routeAddr})
+	}
+
+	rcfg := opts.Router
+	rcfg.VNodes = opts.VNodes
+	if rcfg.Logf == nil {
+		rcfg.Logf = opts.Logf
+	}
+	router, err := NewRouter(store, lc.wrapped, rcfg)
+	if err != nil {
+		lc.Close()
+		return nil, err
+	}
+	lc.router = router
+
+	ctx, cancel := context.WithCancel(context.Background())
+	lc.routerCancel = cancel
+	lc.routerDone = make(chan error, 1)
+	ready := make(chan string, 1)
+	go func() {
+		lc.routerDone <- ListenAndServe(ctx, "127.0.0.1:0", router, func(a net.Addr) { ready <- a.String() })
+	}()
+	select {
+	case a := <-ready:
+		lc.routerAddr = a
+	case err := <-lc.routerDone:
+		lc.Close()
+		return nil, fmt.Errorf("cluster: router: %w", err)
+	}
+	opts.Logf("cluster: %d shards + router on %s\n", opts.Shards, lc.routerAddr)
+	return lc, nil
+}
+
+// bootShard builds a fresh server for sh and serves it. addr "" binds an
+// ephemeral port (first boot); otherwise the shard rebinds its old address.
+func (lc *LocalCluster) bootShard(sh *localShard, addr string) error {
+	srv, err := serve.NewServer(lc.template, lc.store, lc.local, lc.opts.Serve)
+	if err != nil {
+		return err
+	}
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	ready := make(chan string, 1)
+	go func() {
+		done <- serve.ListenAndServe(ctx, addr, srv, lc.opts.HTTP, func(a net.Addr) { ready <- a.String() })
+	}()
+	select {
+	case a := <-ready:
+		sh.mu.Lock()
+		sh.srv, sh.cancel, sh.done = srv, cancel, done
+		if sh.addr == "" {
+			sh.addr = a
+		}
+		sh.mu.Unlock()
+		return nil
+	case err := <-done:
+		cancel()
+		return fmt.Errorf("cluster: shard %s: %w", sh.id, err)
+	}
+}
+
+func (lc *LocalCluster) allShards() []Shard {
+	out := make([]Shard, 0, len(lc.shards))
+	for _, sh := range lc.shards {
+		out = append(out, Shard{ID: sh.id, Addr: sh.addr})
+	}
+	return out
+}
+
+func shardIDs(shards []Shard) []string {
+	ids := make([]string, 0, len(shards))
+	for _, s := range shards {
+		ids = append(ids, s.ID)
+	}
+	return ids
+}
+
+// Addr is the router's listen address.
+func (lc *LocalCluster) Addr() string { return lc.routerAddr }
+
+// Router exposes the routing tier (stats, ProbeOnce for tests).
+func (lc *LocalCluster) Router() *Router { return lc.router }
+
+// Shards is the replica count.
+func (lc *LocalCluster) Shards() int { return len(lc.shards) }
+
+// ShardAddr is shard i's real (unwrapped) address.
+func (lc *LocalCluster) ShardAddr(i int) string { return lc.shards[i].addr }
+
+// ShardID is shard i's ring id.
+func (lc *LocalCluster) ShardID(i int) string { return lc.shards[i].id }
+
+// Server is shard i's live server, or nil while killed.
+func (lc *LocalCluster) Server(i int) *serve.Server {
+	sh := lc.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.srv
+}
+
+// KillShard stops shard i's server (graceful drain, listener closed).
+// Requests owned by its ranges fail over to survivors on the router's next
+// ejection — by I/O error, drain 503, or missed probes, whichever fires
+// first.
+func (lc *LocalCluster) KillShard(i int) error {
+	sh := lc.shards[i]
+	sh.mu.Lock()
+	cancel, done := sh.cancel, sh.done
+	sh.srv, sh.cancel, sh.done = nil, nil, nil
+	sh.mu.Unlock()
+	if cancel == nil {
+		return fmt.Errorf("cluster: shard %d already down", i)
+	}
+	cancel()
+	err := <-done
+	lc.opts.Logf("cluster: shard %s killed\n", sh.id)
+	return err
+}
+
+// RestartShard boots shard i back on its original address with a fresh
+// (cold) server, then warms it by pulling its owned clusters' checkpoint
+// sections from the surviving peers. The router re-admits it on the next
+// successful probe.
+func (lc *LocalCluster) RestartShard(i int) (pulled int, err error) {
+	sh := lc.shards[i]
+	sh.mu.Lock()
+	down := sh.cancel == nil
+	sh.mu.Unlock()
+	if !down {
+		return 0, fmt.Errorf("cluster: shard %d still running", i)
+	}
+	if err := lc.bootShard(sh, sh.addr); err != nil {
+		return 0, err
+	}
+	// Identity comes from the full member list — ownership never depends on
+	// who happens to be up. Pulls from still-dead peers fail soft.
+	pulled, err = JoinWarm(lc.Server(i), Shard{ID: sh.id, Addr: sh.addr}, lc.allShards(),
+		lc.opts.VNodes, lc.opts.HandoffTimeout, lc.opts.Logf)
+	if err != nil {
+		return pulled, err
+	}
+	lc.opts.Logf("cluster: shard %s restarted warm (%d policies pulled)\n", sh.id, pulled)
+	return pulled, nil
+}
+
+// Close tears the whole topology down: router first (so nothing routes into
+// dying shards), then every live shard, then the wrappers.
+func (lc *LocalCluster) Close() {
+	lc.closeOne.Do(func() {
+		if lc.routerCancel != nil {
+			lc.routerCancel()
+			<-lc.routerDone
+		}
+		for i := range lc.shards {
+			sh := lc.shards[i]
+			sh.mu.Lock()
+			cancel, done := sh.cancel, sh.done
+			sh.srv, sh.cancel, sh.done = nil, nil, nil
+			sh.mu.Unlock()
+			if cancel != nil {
+				cancel()
+				<-done
+			}
+		}
+		for _, c := range lc.closers {
+			c()
+		}
+	})
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cluster"
 	"repro/internal/mathx"
 	"repro/internal/serve"
 )
@@ -57,6 +58,12 @@ type Options struct {
 	// PrioritizedReplay enables TD-error-prioritized experience replay
 	// (α=0.6) in the in-process server's DQN trainings.
 	PrioritizedReplay bool
+	// Shards, when positive, replaces the single in-process server with an
+	// in-process Shards-replica cluster fronted by the consistent-hash
+	// router (the dcta-load -shards mode); the sweep then drives the router
+	// and the report carries per-shard and rebalance telemetry. Ignored
+	// when Addr points at an external server.
+	Shards int
 	// ParityWorlds, when positive, appends a value-parity measurement over
 	// this many consecutive seeds (see WorstParity) to the report.
 	ParityWorlds int
@@ -85,6 +92,17 @@ func BaselineOptions(seed int64) Options {
 		Neighborhood: 5,
 		ParityWorlds: 3,
 	}
+}
+
+// ClusterBaselineOptions is the canonical scale-out sweep behind
+// BENCH_PR8.json and the CI cluster gate: the BaselineOptions shape driven
+// through a 3-shard + router topology. Value parity is skipped — it is a
+// single-node training property already pinned by the single-node gate.
+func ClusterBaselineOptions(seed int64) Options {
+	o := BaselineOptions(seed)
+	o.Shards = 3
+	o.ParityWorlds = 0
+	return o
 }
 
 func (o *Options) logf(format string, args ...any) {
@@ -201,6 +219,9 @@ type Result struct {
 	Cold   *ColdResult
 	Levels []LevelResult
 	Report Report
+	// Router is the routing tier's final telemetry in cluster mode (nil for
+	// single-node runs).
+	Router *cluster.RouterStats
 }
 
 // Run executes the two-phase sweep described by opts: build the world,
@@ -229,6 +250,7 @@ func Run(opts Options) (*Result, error) {
 	}
 
 	base := opts.Addr
+	var topo *cluster.LocalCluster
 	if base == "" {
 		cfg := serve.DefaultConfig()
 		cfg.ClusterNeighborhood = opts.Neighborhood
@@ -243,29 +265,44 @@ func Run(opts Options) (*Result, error) {
 			cfg.CRL.DQN.PrioritizedReplay = true
 			cfg.CRL.DQN.PriorityAlpha = 0.6
 		}
-		s, err := serve.NewServer(scn.Template, scn.Store, scn.Local, cfg)
-		if err != nil {
-			return nil, err
+		if opts.Shards > 0 {
+			var err error
+			topo, err = cluster.StartLocal(scn.Template, scn.Store, scn.Local, cluster.LocalOptions{
+				Shards: opts.Shards,
+				Serve:  cfg,
+				Logf:   opts.Logf,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("in-process cluster: %w", err)
+			}
+			defer topo.Close()
+			base = topo.Addr()
+			opts.logf("in-process %d-shard cluster, router on %s\n", opts.Shards, base)
+		} else {
+			s, err := serve.NewServer(scn.Template, scn.Store, scn.Local, cfg)
+			if err != nil {
+				return nil, err
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			ready := make(chan string, 1)
+			errc := make(chan error, 1)
+			go func() {
+				errc <- serve.ListenAndServe(ctx, "127.0.0.1:0", s, serve.HTTPOptions{},
+					func(a net.Addr) { ready <- a.String() })
+			}()
+			select {
+			case a := <-ready:
+				base = a
+				opts.logf("in-process server on %s\n", base)
+			case err := <-errc:
+				return nil, fmt.Errorf("in-process server: %w", err)
+			}
+			defer func() {
+				cancel()
+				<-errc
+			}()
 		}
-		ctx, cancel := context.WithCancel(context.Background())
-		defer cancel()
-		ready := make(chan string, 1)
-		errc := make(chan error, 1)
-		go func() {
-			errc <- serve.ListenAndServe(ctx, "127.0.0.1:0", s, serve.HTTPOptions{},
-				func(a net.Addr) { ready <- a.String() })
-		}()
-		select {
-		case a := <-ready:
-			base = a
-			opts.logf("in-process server on %s\n", base)
-		case err := <-errc:
-			return nil, fmt.Errorf("in-process server: %w", err)
-		}
-		defer func() {
-			cancel()
-			<-errc
-		}()
 	}
 	cold, err := ColdSweep(base, wl)
 	if err != nil {
@@ -289,10 +326,26 @@ func Run(opts Options) (*Result, error) {
 
 	// The server-side cold-start counters (warm starts, early stops,
 	// speculation) ride along in the report so operators can see transfer
-	// efficacy next to the latency numbers.
-	stats, err := FetchStats(base)
-	if err != nil {
-		return nil, fmt.Errorf("stats: %w", err)
+	// efficacy next to the latency numbers. In cluster mode they are summed
+	// across the shards, and the router's per-shard ledger is reported so a
+	// scale-out run is observable end to end.
+	var stats serve.Stats
+	var routerStats *cluster.RouterStats
+	if topo != nil {
+		stats = sumShardStats(topo)
+		rs := topo.Router().Stats()
+		routerStats = &rs
+		for _, sc := range rs.Shards {
+			opts.logf("shard %s (%s): proxied %d (hit %d, degraded %d, non-2xx %d, io-errors %d), alive=%v, owns %.1f%% of the ring\n",
+				sc.ID, sc.Addr, sc.Proxied, sc.Hits, sc.Degraded, sc.NonOK, sc.IOErrors, sc.Alive, sc.OwnedFraction*100)
+		}
+		opts.logf("router: %d requests, %d retries, %d ejections, %d rejoins, %d rebalances, %d no-shard 503s\n",
+			rs.Requests, rs.Retries, rs.Ejections, rs.Rejoins, rs.Rebalances, rs.NoShard503s)
+	} else {
+		stats, err = FetchStats(base)
+		if err != nil {
+			return nil, fmt.Errorf("stats: %w", err)
+		}
 	}
 	opts.logf("server: %d trainings (%d warm-started, %d early-stopped), speculation %d trained / %d installed / %d hit\n",
 		stats.Cache.Trainings, stats.Cache.WarmStarts, stats.Cache.EarlyStops,
@@ -307,7 +360,36 @@ func Run(opts Options) (*Result, error) {
 			parity, opts.ParityWorlds)
 	}
 
-	return &Result{Cold: cold, Levels: results, Report: BuildReport(cold, results, &stats, parity)}, nil
+	rep := BuildReport(cold, results, &stats, parity)
+	if routerStats != nil {
+		rep.ClusterShards = opts.Shards
+		rep.ClusterRetries = routerStats.Retries
+		rep.ClusterRebalances = routerStats.Rebalances
+	}
+	return &Result{Cold: cold, Levels: results, Report: rep, Router: routerStats}, nil
+}
+
+// sumShardStats folds every shard's serve counters into one aggregate view
+// (the fields the report and the progress log consume).
+func sumShardStats(topo *cluster.LocalCluster) serve.Stats {
+	var agg serve.Stats
+	for i := 0; i < topo.Shards(); i++ {
+		s := topo.Server(i)
+		if s == nil {
+			continue
+		}
+		st := s.Stats()
+		agg.Allocates += st.Allocates
+		agg.DegradedCount += st.DegradedCount
+		agg.Feedbacks += st.Feedbacks
+		agg.Cache.Trainings += st.Cache.Trainings
+		agg.Cache.WarmStarts += st.Cache.WarmStarts
+		agg.Cache.EarlyStops += st.Cache.EarlyStops
+		agg.Cache.SpeculativeTrainings += st.Cache.SpeculativeTrainings
+		agg.Cache.SpeculativeInstalls += st.Cache.SpeculativeInstalls
+		agg.Cache.SpeculativeHits += st.Cache.SpeculativeHits
+	}
+	return agg
 }
 
 // FetchStats retrieves the server's /v1/stats counters.

@@ -1,0 +1,37 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestNeedlesMatchWire pins the classification needles against the real
+// serializer: if AllocateResponse's JSON tags or the outcome constants ever
+// change, the warm loop's byte-scan classification must fail loudly here
+// rather than silently reporting a 0% hit rate.
+func TestNeedlesMatchWire(t *testing.T) {
+	hit, err := json.Marshal(serve.AllocateResponse{Cache: serve.CacheHit, Mode: serve.ModeNormal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(hit, needleCacheHit) {
+		t.Fatalf("hit needle %q missing from wire %q", needleCacheHit, hit)
+	}
+	if bytes.Contains(hit, needleDegraded) {
+		t.Fatalf("normal answer matched degraded needle: %q", hit)
+	}
+	warm, _ := json.Marshal(serve.AllocateResponse{Cache: serve.CacheWarm, Mode: serve.ModeNormal})
+	if !bytes.Contains(warm, needleCacheWarm) {
+		t.Fatalf("warm needle %q missing from wire %q", needleCacheWarm, warm)
+	}
+	deg, _ := json.Marshal(serve.AllocateResponse{Cache: "bypass", Mode: serve.ModeDegraded})
+	if !bytes.Contains(deg, needleDegraded) {
+		t.Fatalf("degraded needle %q missing from wire %q", needleDegraded, deg)
+	}
+	if bytes.Contains(deg, needleCacheHit) || bytes.Contains(deg, needleCacheWarm) {
+		t.Fatalf("degraded answer matched a hit needle: %q", deg)
+	}
+}

@@ -39,6 +39,12 @@ type Report struct {
 	SpeculativeInstalls int64   `json:"serve_speculative_installs,omitempty"`
 	SpeculativeHits     int64   `json:"serve_speculative_hits,omitempty"`
 	ValueParity         float64 `json:"serve_value_parity,omitempty"`
+	// Cluster scale-out metrics (PR-8; absent in single-node records). A
+	// record with ClusterShards > 0 was measured through the router, so its
+	// latency/throughput numbers include the proxy hop.
+	ClusterShards     int   `json:"cluster_shards,omitempty"`
+	ClusterRetries    int64 `json:"cluster_retries,omitempty"`
+	ClusterRebalances int64 `json:"cluster_rebalances,omitempty"`
 }
 
 // BuildReport folds the per-level aggregates into the flat record. The

@@ -1,0 +1,246 @@
+package netfault
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StreamDecider picks the action for the i-th server→client chunk (0-based)
+// of one relayed connection. Unlike the edgenet Decider it sees raw bytes —
+// the stream proxy is protocol-agnostic, so HTTP traffic (the cluster
+// router's links) can be faulted too. Corrupt flips a byte mid-chunk, which
+// for HTTP means a torn response the client surfaces as an I/O error.
+type StreamDecider func(i int, chunk []byte) Action
+
+// StreamProxy is a protocol-agnostic faulty TCP link: bytes relay verbatim
+// in both directions except where the Decider or the blackhole switch says
+// otherwise. The cluster chaos tests park one of these between the router
+// and a shard: SetBlackhole(true) is a crash-stop (every connection through
+// the proxy drops and new dials die instantly), SetBlackhole(false) is the
+// heal, and the Counts ledger records exactly what the wire suffered.
+type StreamProxy struct {
+	target  string
+	decide  StreamDecider
+	ln      net.Listener
+	closed  chan struct{}
+	wg      sync.WaitGroup
+	onEvent func(Action)
+
+	blackhole atomic.Bool
+	delay     atomic.Int64
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	forwarded atomic.Int64 // server→client chunks relayed unchanged
+	delayed   atomic.Int64
+	corrupted atomic.Int64
+	hung      atomic.Int64
+	dropped   atomic.Int64 // connections dropped (decider or blackhole)
+}
+
+// NewStream starts a stream proxy on a loopback port in front of target.
+// decide may be nil (relay everything); onEvent, when non-nil, fires after
+// each non-Pass action.
+func NewStream(target string, decide StreamDecider, onEvent func(Action)) (*StreamProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("netfault: listen: %w", err)
+	}
+	p := &StreamProxy{
+		target:  target,
+		decide:  decide,
+		ln:      ln,
+		closed:  make(chan struct{}),
+		onEvent: onEvent,
+		conns:   make(map[net.Conn]struct{}),
+	}
+	p.delay.Store(int64(100 * time.Millisecond))
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address clients should dial instead of the target.
+func (p *StreamProxy) Addr() string { return p.ln.Addr().String() }
+
+// SetDelay sets the sleep applied to Delay-actioned chunks (default 100ms).
+func (p *StreamProxy) SetDelay(d time.Duration) { p.delay.Store(int64(d)) }
+
+// SetBlackhole turns the crash-stop switch on or off. Turning it on closes
+// every relayed connection immediately and refuses new ones; turning it off
+// heals the link (new dials relay again).
+func (p *StreamProxy) SetBlackhole(on bool) {
+	p.blackhole.Store(on)
+	if !on {
+		return
+	}
+	p.connMu.Lock()
+	for c := range p.conns {
+		c.Close()
+		p.dropped.Add(1)
+	}
+	p.connMu.Unlock()
+}
+
+// Counts snapshots the fault ledger. Forwarded counts server→client chunks;
+// Dropped counts killed connections.
+func (p *StreamProxy) Counts() Counts {
+	return Counts{
+		Forwarded: p.forwarded.Load(),
+		Delayed:   p.delayed.Load(),
+		Corrupted: p.corrupted.Load(),
+		Hung:      p.hung.Load(),
+		Dropped:   p.dropped.Load(),
+	}
+}
+
+// Close tears the proxy down, closing both sides of every relayed
+// connection.
+func (p *StreamProxy) Close() error {
+	select {
+	case <-p.closed:
+	default:
+		close(p.closed)
+	}
+	err := p.ln.Close()
+	p.connMu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.connMu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *StreamProxy) track(c net.Conn) { p.connMu.Lock(); p.conns[c] = struct{}{}; p.connMu.Unlock() }
+func (p *StreamProxy) untrack(c net.Conn) {
+	p.connMu.Lock()
+	delete(p.conns, c)
+	p.connMu.Unlock()
+}
+
+func (p *StreamProxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if p.blackhole.Load() {
+			conn.Close()
+			p.dropped.Add(1)
+			continue
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.relay(conn)
+		}()
+	}
+}
+
+// relay serves one client connection: dial the target, pump client→server
+// verbatim, pump server→client through the Decider chunk by chunk.
+func (p *StreamProxy) relay(client net.Conn) {
+	defer client.Close()
+	server, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	defer server.Close()
+	p.track(client)
+	p.track(server)
+	defer p.untrack(client)
+	defer p.untrack(server)
+
+	hung := make(chan struct{})
+	var hangOnce sync.Once
+	hang := func() { hangOnce.Do(func() { close(hung) }) }
+
+	// Upstream client→server: verbatim, frozen on Hang, dead on blackhole.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := client.Read(buf)
+			if n > 0 {
+				select {
+				case <-hung:
+					<-p.closed
+					return
+				default:
+				}
+				if _, werr := server.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	// Downstream server→client: chunk-granularity fault injection.
+	buf := make([]byte, 32<<10)
+	for i := 0; ; i++ {
+		n, err := server.Read(buf)
+		if n > 0 {
+			if p.blackhole.Load() {
+				p.dropped.Add(1)
+				return
+			}
+			chunk := buf[:n]
+			action := Pass
+			if p.decide != nil {
+				action = p.decide(i, chunk)
+			}
+			switch action {
+			case Delay:
+				p.delayed.Add(1)
+				p.event(Delay)
+				select {
+				case <-time.After(time.Duration(p.delay.Load())):
+				case <-p.closed:
+					return
+				}
+			case Corrupt:
+				chunk[n/2] ^= 0xFF
+				p.corrupted.Add(1)
+			case Hang:
+				p.hung.Add(1)
+				hang()
+				p.event(Hang)
+				<-p.closed
+				return
+			case Drop:
+				p.dropped.Add(1)
+				client.Close()
+				server.Close()
+				p.event(Drop)
+				return
+			}
+			if _, werr := client.Write(chunk); werr != nil {
+				return
+			}
+			if action == Corrupt {
+				p.event(Corrupt)
+			} else {
+				p.forwarded.Add(1)
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (p *StreamProxy) event(a Action) {
+	if p.onEvent != nil {
+		p.onEvent(a)
+	}
+}

@@ -1,4 +1,4 @@
-package loadgen
+package rawhttp
 
 import (
 	"bytes"
@@ -45,7 +45,7 @@ func TestConnRoundTripAndKeepAlive(t *testing.T) {
 	srv.Start()
 	t.Cleanup(srv.Close)
 
-	conn, err := DialFast(strings.TrimPrefix(srv.URL, "http://"))
+	conn, err := Dial(strings.TrimPrefix(srv.URL, "http://"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,9 +64,6 @@ func TestConnRoundTripAndKeepAlive(t *testing.T) {
 		if !bytes.Contains(resp, []byte(want)) {
 			t.Fatalf("do %d: body %q missing %q", i, resp, want)
 		}
-		if !bytes.Contains(resp, needleCacheHit) {
-			t.Fatalf("hit needle did not match real handler output %q", resp)
-		}
 	}
 	if got := hits.Load(); got != 5 {
 		t.Fatalf("server saw %d requests, want 5", got)
@@ -82,7 +79,7 @@ func TestConnNonOKStatus(t *testing.T) {
 	addr := fastServer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request", http.StatusBadRequest)
 	}))
-	conn, err := DialFast(addr)
+	conn, err := Dial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +104,7 @@ func TestConnChunkedResponse(t *testing.T) {
 		fl.Flush()
 		fmt.Fprint(w, `"second":2}`)
 	}))
-	conn, err := DialFast(addr)
+	conn, err := Dial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +127,7 @@ func TestConnRedialsAfterServerClose(t *testing.T) {
 		}
 		fmt.Fprint(w, `{}`)
 	}))
-	conn, err := DialFast(addr)
+	conn, err := Dial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,33 +147,5 @@ func TestAppendFrameMatchesBuildFrame(t *testing.T) {
 	appended := AppendFrame(make([]byte, 7), "/v1/feedback", body)
 	if !bytes.Equal(built, appended) {
 		t.Fatalf("frames differ:\n%q\n%q", built, appended)
-	}
-}
-
-// TestNeedlesMatchWire pins the classification needles against the real
-// serializer: if AllocateResponse's JSON tags or the outcome constants ever
-// change, the warm loop's byte-scan classification must fail loudly here
-// rather than silently reporting a 0% hit rate.
-func TestNeedlesMatchWire(t *testing.T) {
-	hit, err := json.Marshal(serve.AllocateResponse{Cache: serve.CacheHit, Mode: serve.ModeNormal})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Contains(hit, needleCacheHit) {
-		t.Fatalf("hit needle %q missing from wire %q", needleCacheHit, hit)
-	}
-	if bytes.Contains(hit, needleDegraded) {
-		t.Fatalf("normal answer matched degraded needle: %q", hit)
-	}
-	warm, _ := json.Marshal(serve.AllocateResponse{Cache: serve.CacheWarm, Mode: serve.ModeNormal})
-	if !bytes.Contains(warm, needleCacheWarm) {
-		t.Fatalf("warm needle %q missing from wire %q", needleCacheWarm, warm)
-	}
-	deg, _ := json.Marshal(serve.AllocateResponse{Cache: "bypass", Mode: serve.ModeDegraded})
-	if !bytes.Contains(deg, needleDegraded) {
-		t.Fatalf("degraded needle %q missing from wire %q", needleDegraded, deg)
-	}
-	if bytes.Contains(deg, needleCacheHit) || bytes.Contains(deg, needleCacheWarm) {
-		t.Fatalf("degraded answer matched a hit needle: %q", deg)
 	}
 }

@@ -110,6 +110,14 @@ func readSection(r io.Reader) (payload []byte, ok bool, err error) {
 // SaveCheckpoint serializes every resident, healthy cache entry, most
 // recently used first, in the CRC-framed v2 format.
 func (s *Server) SaveCheckpoint(w io.Writer) error {
+	return s.SaveCheckpointFor(w, nil)
+}
+
+// SaveCheckpointFor is SaveCheckpoint restricted to the clusters keep admits
+// (nil keeps everything). The cluster tier uses it to export exactly the
+// sections a joining shard owns — the stream is a complete, self-contained
+// v2 checkpoint either way.
+func (s *Server) SaveCheckpointFor(w io.Writer, keep func(cluster int) bool) error {
 	if _, err := w.Write(checkpointMagic); err != nil {
 		return fmt.Errorf("serve: checkpoint write: %w", err)
 	}
@@ -118,6 +126,9 @@ func (s *Server) SaveCheckpoint(w io.Writer) error {
 		return fmt.Errorf("serve: checkpoint header: %w", err)
 	}
 	for _, e := range s.cache.snapshot() {
+		if keep != nil && !keep(e.key) {
+			continue
+		}
 		policy, err := e.crl.MarshalJSON()
 		if err != nil {
 			return fmt.Errorf("serve: checkpoint cluster %d: %w", e.key, err)

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ClusterIdentity is a shard's place in a cluster deployment: which node it
+// is, how it sits on the routing ring, and which cluster keys it owns. The
+// identity is informational plus cache-scoping — a shard still answers any
+// cluster it is asked about (that is what lets the router degrade to a
+// survivor instead of 5xxing when an owner dies); ownership scopes what the
+// shard exports to joining peers and what it pulls when it boots.
+type ClusterIdentity struct {
+	// NodeID is the shard's stable ring placement key.
+	NodeID string `json:"node_id"`
+	// RingPositions is the shard's virtual-node count on the full ring.
+	RingPositions int `json:"ring_positions"`
+	// OwnedClusters are the store indices the shard owns on the full ring.
+	OwnedClusters []int `json:"owned_clusters"`
+	// OwnedFraction is the shard's share of the hash space.
+	OwnedFraction float64 `json:"owned_fraction"`
+}
+
+// ClusterNodeStats is the cluster section of /v1/stats: identity plus the
+// warm-handoff counters.
+type ClusterNodeStats struct {
+	ClusterIdentity
+	// HandoffServes counts shard-scoped checkpoint exports served to peers.
+	HandoffServes int64 `json:"handoff_serves"`
+	// HandoffPulls counts policies this node installed from peer checkpoints.
+	HandoffPulls int64 `json:"handoff_pulls"`
+}
+
+// SetClusterIdentity records the shard's cluster membership (shown in stats
+// and /v1/cluster). Safe to call once at boot, before serving.
+func (s *Server) SetClusterIdentity(id ClusterIdentity) {
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	id.OwnedClusters = append([]int(nil), id.OwnedClusters...)
+	sort.Ints(id.OwnedClusters)
+	s.clusterID = &id
+}
+
+// ClusterIdentity returns the recorded membership, or nil when the server
+// runs standalone.
+func (s *Server) ClusterIdentity() *ClusterIdentity {
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	if s.clusterID == nil {
+		return nil
+	}
+	id := *s.clusterID
+	return &id
+}
+
+func (s *Server) clusterNodeStats() *ClusterNodeStats {
+	id := s.ClusterIdentity()
+	if id == nil {
+		return nil
+	}
+	return &ClusterNodeStats{
+		ClusterIdentity: *id,
+		HandoffServes:   s.handoffServes.Load(),
+		HandoffPulls:    s.handoffPulls.Load(),
+	}
+}
+
+// InstallFromCheckpoint restores policies from a peer's shard-scoped
+// checkpoint stream, counting each installed policy as a handoff pull.
+// Wire-wise it is LoadCheckpoint — the v2 per-section CRC framing is what
+// makes a partial peer transfer safe to apply.
+func (s *Server) InstallFromCheckpoint(r io.Reader) (int, error) {
+	n, err := s.LoadCheckpoint(r)
+	if n > 0 {
+		s.handoffPulls.Add(int64(n))
+	}
+	return n, err
+}
+
+// parseClusterSet parses the /v1/checkpoint "clusters" query parameter: a
+// comma-separated list of store indices. Empty means "everything".
+func parseClusterSet(raw string) (map[int]bool, error) {
+	if raw == "" {
+		return nil, nil
+	}
+	set := make(map[int]bool)
+	for _, part := range strings.Split(raw, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := strconv.Atoi(part)
+		if err != nil || k < 0 {
+			return nil, fmt.Errorf("bad cluster %q", part)
+		}
+		set[k] = true
+	}
+	return set, nil
+}
+
+// handleCheckpointExport serves GET /v1/checkpoint: the node's policy cache
+// in checkpoint-v2 format, optionally filtered to ?clusters=3,17,42 — the
+// shard-scoped export a joining peer pulls to boot warm.
+func (s *Server) handleCheckpointExport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	keepSet, err := parseClusterSet(r.URL.Query().Get("clusters"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var keep func(int) bool
+	if keepSet != nil {
+		keep = func(k int) bool { return keepSet[k] }
+	}
+	// Buffer the checkpoint so an encoding failure can still answer 500;
+	// exports are a few policies, not bulk data.
+	var buf bytes.Buffer
+	if err := s.SaveCheckpointFor(&buf, keep); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.handoffServes.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleClusterStatus serves GET /v1/cluster: the node's view of its own
+// membership (the router serves the fleet-wide shard map under the same
+// path).
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
+		return
+	}
+	st := s.clusterNodeStats()
+	if st == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"standalone": true})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}

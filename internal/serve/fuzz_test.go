@@ -47,6 +47,13 @@ func FuzzLoadCheckpoint(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(append([]byte(nil), good.Bytes()...))
+	// A shard-scoped export — the exact stream a joining cluster peer pulls
+	// and feeds through InstallFromCheckpoint (same loader underneath).
+	var scoped bytes.Buffer
+	if err := seedSrv.SaveCheckpointFor(&scoped, func(k int) bool { return k == 0 }); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), scoped.Bytes()...))
 	flipped := append([]byte(nil), good.Bytes()...)
 	flipped[len(flipped)/2] ^= 0xFF
 	f.Add(flipped)

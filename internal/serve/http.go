@@ -42,9 +42,11 @@ func (o HTTPOptions) withDefaults() HTTPOptions {
 
 // NewHandler wires the service's HTTP/JSON API:
 //
-//	POST /v1/allocate  — AllocateRequest  → AllocateResponse
-//	POST /v1/feedback  — FeedbackRequest  → FeedbackResponse
-//	GET  /v1/stats     — Stats
+//	POST /v1/allocate   — AllocateRequest  → AllocateResponse
+//	POST /v1/feedback   — FeedbackRequest  → FeedbackResponse
+//	GET  /v1/stats      — Stats
+//	GET  /v1/checkpoint — checkpoint-v2 export (?clusters=3,17 scopes it)
+//	GET  /v1/cluster    — the node's ClusterNodeStats (or standalone)
 //	GET  /healthz      — liveness
 func NewHandler(s *Server, opts HTTPOptions) http.Handler {
 	return newHandler(s, opts, nil)
@@ -92,6 +94,8 @@ func newHandler(s *Server, opts HTTPOptions, extra map[string]http.HandlerFunc) 
 		}
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	mux.HandleFunc("/v1/checkpoint", s.handleCheckpointExport)
+	mux.HandleFunc("/v1/cluster", s.handleClusterStatus)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		status := "ok"
 		code := http.StatusOK

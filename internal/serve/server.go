@@ -50,6 +50,13 @@ type Server struct {
 	panics    atomic.Int64 // handler panics recovered by the HTTP middleware
 	ckptSkips atomic.Int64 // corrupt checkpoint sections skipped on load
 
+	// Cluster membership (nil while standalone) and warm-handoff counters;
+	// see cluster.go.
+	clusterMu     sync.Mutex
+	clusterID     *ClusterIdentity
+	handoffServes atomic.Int64
+	handoffPulls  atomic.Int64
+
 	latMu   sync.Mutex
 	lat     []int64 // ns ring, most recent latencyWindow allocates
 	latNext int
@@ -689,6 +696,9 @@ type Stats struct {
 	CheckpointSkips int64        `json:"checkpoint_skips"`
 	Cache           CacheStats   `json:"cache"`
 	Latency         LatencyStats `json:"latency"`
+	// Cluster is the shard's identity and handoff counters when the node is
+	// part of a cluster deployment (absent standalone).
+	Cluster *ClusterNodeStats `json:"cluster,omitempty"`
 }
 
 // Stats snapshots the service counters.
@@ -709,6 +719,7 @@ func (s *Server) Stats() Stats {
 		CheckpointSkips: s.ckptSkips.Load(),
 		Cache:           s.cache.stats(),
 		Latency:         s.latencyStats(),
+		Cluster:         s.clusterNodeStats(),
 	}
 }
 
