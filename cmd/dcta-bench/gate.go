@@ -68,7 +68,10 @@ func runGate(baselinePath string, seed int64, slackFlag float64, outJSON string)
 // regressed against its own committed cluster baseline, or (b) it no longer
 // clears the scale-out bar over the committed single-node baseline —
 // aggregate throughput ≥ ScaleOutBar(cores)× single-node, warm p99 within
-// 2× the single-node tail, and zero non-2xx responses.
+// 2× the single-node tail, and zero non-2xx responses. The canonical sweep
+// also runs the warm-failover probe, so the gate additionally fails if the
+// kill window surfaced a non-2xx or the post-failover warm fraction fell
+// below loadgen.FailoverWarmBar.
 func runClusterGate(clusterPath, singlePath string, seed int64, slackFlag float64, outJSON string) error {
 	slack, err := loadgen.ResolveSlack(slackFlag, os.Getenv("DCTA_BENCH_GATE_SLACK"))
 	if err != nil {
@@ -105,6 +108,11 @@ func runClusterGate(clusterPath, singlePath string, seed int64, slackFlag float6
 		loadgen.Ns(single.WarmP99Ns), loadgen.Ns(cur.WarmP99Ns), loadgen.Ns(single.WarmP99Ns*2*(1+slack)))
 	fmt.Printf("cluster gate: non-2xx rate %.4f (must be 0), retries %d, rebalances %d\n",
 		cur.NonOKRate, cur.ClusterRetries, cur.ClusterRebalances)
+	if cur.ClusterFailoverRequests > 0 {
+		fmt.Printf("cluster gate: failover     %d requests, %d non-2xx (must be 0), warm fraction %.3f (floor %.2f), replication %d pushed / %d dropped\n",
+			cur.ClusterFailoverRequests, cur.ClusterFailoverNon2xx, cur.ClusterFailoverWarmFraction,
+			loadgen.FailoverWarmBar, cur.ClusterReplicationPushes, cur.ClusterReplicationDropped)
+	}
 
 	violations := loadgen.ClusterGate(cur, single, slack)
 	violations = append(violations, loadgen.Gate(cur, clusterBase, slack)...)

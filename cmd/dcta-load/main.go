@@ -41,10 +41,11 @@ func main() {
 		parityWorlds = flag.Int("parity-worlds", 0, "measure value parity (collapsed cold-start vs full-budget scratch) over N seeded worlds")
 		preset       = flag.String("preset", "", "\"baseline\" replaces the sweep flags with the canonical shape the CI tail gate replays")
 		shards       = flag.Int("shards", 0, "router mode: run an in-process N-shard cluster behind the consistent-hash router and drive that (0 = single server)")
+		failoverReqs = flag.Int("failover-requests", 0, "cluster mode: after the sweeps, kill the busiest primary and drive N allocates at its ranges to record the warm-failover fraction (0 disables; the baseline preset uses 200)")
 	)
 	flag.Parse()
 	if err := run(*addr, *scale, *seed, *levels, *requests, *feedbackNth, *jsonPath,
-		*neighborhood, *episodes, *noWarmStart, *speculate, *prioritized, *parityWorlds, *preset, *shards); err != nil {
+		*neighborhood, *episodes, *noWarmStart, *speculate, *prioritized, *parityWorlds, *preset, *shards, *failoverReqs); err != nil {
 		fmt.Fprintln(os.Stderr, "dcta-load:", err)
 		os.Exit(1)
 	}
@@ -52,7 +53,7 @@ func main() {
 
 func run(addr, scale string, seed int64, levelSpec string, requests, feedbackNth int,
 	jsonPath string, neighborhood, episodes int, noWarmStart bool, speculate int,
-	prioritized bool, parityWorlds int, preset string, shards int) error {
+	prioritized bool, parityWorlds int, preset string, shards, failoverReqs int) error {
 	if shards > 0 && addr != "" {
 		return fmt.Errorf("-shards runs an in-process cluster; it cannot be combined with -addr")
 	}
@@ -75,12 +76,16 @@ func run(addr, scale string, seed int64, levelSpec string, requests, feedbackNth
 			Speculate:         speculate,
 			PrioritizedReplay: prioritized,
 			ParityWorlds:      parityWorlds,
+			FailoverRequests:  failoverReqs,
 		}
 	case "baseline":
 		if shards > 0 {
 			opts = loadgen.ClusterBaselineOptions(seed)
 		} else {
 			opts = loadgen.BaselineOptions(seed)
+		}
+		if failoverReqs > 0 {
+			opts.FailoverRequests = failoverReqs
 		}
 	default:
 		return fmt.Errorf("unknown preset %q (only \"baseline\")", preset)

@@ -43,16 +43,17 @@ func main() {
 		probeEvery = flag.Duration("probe-every", 250*time.Millisecond, "liveness probe cadence")
 		misses     = flag.Int("liveness-misses", 3, "consecutive failed probes before a shard is ejected")
 		proxyTO    = flag.Duration("proxy-timeout", 30*time.Second, "per-request proxy deadline (cold shards train)")
+		replicas   = flag.Int("replica-groups", cluster.DefaultReplicaGroups, "owners per ring range across the fleet (informational: surfaced in /v1/stats; must match the shards' -replica-groups)")
 	)
 	flag.Parse()
-	if err := run(*addr, *scale, *seed, *shardSpec, *vnodes, *probeEvery, *misses, *proxyTO); err != nil {
+	if err := run(*addr, *scale, *seed, *shardSpec, *vnodes, *probeEvery, *misses, *proxyTO, *replicas); err != nil {
 		fmt.Fprintln(os.Stderr, "dcta-router:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, scale string, seed int64, shardSpec string, vnodes int,
-	probeEvery time.Duration, misses int, proxyTO time.Duration) error {
+	probeEvery time.Duration, misses int, proxyTO time.Duration, replicas int) error {
 	shards, err := cluster.ParseShards(shardSpec)
 	if err != nil {
 		return err
@@ -71,6 +72,7 @@ func run(addr, scale string, seed int64, shardSpec string, vnodes int,
 		ProbeEvery:     probeEvery,
 		LivenessMisses: misses,
 		ProxyTimeout:   proxyTO,
+		ReplicaGroups:  replicas,
 	})
 	if err != nil {
 		return err

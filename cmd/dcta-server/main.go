@@ -66,6 +66,7 @@ func main() {
 		vnodes       = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per shard on the cluster ring")
 		joinPull     = flag.Bool("join-pull", true, "on cluster join, pull this shard's owned policy checkpoints from its peers")
 		handoffTO    = flag.Duration("handoff-timeout", cluster.DefaultHandoffTimeout, "per-peer deadline for join-time checkpoint pulls")
+		replicaGrps  = flag.Int("replica-groups", cluster.DefaultReplicaGroups, "owners per cluster range (R): primary plus R-1 successor replicas with async policy replication (1 disables)")
 	)
 	flag.Parse()
 	cfg := serveConfig(
@@ -83,11 +84,12 @@ func main() {
 		cfg.CRL.DQN.PriorityAlpha = 0.6
 	}
 	join := joinOptions{
-		NodeID:  *nodeID,
-		Cluster: *clusterSpec,
-		VNodes:  *vnodes,
-		Pull:    *joinPull,
-		Timeout: *handoffTO,
+		NodeID:   *nodeID,
+		Cluster:  *clusterSpec,
+		VNodes:   *vnodes,
+		Pull:     *joinPull,
+		Timeout:  *handoffTO,
+		Replicas: *replicaGrps,
 	}
 	if err := run(*addr, *scale, *seed, *checkpoint, *ckptEvery, cfg,
 		serve.HTTPOptions{RequestTimeout: *reqTimeout, DrainTimeout: *drainTimeout}, join); err != nil {
@@ -98,17 +100,20 @@ func main() {
 
 // joinOptions is the cluster-membership flag bundle.
 type joinOptions struct {
-	NodeID  string
-	Cluster string
-	VNodes  int
-	Pull    bool
-	Timeout time.Duration
+	NodeID   string
+	Cluster  string
+	VNodes   int
+	Pull     bool
+	Timeout  time.Duration
+	Replicas int
 }
 
 // joinCluster wires the shard into its fleet: identity from the full ring
 // (recorded in /v1/stats and /v1/cluster), then — unless -join-pull=false —
 // a warm boot pulling this shard's owned checkpoint sections from its
-// peers. An unreachable peer just leaves those clusters cold.
+// peers, and with -replica-groups >= 2 the async replication queue that
+// pushes freshly trained policies to the range's other owners. An
+// unreachable peer just leaves those clusters cold.
 func joinCluster(s *serve.Server, j joinOptions) error {
 	if j.NodeID == "" {
 		return nil
@@ -130,16 +135,19 @@ func joinCluster(s *serve.Server, j joinOptions) error {
 	}
 	pulled := 0
 	if j.Pull {
-		pulled, err = cluster.JoinWarm(s, self, all, j.VNodes, j.Timeout, log.Printf)
+		pulled, err = cluster.JoinWarm(s, self, all, j.VNodes, j.Replicas, j.Timeout, log.Printf)
 	} else {
-		_, err = cluster.AssignIdentity(s, self, all, j.VNodes)
+		_, _, err = cluster.AssignIdentity(s, self, all, j.VNodes, j.Replicas)
 	}
 	if err != nil {
 		return fmt.Errorf("cluster join: %w", err)
 	}
+	if err := cluster.EnableShardReplication(s, self, all, j.VNodes, j.Replicas, log.Printf); err != nil {
+		return fmt.Errorf("cluster join: %w", err)
+	}
 	id := s.ClusterIdentity()
-	log.Printf("joined cluster as %s: %d owned clusters (%.1f%% of the ring), %d policies pulled warm",
-		j.NodeID, len(id.OwnedClusters), id.OwnedFraction*100, pulled)
+	log.Printf("joined cluster as %s: %d owned + %d replica clusters (%.1f%% of the ring, R=%d), %d policies pulled warm",
+		j.NodeID, len(id.OwnedClusters), len(id.ReplicaClusters), id.OwnedFraction*100, j.Replicas, pulled)
 	return nil
 }
 

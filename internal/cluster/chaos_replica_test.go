@@ -1,0 +1,329 @@
+package cluster
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netfault"
+	"repro/internal/serve"
+)
+
+// awaitSettled waits for every live shard's replication queue to drain, so
+// "the replica holds the policy" is a fact before a kill, not a race.
+func awaitSettled(t *testing.T, lc *LocalCluster) {
+	t.Helper()
+	if !lc.AwaitReplication(10 * time.Second) {
+		t.Fatal("replication queues did not settle")
+	}
+}
+
+// liveTrainings sums demand trainings across every shard not in the kill set.
+func liveTrainings(lc *LocalCluster, killed map[string]bool) int64 {
+	var total int64
+	for i := 0; i < lc.Shards(); i++ {
+		if killed[lc.ShardID(i)] {
+			continue
+		}
+		if srv := lc.Server(i); srv != nil {
+			total += srv.Stats().Cache.Trainings
+		}
+	}
+	return total
+}
+
+// TestClusterChaosReplicaFailover is the replica-group availability sweep:
+// with R=2 owners per range, seeded kill-primary / kill-replica / kill-both
+// windows over netfault stream proxies must produce zero non-200s (any live
+// shard answers), and while at least one owner of a range survives, at
+// least 90% of that range's post-failover answers come from a resident
+// policy (cache ∈ {hit, warm, replica, speculative}) with zero new
+// trainings on the survivors — failover is warm, not a retrain.
+func TestClusterChaosReplicaFailover(t *testing.T) {
+	proxies := map[string]*netfault.StreamProxy{}
+	lc := startCluster(t, 3, func(id, addr string) (string, func(), error) {
+		p, err := netfault.NewStream(addr, nil, nil)
+		if err != nil {
+			return "", nil, err
+		}
+		proxies[id] = p
+		return p.Addr(), func() { p.Close() }, nil
+	})
+	if lc.ReplicaGroups() != 2 {
+		t.Fatalf("LocalCluster defaulted to R=%d, want 2", lc.ReplicaGroups())
+	}
+
+	// Warm every range once so each owner pair holds its policies.
+	for k := 0; k < clusterCount; k++ {
+		if code, body := post(t, lc.Addr(), "/v1/allocate", allocBody(k)); code != http.StatusOK {
+			t.Fatalf("warm cluster %d: %d %s", k, code, body)
+		}
+	}
+
+	// Owner sets come from the full (all-member) ring — the router's boot
+	// ring, before any ejection.
+	full := lc.Router().Ring()
+	owners := make(map[int][]string, clusterCount)
+	for k := 0; k < clusterCount; k++ {
+		o := full.OwnersFor(k, 2)
+		if len(o) != 2 || o[0] == o[1] {
+			t.Fatalf("cluster %d owners %v, want 2 distinct", k, o)
+		}
+		owners[k] = o
+	}
+	// Focus on one range's owner pair for the kill schedule.
+	primary, replica := owners[0][0], owners[0][1]
+
+	heal := func(ids ...string) {
+		for _, id := range ids {
+			proxies[id].SetBlackhole(false)
+		}
+		lc.Router().ProbeOnce()
+		if st := lc.Router().Stats(); st.LiveShards != 3 {
+			t.Fatalf("heal of %v did not restore the fleet: %d live", ids, st.LiveShards)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	phases := []struct {
+		name string
+		kill []string
+	}{
+		{"kill-primary", []string{primary}},
+		{"kill-replica", []string{replica}},
+		{"kill-both", []string{primary, replica}},
+	}
+	for _, ph := range phases {
+		awaitSettled(t, lc)
+		killed := map[string]bool{}
+		for _, id := range ph.kill {
+			killed[id] = true
+		}
+		trainingsBefore := liveTrainings(lc, killed)
+		for _, id := range ph.kill {
+			proxies[id].SetBlackhole(true)
+		}
+
+		warm, counted := 0, 0
+		const rounds = 3
+		for r := 0; r < rounds; r++ {
+			for _, k := range rng.Perm(clusterCount) {
+				code, body := post(t, lc.Addr(), "/v1/allocate", allocBody(k))
+				if code != http.StatusOK {
+					t.Fatalf("%s: cluster %d answered %d %s", ph.name, k, code, body)
+				}
+				ownerAlive := !killed[owners[k][0]] || !killed[owners[k][1]]
+				if !ownerAlive {
+					continue // both owners dead: 200 via a non-owner is all we ask
+				}
+				counted++
+				var resp struct {
+					Cache string `json:"cache"`
+				}
+				if err := json.Unmarshal(body, &resp); err != nil {
+					t.Fatal(err)
+				}
+				switch resp.Cache {
+				case serve.CacheHit, serve.CacheWarm, serve.CacheReplica, serve.CacheSpeculative:
+					warm++
+				}
+			}
+		}
+		if counted > 0 {
+			if frac := float64(warm) / float64(counted); frac < 0.9 {
+				t.Fatalf("%s: warm fraction %.2f (%d/%d), want ≥0.9", ph.name, frac, warm, counted)
+			}
+		}
+		// Owner-alive ranges failed over warm, so the survivors must not
+		// have trained anything new (kill-both forces the lone non-owner
+		// cold, so only the single-kill phases pin this).
+		if len(ph.kill) == 1 {
+			if after := liveTrainings(lc, killed); after != trainingsBefore {
+				t.Fatalf("%s: survivors trained %d new policies during warm failover", ph.name, after-trainingsBefore)
+			}
+		}
+		heal(ph.kill...)
+	}
+
+	st := lc.Router().Stats()
+	if st.NoShard503s != 0 {
+		t.Fatalf("router issued %d no-shard 503s with survivors present", st.NoShard503s)
+	}
+	if st.Ejections < 3 {
+		t.Fatalf("chaos produced %d ejections; want ≥3 (one per kill window)", st.Ejections)
+	}
+	droppedTotal := int64(0)
+	for _, p := range proxies {
+		droppedTotal += p.Counts().Dropped
+	}
+	if droppedTotal == 0 {
+		t.Fatal("no connection passed through a fault window; chaos schedule is dead code")
+	}
+}
+
+// TestClusterChaosAntiEntropyConvergence kills and heals shards for real
+// (listener down, fresh cold process on restart) across two cycles and
+// checks the repair loop converges: after each heal, every cluster's two
+// owners hold bitwise-identical policy versions (same TrainedAt, same CRC
+// over the serialized policy), because the rejoiner streamed its missing
+// primary and replica ranges back from the live owners.
+func TestClusterChaosAntiEntropyConvergence(t *testing.T) {
+	lc := startCluster(t, 3, nil)
+
+	for k := 0; k < clusterCount; k++ {
+		if code, body := post(t, lc.Addr(), "/v1/allocate", allocBody(k)); code != http.StatusOK {
+			t.Fatalf("warm cluster %d: %d %s", k, code, body)
+		}
+	}
+	full := lc.Router().Ring()
+	idx := map[string]int{}
+	for i := 0; i < lc.Shards(); i++ {
+		idx[lc.ShardID(i)] = i
+	}
+
+	assertConverged := func(cycle int) {
+		t.Helper()
+		digests := map[string]map[int]serve.PolicyDigest{}
+		for i := 0; i < lc.Shards(); i++ {
+			d, err := lc.Server(i).PolicyDigests()
+			if err != nil {
+				t.Fatalf("cycle %d: shard %d digests: %v", cycle, i, err)
+			}
+			digests[lc.ShardID(i)] = d
+		}
+		for k := 0; k < clusterCount; k++ {
+			o := full.OwnersFor(k, 2)
+			a, okA := digests[o[0]][k]
+			b, okB := digests[o[1]][k]
+			if !okA || !okB {
+				t.Fatalf("cycle %d: cluster %d missing on an owner (primary %s: %v, replica %s: %v)",
+					cycle, k, o[0], okA, o[1], okB)
+			}
+			if !a.TrainedAt.Equal(b.TrainedAt) || a.CRC != b.CRC || a.Bytes != b.Bytes {
+				t.Fatalf("cycle %d: cluster %d diverged: primary %s %+v vs replica %s %+v",
+					cycle, k, o[0], a, o[1], b)
+			}
+		}
+	}
+
+	// Two kill/heal cycles over two distinct victims that own ranges.
+	var victims []int
+	for _, id := range full.Nodes() {
+		if len(full.OwnedClusters(id, clusterCount)) > 0 {
+			victims = append(victims, idx[id])
+		}
+		if len(victims) == 2 {
+			break
+		}
+	}
+	if len(victims) < 2 {
+		t.Fatalf("only %d shards own ranges", len(victims))
+	}
+
+	for cycle, victim := range victims {
+		awaitSettled(t, lc)
+		if err := lc.KillShard(victim); err != nil {
+			t.Fatal(err)
+		}
+		// Keep serving through the outage: every range must answer.
+		for k := 0; k < clusterCount; k++ {
+			if code, body := post(t, lc.Addr(), "/v1/allocate", allocBody(k)); code != http.StatusOK {
+				t.Fatalf("cycle %d: outage cluster %d: %d %s", cycle, k, code, body)
+			}
+		}
+		if _, err := lc.RestartShard(victim); err != nil {
+			t.Fatal(err)
+		}
+		lc.Router().ProbeOnce()
+		if st := lc.Router().Stats(); st.LiveShards != 3 {
+			t.Fatalf("cycle %d: %d live after heal", cycle, st.LiveShards)
+		}
+		awaitSettled(t, lc)
+		assertConverged(cycle)
+	}
+}
+
+// TestHandoffPagedPull proves a cache larger than one export page converges
+// over multiple ?after= pulls: a cold joiner pulling 8 clusters at 3
+// sections per page needs exactly ⌈8/3⌉ = 3 GETs against the peer.
+func TestHandoffPagedPull(t *testing.T) {
+	lc := startCluster(t, 1, nil)
+	for k := 0; k < clusterCount; k++ {
+		if code, body := post(t, lc.Addr(), "/v1/allocate", allocBody(k)); code != http.StatusOK {
+			t.Fatalf("warm cluster %d: %d %s", k, code, body)
+		}
+	}
+	servesBefore := lc.Server(0).Stats().Cluster.HandoffServes
+
+	joiner, err := serve.NewServer(testTemplate(), testStore(t), nil, fastServeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := make([]int, clusterCount)
+	for k := range owned {
+		owned[k] = k
+	}
+	peer := Shard{ID: lc.ShardID(0), Addr: lc.ShardAddr(0)}
+	installed := PullWarmState(joiner, []Shard{peer}, owned, nil, 3, 0, nil)
+	if installed != clusterCount {
+		t.Fatalf("paged pull installed %d/%d policies", installed, clusterCount)
+	}
+	if pages := lc.Server(0).Stats().Cluster.HandoffServes - servesBefore; pages != 3 {
+		t.Fatalf("paged pull issued %d export GETs, want 3 (8 clusters / 3 per page)", pages)
+	}
+	// Pulled primary ranges answer warm with no training spent.
+	st := joiner.Stats()
+	if st.Cache.WarmRestores != int64(clusterCount) || st.Cache.Trainings != 0 {
+		t.Fatalf("joiner restored %d warm / trained %d, want %d/0", st.Cache.WarmRestores, st.Cache.Trainings, clusterCount)
+	}
+}
+
+// TestRouterConcurrentProbeSingleEjection pins the probe path's concurrency
+// contract: Run's ticker and test-driven ProbeOnce calls may overlap, and a
+// dead shard must be ejected exactly once (and re-admitted exactly once)
+// however many probe passes race over the transition. Run under -race this
+// also proves misses/probeConn are properly serialized.
+func TestRouterConcurrentProbeSingleEjection(t *testing.T) {
+	lc := startCluster(t, 3, nil)
+	if err := lc.KillShard(0); err != nil {
+		t.Fatal(err)
+	}
+
+	probeStorm := func() {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 4; i++ {
+					lc.Router().ProbeOnce()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	probeStorm()
+	st := lc.Router().Stats()
+	if st.Ejections != 1 {
+		t.Fatalf("32 racing probe passes ejected %d times, want exactly 1", st.Ejections)
+	}
+	if st.LiveShards != 2 {
+		t.Fatalf("%d live shards after ejection, want 2", st.LiveShards)
+	}
+
+	if _, err := lc.RestartShard(0); err != nil {
+		t.Fatal(err)
+	}
+	probeStorm()
+	st = lc.Router().Stats()
+	if st.Rejoins != 1 {
+		t.Fatalf("racing probe passes re-admitted %d times, want exactly 1", st.Rejoins)
+	}
+	if st.LiveShards != 3 {
+		t.Fatalf("%d live shards after rejoin, want 3", st.LiveShards)
+	}
+}

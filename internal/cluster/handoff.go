@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
@@ -14,19 +15,42 @@ import (
 // DefaultHandoffTimeout bounds one peer checkpoint pull.
 const DefaultHandoffTimeout = 10 * time.Second
 
+// DefaultReplicaGroups is the default owner count per cluster range (R):
+// a primary plus one successor replica, so any single shard death leaves a
+// warm copy of every trained policy.
+const DefaultReplicaGroups = 2
+
+// DefaultHandoffPageLimit is how many policy sections one anti-entropy GET
+// asks for. Caches larger than a page converge over multiple ?after= pulls.
+const DefaultHandoffPageLimit = 64
+
 // PullWarmState boots a joining shard warm: it asks each peer for the
-// checkpoint-v2 sections of exactly the clusters this shard owns and
-// installs whatever comes back, so a join or rejoin moves trained policies
-// instead of repaying their training budgets. Returns how many policies
-// were installed.
+// checkpoint-v2 sections of exactly the clusters this shard owns — as
+// primary or as successor replica — and installs whatever comes back, so a
+// join or rejoin moves trained policies instead of repaying their training
+// budgets. Installs run through the versioned idempotence gate with
+// role-aware provenance: primary-owned clusters land warm, replica-owned
+// ones land as replica copies (TTL-exempt). Returns how many policies were
+// installed.
+//
+// Each peer is drained in pages of pageLimit sections (?after= cursoring),
+// so a cache larger than one GET still converges; pageLimit <= 0 uses
+// DefaultHandoffPageLimit.
 //
 // Failures are soft by design — an unreachable peer, a torn stream, a
 // corrupt section — all of it just leaves some clusters cold, and the
 // shard's own cold path retrains them on demand. The per-section CRC
 // framing of the v2 format is what makes applying a partial transfer safe.
-func PullWarmState(s *serve.Server, peers []Shard, owned []int, timeout time.Duration, logf func(string, ...any)) int {
+func PullWarmState(s *serve.Server, peers []Shard, primary, replica []int, pageLimit int, timeout time.Duration, logf func(string, ...any)) int {
+	owned := make([]int, 0, len(primary)+len(replica))
+	owned = append(owned, primary...)
+	owned = append(owned, replica...)
+	sort.Ints(owned)
 	if len(owned) == 0 || len(peers) == 0 {
 		return 0
+	}
+	if pageLimit <= 0 {
+		pageLimit = DefaultHandoffPageLimit
 	}
 	if timeout <= 0 {
 		timeout = DefaultHandoffTimeout
@@ -34,7 +58,11 @@ func PullWarmState(s *serve.Server, peers []Shard, owned []int, timeout time.Dur
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	path := checkpointPath(owned)
+	primarySet := make(map[int]bool, len(primary))
+	for _, k := range primary {
+		primarySet[k] = true
+	}
+	isPrimary := func(k int) bool { return primarySet[k] }
 	installed := 0
 	for _, p := range peers {
 		conn, err := rawhttp.Dial(p.Addr)
@@ -43,24 +71,35 @@ func PullWarmState(s *serve.Server, peers []Shard, owned []int, timeout time.Dur
 			continue
 		}
 		conn.Timeout = timeout
-		code, body, err := conn.Do(rawhttp.BuildGetFrame(path))
-		if err != nil || code != http.StatusOK {
-			logf("cluster: handoff: peer %s pull failed: code=%d err=%v", p.ID, code, err)
-			conn.Close()
-			continue
+		// Page through the peer's export: ?after= resumes past the last
+		// cluster seen, and a short page (fewer sections than asked) means
+		// the peer is drained.
+		after := -1
+		for {
+			code, body, err := conn.Do(rawhttp.BuildGetFrame(checkpointPath(owned, after, pageLimit)))
+			if err != nil || code != http.StatusOK {
+				logf("cluster: handoff: peer %s pull failed: code=%d err=%v", p.ID, code, err)
+				break
+			}
+			res, err := s.InstallFromPeerCheckpoint(bytes.NewReader(body), isPrimary)
+			if err != nil {
+				logf("cluster: handoff: peer %s checkpoint: %v", p.ID, err)
+				break
+			}
+			installed += res.Installed
+			if res.Sections < pageLimit || res.MaxCluster <= after {
+				break
+			}
+			after = res.MaxCluster
 		}
-		n, err := s.InstallFromCheckpoint(bytes.NewReader(body))
-		if err != nil {
-			logf("cluster: handoff: peer %s checkpoint: %v", p.ID, err)
-		}
-		installed += n
 		conn.Close()
 	}
 	return installed
 }
 
-// checkpointPath renders the shard-scoped export URL for a cluster set.
-func checkpointPath(clusters []int) string {
+// checkpointPath renders the paged, shard-scoped export URL for a cluster
+// set: clusters > after, at most limit sections (limit <= 0 means all).
+func checkpointPath(clusters []int, after, limit int) string {
 	var b []byte
 	b = append(b, "/v1/checkpoint?clusters="...)
 	for i, k := range clusters {
@@ -69,14 +108,25 @@ func checkpointPath(clusters []int) string {
 		}
 		b = strconv.AppendInt(b, int64(k), 10)
 	}
+	if after >= 0 {
+		b = append(b, "&after="...)
+		b = strconv.AppendInt(b, int64(after), 10)
+	}
+	if limit > 0 {
+		b = append(b, "&limit="...)
+		b = strconv.AppendInt(b, int64(limit), 10)
+	}
 	return string(b)
 }
 
 // AssignIdentity computes a node's ownership on the full (all-member) ring
 // and records it on the server (visible in /v1/stats and /v1/cluster).
 // Ownership is a property of the deployment's member list, not of any
-// router's current live view. Returns the owned cluster keys.
-func AssignIdentity(s *serve.Server, self Shard, all []Shard, vnodes int) ([]int, error) {
+// router's current live view. With replicas >= 2 every cluster key gets
+// that many distinct owners; the first is the primary, the rest hold
+// successor-replica copies. Returns the node's primary- and replica-owned
+// cluster keys.
+func AssignIdentity(s *serve.Server, self Shard, all []Shard, vnodes, replicas int) (primary, replica []int, err error) {
 	ids := make([]string, 0, len(all))
 	found := false
 	for _, sh := range all {
@@ -86,27 +136,62 @@ func AssignIdentity(s *serve.Server, self Shard, all []Shard, vnodes int) ([]int
 		}
 	}
 	if !found {
-		return nil, fmt.Errorf("cluster: join: %q not in shard list", self.ID)
+		return nil, nil, fmt.Errorf("cluster: join: %q not in shard list", self.ID)
 	}
 	ring, err := NewRing(vnodes, ids)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	owned := ring.OwnedClusters(self.ID, s.Store().Len())
+	if replicas < 1 {
+		replicas = 1
+	}
+	primary, replica = ring.ReplicatedClusters(self.ID, s.Store().Len(), replicas)
 	s.SetClusterIdentity(serve.ClusterIdentity{
-		NodeID:        self.ID,
-		RingPositions: ring.VNodes(),
-		OwnedClusters: owned,
-		OwnedFraction: ring.OwnedFraction(self.ID),
+		NodeID:          self.ID,
+		RingPositions:   ring.VNodes(),
+		OwnedClusters:   primary,
+		OwnedFraction:   ring.OwnedFraction(self.ID),
+		ReplicaGroups:   replicas,
+		ReplicaClusters: replica,
 	})
-	return owned, nil
+	return primary, replica, nil
+}
+
+// EnableShardReplication wires the server's async replication queue against
+// the full-ring owner sets: after a demand training or speculative
+// promotion, the shard pushes that cluster's policy snapshot to the other
+// owners of its range. A no-op when replicas < 2 (nothing to push to).
+func EnableShardReplication(s *serve.Server, self Shard, all []Shard, vnodes, replicas int, logf func(string, ...any)) error {
+	if replicas < 2 {
+		return nil
+	}
+	ids := make([]string, 0, len(all))
+	addrs := make(map[string]string, len(all))
+	for _, sh := range all {
+		ids = append(ids, sh.ID)
+		addrs[sh.ID] = sh.Addr
+	}
+	ring, err := NewRing(vnodes, ids)
+	if err != nil {
+		return err
+	}
+	peersFor := func(cluster int) []string {
+		var out []string
+		for _, owner := range ring.OwnersFor(cluster, replicas) {
+			if owner != self.ID {
+				out = append(out, addrs[owner])
+			}
+		}
+		return out
+	}
+	return s.EnableReplication(serve.ReplicationConfig{PeersFor: peersFor, Logf: logf})
 }
 
 // JoinWarm is the one-call boot path for dcta-server's join flags and
 // LocalCluster's restart: assign identity from the full ring, then pull the
-// owned clusters' warm state from the peers.
-func JoinWarm(s *serve.Server, self Shard, all []Shard, vnodes int, timeout time.Duration, logf func(string, ...any)) (int, error) {
-	owned, err := AssignIdentity(s, self, all, vnodes)
+// owned (primary and replica) clusters' warm state from the peers.
+func JoinWarm(s *serve.Server, self Shard, all []Shard, vnodes, replicas int, timeout time.Duration, logf func(string, ...any)) (int, error) {
+	primary, replica, err := AssignIdentity(s, self, all, vnodes, replicas)
 	if err != nil {
 		return 0, err
 	}
@@ -116,5 +201,5 @@ func JoinWarm(s *serve.Server, self Shard, all []Shard, vnodes int, timeout time
 			peers = append(peers, sh)
 		}
 	}
-	return PullWarmState(s, peers, owned, timeout, logf), nil
+	return PullWarmState(s, peers, primary, replica, 0, timeout, logf), nil
 }

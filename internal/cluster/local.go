@@ -19,6 +19,10 @@ type LocalOptions struct {
 	Shards int
 	// VNodes is the per-shard virtual-node count (default DefaultVNodes).
 	VNodes int
+	// ReplicaGroups is the owner count per cluster range (R). Default 2:
+	// primary plus one successor replica, with async policy replication
+	// between them. 1 disables replication (single-owner, PR8 behavior).
+	ReplicaGroups int
 	// Serve configures every shard's server.
 	Serve serve.Config
 	// HTTP configures every shard's front-end.
@@ -41,6 +45,9 @@ func (o LocalOptions) withDefaults() LocalOptions {
 	}
 	if o.VNodes < 1 {
 		o.VNodes = DefaultVNodes
+	}
+	if o.ReplicaGroups < 1 {
+		o.ReplicaGroups = DefaultReplicaGroups
 	}
 	if o.HandoffTimeout <= 0 {
 		o.HandoffTimeout = DefaultHandoffTimeout
@@ -100,9 +107,15 @@ func StartLocal(template *core.Problem, store *core.EnvironmentStore, local *all
 	}
 	// Identities come from the full (all-member) ring: ownership is a
 	// property of the deployment, not of the router's current live view.
+	// Replication flows shard↔shard over the real addresses — a fault
+	// wrapper on the router→shard link never cuts the replica channel.
 	all := lc.allShards()
 	for i, sh := range lc.shards {
-		if _, err := AssignIdentity(sh.srv, all[i], all, opts.VNodes); err != nil {
+		if _, _, err := AssignIdentity(sh.srv, all[i], all, opts.VNodes, opts.ReplicaGroups); err != nil {
+			lc.Close()
+			return nil, err
+		}
+		if err := EnableShardReplication(sh.srv, all[i], all, opts.VNodes, opts.ReplicaGroups, opts.Logf); err != nil {
 			lc.Close()
 			return nil, err
 		}
@@ -223,6 +236,33 @@ func (lc *LocalCluster) Server(i int) *serve.Server {
 	return sh.srv
 }
 
+// ReplicaGroups is the deployment's owner count per cluster range.
+func (lc *LocalCluster) ReplicaGroups() int { return lc.opts.ReplicaGroups }
+
+// AwaitReplication polls until every live shard's replication queue has
+// drained (all enqueued snapshots pushed or dropped) or the timeout passes.
+// Chaos tests and the loadgen failover probe call this before killing a
+// primary, so "the replica holds the policy" is a fact, not a race.
+func (lc *LocalCluster) AwaitReplication(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		settled := true
+		for i := range lc.shards {
+			if srv := lc.Server(i); srv != nil && !srv.ReplicationSettled() {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // KillShard stops shard i's server (graceful drain, listener closed).
 // Requests owned by its ranges fail over to survivors on the router's next
 // ejection — by I/O error, drain 503, or missed probes, whichever fires
@@ -258,10 +298,16 @@ func (lc *LocalCluster) RestartShard(i int) (pulled int, err error) {
 		return 0, err
 	}
 	// Identity comes from the full member list — ownership never depends on
-	// who happens to be up. Pulls from still-dead peers fail soft.
-	pulled, err = JoinWarm(lc.Server(i), Shard{ID: sh.id, Addr: sh.addr}, lc.allShards(),
-		lc.opts.VNodes, lc.opts.HandoffTimeout, lc.opts.Logf)
+	// who happens to be up. Pulls from still-dead peers fail soft, and the
+	// paged anti-entropy pull streams back both primary and replica ranges.
+	self := Shard{ID: sh.id, Addr: sh.addr}
+	all := lc.allShards()
+	pulled, err = JoinWarm(lc.Server(i), self, all, lc.opts.VNodes, lc.opts.ReplicaGroups,
+		lc.opts.HandoffTimeout, lc.opts.Logf)
 	if err != nil {
+		return pulled, err
+	}
+	if err := EnableShardReplication(lc.Server(i), self, all, lc.opts.VNodes, lc.opts.ReplicaGroups, lc.opts.Logf); err != nil {
 		return pulled, err
 	}
 	lc.opts.Logf("cluster: shard %s restarted warm (%d policies pulled)\n", sh.id, pulled)

@@ -138,6 +138,63 @@ func (r *Ring) Owner(key int) string {
 	return r.points[i].node
 }
 
+// OwnersFor resolves a cluster key to its first n distinct owners in
+// successor order: the primary (identical to Owner) followed by the next
+// distinct nodes clockwise. The walk order gives the replica-group
+// failover property the router relies on: removing owners[0] from the
+// ring makes owners[1] the key's new primary, so an ejection needs no
+// routing change — the standard retry already lands on the replica.
+// Returns min(n, Len) owners; an empty ring owns nothing (nil).
+func (r *Ring) OwnersFor(key, n int) []string {
+	if len(r.points) == 0 || n < 1 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := keyHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if start == len(r.points) {
+		start = 0 // wrap past the highest point
+	}
+	owners := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
+		node := r.points[(start+i)%len(r.points)].node
+		if seen[node] {
+			continue
+		}
+		seen[node] = true
+		owners = append(owners, node)
+	}
+	return owners
+}
+
+// ReplicatedClusters enumerates the cluster keys in [0, total) for which a
+// node is one of the first replicas distinct owners, split by role: primary
+// (owners[0]) versus replica (owners[1..replicas-1]). With replicas <= 1 it
+// degenerates to OwnedClusters and an empty replica set.
+func (r *Ring) ReplicatedClusters(node string, total, replicas int) (primary, replica []int) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	for k := 0; k < total; k++ {
+		owners := r.OwnersFor(k, replicas)
+		for i, o := range owners {
+			if o != node {
+				continue
+			}
+			if i == 0 {
+				primary = append(primary, k)
+			} else {
+				replica = append(replica, k)
+			}
+			break
+		}
+	}
+	return primary, replica
+}
+
 // WithNode returns a new ring with the node added (no-op if present).
 func (r *Ring) WithNode(node string) (*Ring, error) {
 	for _, n := range r.nodes {

@@ -69,6 +69,11 @@ type RouterConfig struct {
 	// MaxBodyBytes bounds proxied request bodies (default 8 MiB, matching
 	// the serve front-end).
 	MaxBodyBytes int64
+	// ReplicaGroups is the deployment's owner count per cluster range (R),
+	// surfaced in stats. Informational only: the ring's successor order
+	// already makes a primary's ejection land its ranges on the replica, so
+	// routing needs no R-awareness (default DefaultReplicaGroups).
+	ReplicaGroups int
 	// Now is the stats clock (default time.Now).
 	Now func() time.Time
 	// Logf sinks membership transitions (default log.Printf).
@@ -97,6 +102,9 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.ReplicaGroups < 1 {
+		c.ReplicaGroups = DefaultReplicaGroups
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -111,13 +119,18 @@ func (c RouterConfig) withDefaults() RouterConfig {
 type shardState struct {
 	id, addr string
 
-	alive  atomic.Bool
-	misses int // consecutive failed probes; probe loop only
+	alive atomic.Bool
 
 	poolMu sync.Mutex
 	pool   []*rawhttp.Conn
 
-	probeConn *rawhttp.Conn // probe loop only
+	// probeMu serializes liveness probes of this shard: Run's ticker and a
+	// test-driven ProbeOnce may overlap, and misses/probeConn are plain
+	// fields. One probe pass per shard at a time also keeps the miss count
+	// meaning "consecutive probe windows", not "concurrent attempts".
+	probeMu   sync.Mutex
+	misses    int           // consecutive failed probes; guarded by probeMu
+	probeConn *rawhttp.Conn // guarded by probeMu
 
 	proxied  atomic.Int64 // requests this shard answered (any status)
 	hits     atomic.Int64 // answers served from a resident policy
@@ -329,13 +342,15 @@ func (r *Router) ProbeOnce() {
 
 var healthzFrame = rawhttp.BuildGetFrame("/healthz")
 
-// probe runs one liveness check against one shard. Only the probe loop
-// touches misses and probeConn. A cached connection that dies mid-probe
-// gets one fresh-dial retry in the same pass: a restarted shard presents
-// exactly that way (the stale connection fails at read, after the write
-// already landed in the socket buffer), and one probe pass must be enough
-// to re-admit it.
+// probe runs one liveness check against one shard, serialized per shard by
+// probeMu (Run's ticker and test-driven ProbeOnce calls may overlap). A
+// cached connection that dies mid-probe gets one fresh-dial retry in the
+// same pass: a restarted shard presents exactly that way (the stale
+// connection fails at read, after the write already landed in the socket
+// buffer), and one probe pass must be enough to re-admit it.
 func (r *Router) probe(ss *shardState) {
+	ss.probeMu.Lock()
+	defer ss.probeMu.Unlock()
 	ok := false
 	for attempt := 0; attempt < 2 && !ok; attempt++ {
 		if ss.probeConn == nil {
@@ -392,6 +407,7 @@ var (
 	routerNeedleHit      = []byte(`"cache":"` + serve.CacheHit + `"`)
 	routerNeedleWarm     = []byte(`"cache":"` + serve.CacheWarm + `"`)
 	routerNeedleSpec     = []byte(`"cache":"` + serve.CacheSpeculative + `"`)
+	routerNeedleReplica  = []byte(`"cache":"` + serve.CacheReplica + `"`)
 )
 
 // forward proxies one request body to the key's owner, retrying on the
@@ -440,7 +456,7 @@ func (r *Router) forward(path string, ws *proxyWS, key int) (code int, body []by
 				ss.degraded.Add(1)
 			}
 			if bytes.Contains(respBody, routerNeedleHit) || bytes.Contains(respBody, routerNeedleWarm) ||
-				bytes.Contains(respBody, routerNeedleSpec) {
+				bytes.Contains(respBody, routerNeedleSpec) || bytes.Contains(respBody, routerNeedleReplica) {
 				ss.hits.Add(1)
 			}
 		}
@@ -544,6 +560,7 @@ type RouterStats struct {
 	NoShard503s   int64           `json:"no_shard_503s"`
 	LiveShards    int             `json:"live_shards"`
 	VNodes        int             `json:"vnodes"`
+	ReplicaGroups int             `json:"replica_groups"`
 	Shards        []ShardCounters `json:"shards"`
 }
 
@@ -560,6 +577,7 @@ func (r *Router) Stats() RouterStats {
 		NoShard503s:   r.noShard.Load(),
 		LiveShards:    r.ring.Load().Len(),
 		VNodes:        r.cfg.VNodes,
+		ReplicaGroups: r.cfg.ReplicaGroups,
 	}
 	for _, info := range m.Shards {
 		ss := r.shards[info.ID]

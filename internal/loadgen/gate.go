@@ -104,11 +104,20 @@ func ScaleOutBar(procs int) float64 {
 	return float64(procs) / 2
 }
 
+// FailoverWarmBar is the floor on the warm-failover probe's warm fraction: at
+// least 90% of the answers for a killed primary's ranges must come from a
+// resident replica policy rather than a fresh retrain.
+const FailoverWarmBar = 0.9
+
 // ClusterGate checks a cluster sweep against the committed single-node
 // baseline: aggregate throughput must clear ScaleOutBar× the single-node
 // rate (slack-relieved), warm p99 may cost at most 2× the single-node tail
 // (the proxy hop plus one queueing epoch, slack-widened), and rebalancing
-// must never have surfaced a non-2xx to the client.
+// must never have surfaced a non-2xx to the client. A sweep that ran the
+// warm-failover probe (ClusterFailoverRequests > 0) additionally gates on
+// availability through the kill window (zero non-2xx) and on the warm
+// fraction clearing FailoverWarmBar — slack does not relieve either; they
+// are correctness properties, not latency.
 func ClusterGate(current, single Report, slack float64) []GateViolation {
 	var out []GateViolation
 	bar := ScaleOutBar(current.GOMAXPROCS)
@@ -141,6 +150,24 @@ func ClusterGate(current, single Report, slack float64) []GateViolation {
 			Current:  current.NonOKRate,
 			Limit:    0,
 		})
+	}
+	if current.ClusterFailoverRequests > 0 {
+		if current.ClusterFailoverNon2xx > 0 {
+			out = append(out, GateViolation{
+				Metric:   "cluster_failover_non2xx",
+				Baseline: 0,
+				Current:  float64(current.ClusterFailoverNon2xx),
+				Limit:    0,
+			})
+		}
+		if current.ClusterFailoverWarmFraction < FailoverWarmBar {
+			out = append(out, GateViolation{
+				Metric:   "cluster_failover_warm_fraction",
+				Baseline: FailoverWarmBar,
+				Current:  current.ClusterFailoverWarmFraction,
+				Limit:    FailoverWarmBar,
+			})
+		}
 	}
 	return out
 }

@@ -64,6 +64,12 @@ type Options struct {
 	// and the report carries per-shard and rebalance telemetry. Ignored
 	// when Addr points at an external server.
 	Shards int
+	// FailoverRequests, when positive in cluster mode, appends a warm-failover
+	// probe after the level sweeps: replication settles, the shard
+	// primary-owning the most workload keys is killed, this many allocates are
+	// driven at its ranges, and the warm fraction of the answers is recorded
+	// (then the victim restarts and rejoins). Ignored single-node.
+	FailoverRequests int
 	// ParityWorlds, when positive, appends a value-parity measurement over
 	// this many consecutive seeds (see WorstParity) to the report.
 	ParityWorlds int
@@ -95,13 +101,15 @@ func BaselineOptions(seed int64) Options {
 }
 
 // ClusterBaselineOptions is the canonical scale-out sweep behind
-// BENCH_PR8.json and the CI cluster gate: the BaselineOptions shape driven
-// through a 3-shard + router topology. Value parity is skipped — it is a
-// single-node training property already pinned by the single-node gate.
+// BENCH_PR9.json and the CI cluster gate: the BaselineOptions shape driven
+// through a 3-shard + router topology, ending with the 200-request
+// warm-failover probe. Value parity is skipped — it is a single-node
+// training property already pinned by the single-node gate.
 func ClusterBaselineOptions(seed int64) Options {
 	o := BaselineOptions(seed)
 	o.Shards = 3
 	o.ParityWorlds = 0
+	o.FailoverRequests = 200
 	return o
 }
 
@@ -222,6 +230,9 @@ type Result struct {
 	// Router is the routing tier's final telemetry in cluster mode (nil for
 	// single-node runs).
 	Router *cluster.RouterStats
+	// Failover is the warm-failover probe's aggregate (nil unless cluster
+	// mode ran with FailoverRequests > 0).
+	Failover *FailoverResult
 }
 
 // Run executes the two-phase sweep described by opts: build the world,
@@ -327,12 +338,27 @@ func Run(opts Options) (*Result, error) {
 	// The server-side cold-start counters (warm starts, early stops,
 	// speculation) ride along in the report so operators can see transfer
 	// efficacy next to the latency numbers. In cluster mode they are summed
-	// across the shards, and the router's per-shard ledger is reported so a
-	// scale-out run is observable end to end.
+	// across the shards — snapshotted before the failover probe, whose victim
+	// restart would zero that shard's counters — and the router's per-shard
+	// ledger is reported so a scale-out run is observable end to end.
 	var stats serve.Stats
-	var routerStats *cluster.RouterStats
 	if topo != nil {
 		stats = sumShardStats(topo)
+	}
+
+	// In cluster mode, the warm-failover probe runs after the level sweeps:
+	// kill the busiest primary and measure how much of its traffic the
+	// replica answers warm.
+	var failover *FailoverResult
+	if topo != nil && opts.FailoverRequests > 0 {
+		failover, err = FailoverProbe(topo, scn.Store, wl, opts.FailoverRequests, opts.Logf)
+		if err != nil {
+			return nil, fmt.Errorf("failover probe: %w", err)
+		}
+	}
+
+	var routerStats *cluster.RouterStats
+	if topo != nil {
 		rs := topo.Router().Stats()
 		routerStats = &rs
 		for _, sc := range rs.Shards {
@@ -365,8 +391,17 @@ func Run(opts Options) (*Result, error) {
 		rep.ClusterShards = opts.Shards
 		rep.ClusterRetries = routerStats.Retries
 		rep.ClusterRebalances = routerStats.Rebalances
+		if stats.Replication != nil {
+			rep.ClusterReplicationPushes = stats.Replication.Pushes
+			rep.ClusterReplicationDropped = stats.Replication.Dropped
+		}
+		if failover != nil {
+			rep.ClusterFailoverRequests = failover.Requests
+			rep.ClusterFailoverNon2xx = failover.Non2xx
+			rep.ClusterFailoverWarmFraction = failover.WarmFraction
+		}
 	}
-	return &Result{Cold: cold, Levels: results, Report: rep, Router: routerStats}, nil
+	return &Result{Cold: cold, Levels: results, Report: rep, Router: routerStats, Failover: failover}, nil
 }
 
 // sumShardStats folds every shard's serve counters into one aggregate view
@@ -388,6 +423,17 @@ func sumShardStats(topo *cluster.LocalCluster) serve.Stats {
 		agg.Cache.SpeculativeTrainings += st.Cache.SpeculativeTrainings
 		agg.Cache.SpeculativeInstalls += st.Cache.SpeculativeInstalls
 		agg.Cache.SpeculativeHits += st.Cache.SpeculativeHits
+		agg.Cache.ReplicaInstalls += st.Cache.ReplicaInstalls
+		agg.Cache.ReplicaHits += st.Cache.ReplicaHits
+		if rs := st.Replication; rs != nil {
+			if agg.Replication == nil {
+				agg.Replication = &serve.ReplicationStats{}
+			}
+			agg.Replication.Enqueued += rs.Enqueued
+			agg.Replication.Pushes += rs.Pushes
+			agg.Replication.Dropped += rs.Dropped
+			agg.Replication.Errors += rs.Errors
+		}
 	}
 	return agg
 }
@@ -450,10 +496,11 @@ func ColdSweep(addr string, wl *Workload) (*ColdResult, error) {
 // the serialized fields. The compile-time checks below pin the constants
 // these needles are built from; TestNeedlesMatchWire pins the wire format.
 var (
-	needleCacheHit  = []byte(`"cache":"` + serve.CacheHit + `"`)
-	needleCacheWarm = []byte(`"cache":"` + serve.CacheWarm + `"`)
-	needleCacheSpec = []byte(`"cache":"` + serve.CacheSpeculative + `"`)
-	needleDegraded  = []byte(`"mode":"` + serve.ModeDegraded + `"`)
+	needleCacheHit     = []byte(`"cache":"` + serve.CacheHit + `"`)
+	needleCacheWarm    = []byte(`"cache":"` + serve.CacheWarm + `"`)
+	needleCacheSpec    = []byte(`"cache":"` + serve.CacheSpeculative + `"`)
+	needleCacheReplica = []byte(`"cache":"` + serve.CacheReplica + `"`)
+	needleDegraded     = []byte(`"mode":"` + serve.ModeDegraded + `"`)
 )
 
 // RunLevel runs one closed-loop phase: `concurrency` workers each looping
@@ -505,7 +552,7 @@ func RunLevel(addr string, wl *Workload, concurrency, requests, feedbackNth int)
 				}
 				st.lats = append(st.lats, float64(time.Since(t0).Nanoseconds()))
 				if bytes.Contains(body, needleCacheHit) || bytes.Contains(body, needleCacheWarm) ||
-					bytes.Contains(body, needleCacheSpec) {
+					bytes.Contains(body, needleCacheSpec) || bytes.Contains(body, needleCacheReplica) {
 					st.hits++
 				}
 				if bytes.Contains(body, needleDegraded) {

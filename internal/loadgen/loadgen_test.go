@@ -182,6 +182,46 @@ func TestGate(t *testing.T) {
 	}
 }
 
+func TestClusterGateFailover(t *testing.T) {
+	single := Report{WarmP99Ns: 1000, BestThroughputRPS: 10000}
+	good := Report{
+		GOMAXPROCS:                  1,
+		WarmP99Ns:                   1000,
+		BestThroughputRPS:           10000,
+		ClusterFailoverRequests:     200,
+		ClusterFailoverWarmFraction: 0.95,
+	}
+	if v := ClusterGate(good, single, 0.25); len(v) != 0 {
+		t.Fatalf("healthy failover run should pass: %v", v)
+	}
+
+	low := good
+	low.ClusterFailoverWarmFraction = 0.8
+	v := ClusterGate(low, single, 0.25)
+	if len(v) != 1 || v[0].Metric != "cluster_failover_warm_fraction" {
+		t.Fatalf("cold failover not caught: %v", v)
+	}
+	// Slack is a latency tolerance; it must not forgive a cold failover.
+	if v := ClusterGate(low, single, 4); len(v) != 1 {
+		t.Fatalf("slack forgave a cold failover: %v", v)
+	}
+
+	dropped := good
+	dropped.ClusterFailoverNon2xx = 3
+	v = ClusterGate(dropped, single, 0.25)
+	if len(v) != 1 || v[0].Metric != "cluster_failover_non2xx" {
+		t.Fatalf("failover non-2xx not caught: %v", v)
+	}
+
+	// A sweep that never ran the probe (pre-PR9 record) is not gated on it.
+	noProbe := good
+	noProbe.ClusterFailoverRequests = 0
+	noProbe.ClusterFailoverWarmFraction = 0
+	if v := ClusterGate(noProbe, single, 0.25); len(v) != 0 {
+		t.Fatalf("probe-less sweep gated on failover: %v", v)
+	}
+}
+
 func TestBaselineOptionsShape(t *testing.T) {
 	o := BaselineOptions(7)
 	if o.Seed != 7 || o.Scale != "fast" || len(o.Levels) == 0 || o.Requests < 1 {

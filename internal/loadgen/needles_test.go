@@ -27,6 +27,10 @@ func TestNeedlesMatchWire(t *testing.T) {
 	if !bytes.Contains(warm, needleCacheWarm) {
 		t.Fatalf("warm needle %q missing from wire %q", needleCacheWarm, warm)
 	}
+	repl, _ := json.Marshal(serve.AllocateResponse{Cache: serve.CacheReplica, Mode: serve.ModeNormal})
+	if !bytes.Contains(repl, needleCacheReplica) {
+		t.Fatalf("replica needle %q missing from wire %q", needleCacheReplica, repl)
+	}
 	deg, _ := json.Marshal(serve.AllocateResponse{Cache: "bypass", Mode: serve.ModeDegraded})
 	if !bytes.Contains(deg, needleDegraded) {
 		t.Fatalf("degraded needle %q missing from wire %q", needleDegraded, deg)

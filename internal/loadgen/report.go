@@ -45,6 +45,15 @@ type Report struct {
 	ClusterShards     int   `json:"cluster_shards,omitempty"`
 	ClusterRetries    int64 `json:"cluster_retries,omitempty"`
 	ClusterRebalances int64 `json:"cluster_rebalances,omitempty"`
+	// Replica-group metrics (PR-9; absent in older cluster records). The
+	// failover fields come from the post-sweep warm-failover probe: kill the
+	// busiest primary, drive its ranges, record what fraction of the
+	// successful answers were served from a resident policy.
+	ClusterReplicationPushes    int64   `json:"cluster_replication_pushes,omitempty"`
+	ClusterReplicationDropped   int64   `json:"cluster_replication_dropped,omitempty"`
+	ClusterFailoverRequests     int     `json:"cluster_failover_requests,omitempty"`
+	ClusterFailoverNon2xx       int     `json:"cluster_failover_non2xx,omitempty"`
+	ClusterFailoverWarmFraction float64 `json:"cluster_failover_warm_fraction,omitempty"`
 }
 
 // BuildReport folds the per-level aggregates into the flat record. The

@@ -10,9 +10,13 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
-
-	"repro/internal/serve"
 )
+
+// allocBody mirrors serve.AllocateRequest's wire shape; the real type lives
+// in a package that now imports this one, so the test keeps its own copy.
+type allocBody struct {
+	Signature []float64 `json:"signature"`
+}
 
 // fastServer starts a net/http server (the same stack dcta-server uses) and
 // returns its host:port.
@@ -29,7 +33,7 @@ func TestConnRoundTripAndKeepAlive(t *testing.T) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/allocate", func(w http.ResponseWriter, r *http.Request) {
 		hits.Add(1)
-		var req serve.AllocateRequest
+		var req allocBody
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -52,7 +56,7 @@ func TestConnRoundTripAndKeepAlive(t *testing.T) {
 	defer conn.Close()
 
 	for i := 0; i < 5; i++ {
-		body, _ := json.Marshal(serve.AllocateRequest{Signature: []float64{float64(i)}})
+		body, _ := json.Marshal(allocBody{Signature: []float64{float64(i)}})
 		code, resp, err := conn.Do(BuildFrame("/v1/allocate", body))
 		if err != nil {
 			t.Fatalf("do %d: %v", i, err)

@@ -35,6 +35,11 @@ const (
 	// (full TTL from promotion time); the outcome keeps reporting the
 	// speculative provenance so operators can see transfer efficacy.
 	CacheSpeculative = "speculative"
+	// CacheReplica served from a policy a peer shard replicated here — the
+	// receiving side of the replica-group push. Replica entries are exempt
+	// from demand TTL churn (the primary retrains and re-pushes; the replica
+	// only holds the copy for failover) but drift invalidation stays live.
+	CacheReplica = "replica"
 	// CacheBypass marks a degraded answer that never consulted a policy:
 	// the fallback allocator computed it directly from the store.
 	CacheBypass = "bypass"
@@ -47,6 +52,7 @@ const (
 	provDemand      = iota // trained because a request needed it
 	provCheckpoint         // restored from a checkpoint, not trained here
 	provSpeculative        // pre-trained on idle gate capacity
+	provReplica            // pushed by the cluster's primary owner
 )
 
 // specFraction discounts the TTL and drift tolerance of speculative policies
@@ -183,6 +189,12 @@ type policyCache struct {
 	// successful demand training — the speculative pre-trainer's trigger.
 	onTrained func(cluster int)
 
+	// onReplicate, when non-nil, runs after every successful demand training
+	// and after the first promotion of a speculative entry — the replication
+	// sender's trigger. It must never block (the replicator's enqueue is a
+	// non-blocking channel send); it is called inline from the serving path.
+	onReplicate func(cluster int)
+
 	shards []*cacheShard
 	mask   int
 
@@ -207,6 +219,9 @@ type policyCache struct {
 	specTrainings            atomic.Int64 // speculative pre-trainings completed
 	specInstalls             atomic.Int64 // speculative policies installed
 	specHits                 atomic.Int64 // requests served by a speculative policy
+	replicaInstalls          atomic.Int64 // peer-pushed policies installed
+	replicaStale             atomic.Int64 // peer pushes refused as stale (no-op)
+	replicaHits              atomic.Int64 // requests served by a replica-held policy
 }
 
 // shardCount returns the largest power of two ≤ min(want, capacity), so a
@@ -339,9 +354,13 @@ func (c *policyCache) get(ctx context.Context, key int) (*policyEntry, string, e
 			sh.removeLocked(e)
 		default:
 			sh.lru.MoveToFront(e.elem)
+			promoted := false
 			switch e.prov {
 			case provCheckpoint:
 				outcome = CacheWarm
+			case provReplica:
+				outcome = CacheReplica
+				c.replicaHits.Add(1)
 			case provSpeculative:
 				outcome = CacheSpeculative
 				c.specHits.Add(1)
@@ -349,10 +368,16 @@ func (c *policyCache) get(ctx context.Context, key int) (*policyEntry, string, e
 				// demand-confirmed, so it earns the full TTL from now.
 				if e.promotedAt.Load() == 0 {
 					e.promotedAt.Store(c.now().UnixNano())
+					promoted = true
 				}
 			}
 			sh.mu.Unlock()
 			c.hits.Add(1)
+			if promoted && c.onReplicate != nil {
+				// A promoted speculative policy is now demand-confirmed state
+				// worth protecting; push it to the cluster's replica owner.
+				c.onReplicate(key)
+			}
 			return e, outcome, nil
 		}
 		return sh.startTrainingLocked(ctx, key, outcome)
@@ -367,6 +392,13 @@ func (c *policyCache) get(ctx context.Context, key int) (*policyEntry, string, e
 // promotion time — "refreshed by real traffic" resets the clock.
 func (c *policyCache) expiredLocked(e *policyEntry) bool {
 	if c.ttl <= 0 {
+		return false
+	}
+	if e.prov == provReplica {
+		// Replica-held copies never age out on demand TTL: their primary
+		// retrains and re-pushes newer versions, and evicting them here would
+		// turn a primary death into a cold failover. Drift invalidation and
+		// versioned re-push are their refresh paths.
 		return false
 	}
 	ttl, ref := c.ttl, e.trainedAt
@@ -459,10 +491,15 @@ func (sh *cacheShard) runTraining(e *policyEntry) {
 	}
 	sh.mu.Unlock()
 	close(e.ready)
-	if err == nil && c.onTrained != nil {
-		// The hot cluster just trained; let the pre-trainer predict and warm
-		// its neighbours off the request path.
-		go c.onTrained(e.key)
+	if err == nil {
+		if c.onReplicate != nil {
+			c.onReplicate(e.key) // non-blocking enqueue by contract
+		}
+		if c.onTrained != nil {
+			// The hot cluster just trained; let the pre-trainer predict and
+			// warm its neighbours off the request path.
+			go c.onTrained(e.key)
+		}
 	}
 }
 
@@ -626,6 +663,49 @@ func (c *policyCache) install(key int, crl *core.CRL, imp []float64, trainedAt t
 	c.warmRestores.Add(1)
 }
 
+// installVersioned publishes a peer-supplied policy (replication push or
+// anti-entropy pull) if and only if it is strictly newer than what is
+// resident — the idempotence rule that makes replication pushes and repeated
+// anti-entropy pulls safe to replay in any order. An in-flight local
+// training always wins (its result is at least as fresh and the map slot is
+// owned by its leader), as does a resident healthy entry with an equal or
+// newer trainedAt. Returns whether the policy was installed; refusals count
+// as stale pushes.
+func (c *policyCache) installVersioned(key int, crl *core.CRL, imp []float64, trainedAt time.Time, prov int) bool {
+	e := &policyEntry{
+		key:       key,
+		ready:     make(chan struct{}),
+		replicas:  make(chan *core.CRL, c.replicas),
+		crl:       crl,
+		imp:       imp,
+		trainedAt: trainedAt,
+		prov:      prov,
+		resolved:  true,
+	}
+	e.co = newCoalescer(c, e)
+	close(e.ready)
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if old, ok := sh.entries[key]; ok {
+		if !old.resolved || (old.err == nil && !trainedAt.After(old.trainedAt)) {
+			sh.mu.Unlock()
+			c.replicaStale.Add(1)
+			return false
+		}
+		sh.removeLocked(old)
+	}
+	e.elem = sh.lru.PushFront(e)
+	sh.entries[key] = e
+	sh.evictLocked()
+	sh.mu.Unlock()
+	if prov == provReplica {
+		c.replicaInstalls.Add(1)
+	} else {
+		c.warmRestores.Add(1)
+	}
+	return true
+}
+
 // installSpeculative publishes a speculatively pre-trained policy. Unlike
 // install it NEVER displaces a resident entry — if a demand training raced
 // past the pre-trainer (resolved or in flight), the speculative result is
@@ -756,6 +836,13 @@ type CacheStats struct {
 	SpeculativeTrainings int64 `json:"speculative_trainings"`
 	SpeculativeInstalls  int64 `json:"speculative_installs"`
 	SpeculativeHits      int64 `json:"speculative_hits"`
+	// Replica-group counters: ReplicaInstalls counts peer-pushed policies
+	// installed here, ReplicaStale pushes refused as not-newer (the
+	// idempotence no-op), and ReplicaHits requests answered by a replica-held
+	// policy — the warm-failover signal.
+	ReplicaInstalls int64 `json:"replica_installs"`
+	ReplicaStale    int64 `json:"replica_stale"`
+	ReplicaHits     int64 `json:"replica_hits"`
 }
 
 func (c *policyCache) stats() CacheStats {
@@ -801,5 +888,8 @@ func (c *policyCache) stats() CacheStats {
 		SpeculativeTrainings: c.specTrainings.Load(),
 		SpeculativeInstalls:  c.specInstalls.Load(),
 		SpeculativeHits:      c.specHits.Load(),
+		ReplicaInstalls:      c.replicaInstalls.Load(),
+		ReplicaStale:         c.replicaStale.Load(),
+		ReplicaHits:          c.replicaHits.Load(),
 	}
 }

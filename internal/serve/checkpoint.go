@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -66,6 +67,10 @@ type checkpointEntry struct {
 // provSpeculativeName is checkpointEntry.Provenance's wire value for
 // unpromoted speculative entries.
 const provSpeculativeName = "speculative"
+
+// provReplicaName is checkpointEntry.Provenance's wire value for policies a
+// peer replicated here: they restore with the same TTL exemption they had.
+const provReplicaName = "replica"
 
 // writeSection frames one JSON payload.
 func writeSection(w io.Writer, v any) error {
@@ -129,28 +134,71 @@ func (s *Server) SaveCheckpointFor(w io.Writer, keep func(cluster int) bool) err
 		if keep != nil && !keep(e.key) {
 			continue
 		}
-		policy, err := e.crl.MarshalJSON()
-		if err != nil {
-			return fmt.Errorf("serve: checkpoint cluster %d: %w", e.key, err)
+		if err := s.writeEntrySection(w, e); err != nil {
+			return err
 		}
-		entry := checkpointEntry{
-			Cluster:    e.key,
-			TrainedAt:  e.trainedAt,
-			Importance: e.imp,
-			Policy:     policy,
+	}
+	return nil
+}
+
+// SaveCheckpointPage is SaveCheckpointFor in ascending-cluster order with a
+// resumable cursor: only clusters strictly greater than after are written,
+// at most limit entries (limit <= 0 means all). The deterministic order is
+// what makes GET /v1/checkpoint?after=K chunkable — a puller walks the key
+// space in pages, and a page short of limit entries signals the end. Returns
+// the number of entry sections written.
+func (s *Server) SaveCheckpointPage(w io.Writer, keep func(cluster int) bool, after, limit int) (int, error) {
+	entries := s.cache.snapshot()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	if _, err := w.Write(checkpointMagic); err != nil {
+		return 0, fmt.Errorf("serve: checkpoint write: %w", err)
+	}
+	header := checkpoint{Version: checkpointVersion, SavedAt: s.cfg.Now()}
+	if err := writeSection(w, header); err != nil {
+		return 0, fmt.Errorf("serve: checkpoint header: %w", err)
+	}
+	written := 0
+	for _, e := range entries {
+		if e.key <= after || (keep != nil && !keep(e.key)) {
+			continue
 		}
-		if e.prov == provSpeculative {
-			if p := e.promotedAt.Load(); p != 0 {
-				// Promoted by real traffic: persists as a demand-confirmed
-				// policy whose TTL clock started at promotion.
-				entry.TrainedAt = time.Unix(0, p)
-			} else {
-				entry.Provenance = provSpeculativeName
-			}
+		if limit > 0 && written >= limit {
+			break
 		}
-		if err := writeSection(w, entry); err != nil {
-			return fmt.Errorf("serve: checkpoint cluster %d: %w", e.key, err)
+		if err := s.writeEntrySection(w, e); err != nil {
+			return written, err
 		}
+		written++
+	}
+	return written, nil
+}
+
+// writeEntrySection frames one cache entry in the checkpoint wire format.
+func (s *Server) writeEntrySection(w io.Writer, e *policyEntry) error {
+	policy, err := e.crl.MarshalJSON()
+	if err != nil {
+		return fmt.Errorf("serve: checkpoint cluster %d: %w", e.key, err)
+	}
+	entry := checkpointEntry{
+		Cluster:    e.key,
+		TrainedAt:  e.trainedAt,
+		Importance: e.imp,
+		Policy:     policy,
+	}
+	switch e.prov {
+	case provSpeculative:
+		if p := e.promotedAt.Load(); p != 0 {
+			// Promoted by real traffic: persists as a demand-confirmed
+			// policy whose TTL clock started at promotion.
+			entry.TrainedAt = time.Unix(0, p)
+		} else {
+			entry.Provenance = provSpeculativeName
+		}
+	case provReplica:
+		entry.Provenance = provReplicaName
+	}
+	if err := writeSection(w, entry); err != nil {
+		return fmt.Errorf("serve: checkpoint cluster %d: %w", e.key, err)
 	}
 	return nil
 }
@@ -163,12 +211,24 @@ func (s *Server) SaveCheckpointFor(w io.Writer, keep func(cluster int) bool) err
 // magic/header or a truncated frame stream — aborts the restore, and even
 // then the entries already installed stay.
 func (s *Server) LoadCheckpoint(r io.Reader) (int, error) {
+	return s.loadCheckpointStream(r, true, s.restoreEntry)
+}
+
+// loadCheckpointStream walks a checkpoint stream and calls apply per
+// undamaged entry section, counting the entries apply accepted. allowV1
+// enables the bare-JSON fallback (file restores keep it; peer streams are
+// always v2). Damage containment is apply-independent: readSection framing
+// and per-section CRC decide what apply ever sees.
+func (s *Server) loadCheckpointStream(r io.Reader, allowV1 bool, apply func(checkpointEntry) bool) (int, error) {
 	magic := make([]byte, len(checkpointMagic))
 	n, _ := io.ReadFull(r, magic)
 	if !bytes.Equal(magic[:n], checkpointMagic) {
+		if !allowV1 {
+			return 0, fmt.Errorf("serve: checkpoint decode: bad magic")
+		}
 		// Not a v2 stream: replay the sniffed bytes and try the v1 bare-JSON
 		// format.
-		return s.loadCheckpointV1(io.MultiReader(bytes.NewReader(magic[:n]), r))
+		return s.loadCheckpointV1(io.MultiReader(bytes.NewReader(magic[:n]), r), apply)
 	}
 
 	restored := 0
@@ -211,7 +271,7 @@ func (s *Server) LoadCheckpoint(r io.Reader) (int, error) {
 			s.skipCheckpointSection("entry", err)
 			continue
 		}
-		if s.restoreEntry(entry) {
+		if apply(entry) {
 			restored++
 		}
 	}
@@ -221,7 +281,7 @@ func (s *Server) LoadCheckpoint(r io.Reader) (int, error) {
 // loadCheckpointV1 decodes the original bare-JSON format. Per-entry damage
 // is skipped just like v2, but there is no per-entry CRC: a corrupt v1 file
 // usually fails the whole JSON decode.
-func (s *Server) loadCheckpointV1(r io.Reader) (int, error) {
+func (s *Server) loadCheckpointV1(r io.Reader, apply func(checkpointEntry) bool) (int, error) {
 	var ck checkpoint
 	if err := json.NewDecoder(r).Decode(&ck); err != nil {
 		return 0, fmt.Errorf("serve: checkpoint decode: %w", err)
@@ -231,7 +291,7 @@ func (s *Server) loadCheckpointV1(r io.Reader) (int, error) {
 	}
 	restored := 0
 	for _, e := range ck.Entries {
-		if s.restoreEntry(e) {
+		if apply(e) {
 			restored++
 		}
 	}
@@ -255,11 +315,34 @@ func (s *Server) restoreEntry(e checkpointEntry) bool {
 		return false
 	}
 	prov := provCheckpoint
-	if e.Provenance == provSpeculativeName {
+	switch e.Provenance {
+	case provSpeculativeName:
 		prov = provSpeculative
+	case provReplicaName:
+		prov = provReplica
 	}
 	s.cache.install(e.Cluster, crl, e.Importance, e.TrainedAt, prov)
 	return true
+}
+
+// decodeEntryPolicy resolves one checkpoint entry's policy against this
+// server's store, or reports why it cannot install (a nil error with ok ==
+// false means the entry outlived the store — not damage).
+func (s *Server) decodeEntryPolicy(e checkpointEntry) (crl *core.CRL, ok bool) {
+	if _, err := s.store.At(e.Cluster); err != nil {
+		return nil, false // checkpoint outlived its history; not damage
+	}
+	sub, err := s.clusterStore(e.Cluster)
+	if err != nil {
+		s.skipCheckpointSection(fmt.Sprintf("cluster %d store", e.Cluster), err)
+		return nil, false
+	}
+	crl, err = core.LoadCRL(e.Policy, sub)
+	if err != nil {
+		s.skipCheckpointSection(fmt.Sprintf("cluster %d policy", e.Cluster), err)
+		return nil, false
+	}
+	return crl, true
 }
 
 func (s *Server) skipCheckpointSection(what string, err error) {

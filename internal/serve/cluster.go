@@ -25,6 +25,12 @@ type ClusterIdentity struct {
 	OwnedClusters []int `json:"owned_clusters"`
 	// OwnedFraction is the shard's share of the hash space.
 	OwnedFraction float64 `json:"owned_fraction"`
+	// ReplicaGroups is the fleet's owner count per cluster (R); 0 or 1 means
+	// unreplicated.
+	ReplicaGroups int `json:"replica_groups,omitempty"`
+	// ReplicaClusters are the store indices the shard holds as a non-primary
+	// owner (successor replica) on the full ring.
+	ReplicaClusters []int `json:"replica_clusters,omitempty"`
 }
 
 // ClusterNodeStats is the cluster section of /v1/stats: identity plus the
@@ -35,6 +41,11 @@ type ClusterNodeStats struct {
 	HandoffServes int64 `json:"handoff_serves"`
 	// HandoffPulls counts policies this node installed from peer checkpoints.
 	HandoffPulls int64 `json:"handoff_pulls"`
+	// ReplicaInstalls/ReplicaStale/ReplicaHits mirror the cache's
+	// replica-group counters for operators reading /v1/cluster.
+	ReplicaInstalls int64 `json:"replica_installs"`
+	ReplicaStale    int64 `json:"replica_stale"`
+	ReplicaHits     int64 `json:"replica_hits"`
 }
 
 // SetClusterIdentity records the shard's cluster membership (shown in stats
@@ -44,6 +55,8 @@ func (s *Server) SetClusterIdentity(id ClusterIdentity) {
 	defer s.clusterMu.Unlock()
 	id.OwnedClusters = append([]int(nil), id.OwnedClusters...)
 	sort.Ints(id.OwnedClusters)
+	id.ReplicaClusters = append([]int(nil), id.ReplicaClusters...)
+	sort.Ints(id.ReplicaClusters)
 	s.clusterID = &id
 }
 
@@ -68,6 +81,9 @@ func (s *Server) clusterNodeStats() *ClusterNodeStats {
 		ClusterIdentity: *id,
 		HandoffServes:   s.handoffServes.Load(),
 		HandoffPulls:    s.handoffPulls.Load(),
+		ReplicaInstalls: s.cache.replicaInstalls.Load(),
+		ReplicaStale:    s.cache.replicaStale.Load(),
+		ReplicaHits:     s.cache.replicaHits.Load(),
 	}
 }
 
@@ -81,6 +97,19 @@ func (s *Server) InstallFromCheckpoint(r io.Reader) (int, error) {
 		s.handoffPulls.Add(int64(n))
 	}
 	return n, err
+}
+
+// InstallFromPeerCheckpoint is the anti-entropy install path: a page of a
+// peer's checkpoint export applied through the versioned idempotence gate
+// (InstallReplicated), with role-aware provenance — clusters this node
+// primary-owns install warm, the rest as replica copies — and installed
+// entries counted as handoff pulls.
+func (s *Server) InstallFromPeerCheckpoint(r io.Reader, primary func(cluster int) bool) (InstallResult, error) {
+	res, err := s.InstallReplicated(r, primary)
+	if res.Installed > 0 {
+		s.handoffPulls.Add(int64(res.Installed))
+	}
+	return res, err
 }
 
 // parseClusterSet parses the /v1/checkpoint "clusters" query parameter: a
@@ -106,13 +135,18 @@ func parseClusterSet(raw string) (map[int]bool, error) {
 
 // handleCheckpointExport serves GET /v1/checkpoint: the node's policy cache
 // in checkpoint-v2 format, optionally filtered to ?clusters=3,17,42 — the
-// shard-scoped export a joining peer pulls to boot warm.
+// shard-scoped export a joining peer pulls to boot warm. The chunked,
+// resumable form adds ?after=K (clusters strictly greater than K, ascending)
+// and ?limit=N (at most N entry sections): a cache larger than one GET
+// converges over multiple pulls, each page safe to apply independently
+// thanks to the per-section CRC and the receiver's version gate.
 func (s *Server) handleCheckpointExport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET only"))
 		return
 	}
-	keepSet, err := parseClusterSet(r.URL.Query().Get("clusters"))
+	q := r.URL.Query()
+	keepSet, err := parseClusterSet(q.Get("clusters"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -121,10 +155,23 @@ func (s *Server) handleCheckpointExport(w http.ResponseWriter, r *http.Request) 
 	if keepSet != nil {
 		keep = func(k int) bool { return keepSet[k] }
 	}
+	after, limit := -1, 0
+	if raw := q.Get("after"); raw != "" {
+		if after, err = strconv.Atoi(raw); err != nil || after < -1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad after %q", raw))
+			return
+		}
+	}
+	if raw := q.Get("limit"); raw != "" {
+		if limit, err = strconv.Atoi(raw); err != nil || limit < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", raw))
+			return
+		}
+	}
 	// Buffer the checkpoint so an encoding failure can still answer 500;
-	// exports are a few policies, not bulk data.
+	// exports are a page of policies, not bulk data.
 	var buf bytes.Buffer
-	if err := s.SaveCheckpointFor(&buf, keep); err != nil {
+	if _, err := s.SaveCheckpointPage(&buf, keep, after, limit); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}

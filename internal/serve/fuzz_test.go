@@ -83,3 +83,52 @@ func FuzzLoadCheckpoint(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeReplicate throws arbitrary bytes at the replication receiver —
+// the exact stream POST /v1/replicate and the anti-entropy pull install. It
+// must never panic, never accept the legacy v1 format, and keep its result
+// counters coherent on any input.
+func FuzzDecodeReplicate(f *testing.F) {
+	seedSrv := fuzzServer(f)
+	if _, err := seedSrv.Allocate(context.Background(), AllocateRequest{Signature: []float64{0}}); err != nil {
+		f.Fatal(err)
+	}
+	// A real replication snapshot (single-cluster page), a full page, a
+	// bit-flipped one, a truncated one, a v1 payload (must be refused), and
+	// structural garbage.
+	var page bytes.Buffer
+	if _, err := seedSrv.SaveCheckpointPage(&page, func(k int) bool { return k == 0 }, -1, 0); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), page.Bytes()...))
+	var full bytes.Buffer
+	if _, err := seedSrv.SaveCheckpointPage(&full, nil, -1, 0); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), full.Bytes()...))
+	flipped := append([]byte(nil), page.Bytes()...)
+	flipped[len(flipped)/2] ^= 0xFF
+	f.Add(flipped)
+	f.Add(append([]byte(nil), page.Bytes()...)[:page.Len()*2/3])
+	f.Add([]byte(`{"version":1,"entries":[]}`))
+	f.Add([]byte("DCTACKP\x01"))
+	f.Add([]byte("DCTACKP\x02"))
+	f.Add([]byte("DCTACKP\x02\xFF\xFF\xFF\xFF\x00\x00\x00\x00"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := fuzzServer(t)
+		res, err := s.InstallReplicated(bytes.NewReader(data), func(int) bool { return false })
+		if res.Installed < 0 || res.Stale < 0 || res.Installed+res.Stale > res.Sections {
+			t.Fatalf("incoherent install result %+v", res)
+		}
+		if !bytes.HasPrefix(data, []byte(checkpointMagic)) && res.Sections != 0 {
+			t.Fatalf("non-v2 input decoded %d sections (err=%v)", res.Sections, err)
+		}
+		// Whatever was installed, the cache must stay serviceable.
+		var out bytes.Buffer
+		if err := s.SaveCheckpoint(&out); err != nil {
+			t.Fatalf("cache unserviceable after install: %v", err)
+		}
+	})
+}

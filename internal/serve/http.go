@@ -44,8 +44,10 @@ func (o HTTPOptions) withDefaults() HTTPOptions {
 //
 //	POST /v1/allocate   — AllocateRequest  → AllocateResponse
 //	POST /v1/feedback   — FeedbackRequest  → FeedbackResponse
+//	POST /v1/replicate  — checkpoint-v2 policy push from a primary owner
 //	GET  /v1/stats      — Stats
-//	GET  /v1/checkpoint — checkpoint-v2 export (?clusters=3,17 scopes it)
+//	GET  /v1/checkpoint — checkpoint-v2 export (?clusters=3,17 scopes it,
+//	                      ?after=K&limit=N pages it for anti-entropy pulls)
 //	GET  /v1/cluster    — the node's ClusterNodeStats (or standalone)
 //	GET  /healthz      — liveness
 func NewHandler(s *Server, opts HTTPOptions) http.Handler {
@@ -94,6 +96,7 @@ func newHandler(s *Server, opts HTTPOptions, extra map[string]http.HandlerFunc) 
 		}
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	mux.HandleFunc("/v1/replicate", s.handleReplicate)
 	mux.HandleFunc("/v1/checkpoint", s.handleCheckpointExport)
 	mux.HandleFunc("/v1/cluster", s.handleClusterStatus)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {

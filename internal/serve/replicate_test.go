@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// waitReplicationSettled polls until the server's replication queue drains.
+func waitReplicationSettled(t *testing.T, s *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.ReplicationSettled() {
+		if time.Now().After(deadline) {
+			t.Fatal("replication queue did not settle")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestReplicationPushInstallsOnReplica is the replica-group core at the serve
+// layer: a demand training on the primary asynchronously pushes the policy to
+// its replica peer, which then answers from the pushed copy — marked
+// "replica", exempt from demand TTL churn, and without spending any training
+// budget of its own.
+func TestReplicationPushInstallsOnReplica(t *testing.T) {
+	ctx := context.Background()
+	primary := newTestServer(t, fastConfig())
+	replicaCfg := fastConfig()
+	replicaCfg.PolicyTTL = time.Nanosecond // replica-held copies must not churn
+	replica := newTestServer(t, replicaCfg)
+
+	err := primary.EnableReplication(ReplicationConfig{
+		PeersFor: func(int) []string { return []string{"replica"} },
+		Send: func(addr string, snapshot []byte) error {
+			_, err := replica.InstallReplicated(bytes.NewReader(snapshot), nil)
+			return err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.EnableReplication(ReplicationConfig{PeersFor: func(int) []string { return nil }}); err == nil {
+		t.Fatal("double EnableReplication accepted")
+	}
+
+	resp, err := primary.Allocate(ctx, AllocateRequest{Signature: []float64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitReplicationSettled(t, primary)
+
+	if got := replica.Stats().Cache.ReplicaInstalls; got != 1 {
+		t.Fatalf("replica installed %d policies, want 1", got)
+	}
+	if st := primary.Stats().Replication; st == nil || st.Pushes != 1 || st.Dropped != 0 {
+		t.Fatalf("primary replication stats: %+v", st)
+	}
+
+	// TTL long expired for a demand entry — the replica copy must still serve.
+	time.Sleep(2 * time.Millisecond)
+	got, err := replica.Allocate(ctx, AllocateRequest{Signature: []float64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cache != CacheReplica || got.Mode != ModeNormal {
+		t.Fatalf("replica answered cache=%q mode=%q, want a replica-held hit", got.Cache, got.Mode)
+	}
+	if !reflect.DeepEqual(got.Allocation, resp.Allocation) {
+		t.Fatalf("replica allocation %v differs from primary's %v", got.Allocation, resp.Allocation)
+	}
+	st := replica.Stats().Cache
+	if st.Trainings != 0 {
+		t.Fatalf("replica trained %d policies; the push should have made that unnecessary", st.Trainings)
+	}
+	if st.ReplicaHits != 1 {
+		t.Fatalf("replica hits = %d, want 1", st.ReplicaHits)
+	}
+}
+
+// TestReplicationStaleNoOp pins the idempotence contract: replaying the same
+// snapshot (same cluster, same TrainedAt) installs nothing the second time —
+// the version gate answers it as a stale no-op.
+func TestReplicationStaleNoOp(t *testing.T) {
+	ctx := context.Background()
+	src := newTestServer(t, fastConfig())
+	if _, err := src.Allocate(ctx, AllocateRequest{Signature: []float64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if _, err := src.SaveCheckpointPage(&snap, func(k int) bool { return k == 0 }, -1, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := newTestServer(t, fastConfig())
+	res, err := dst.InstallReplicated(bytes.NewReader(snap.Bytes()), nil)
+	if err != nil || res.Installed != 1 || res.Stale != 0 || res.Sections != 1 || res.MaxCluster != 0 {
+		t.Fatalf("first install: %+v err=%v", res, err)
+	}
+	res, err = dst.InstallReplicated(bytes.NewReader(snap.Bytes()), nil)
+	if err != nil || res.Installed != 0 || res.Stale != 1 {
+		t.Fatalf("replayed install: %+v err=%v, want a stale no-op", res, err)
+	}
+	if got := dst.Stats().Cache.ReplicaStale; got != 1 {
+		t.Fatalf("replica_stale = %d, want 1", got)
+	}
+}
+
+// TestReplicationOverflowNeverBlocksAllocate is the backpressure contract: a
+// blackholed replica (Send that never returns) leaves the sender goroutine
+// stuck, the bounded queue fills, and everything beyond it is dropped —
+// counted in replication_dropped — while allocate keeps answering at full
+// speed. Replication degrades to unreplicated; it never stalls the serve path.
+func TestReplicationOverflowNeverBlocksAllocate(t *testing.T) {
+	ctx := context.Background()
+	s := newTestServer(t, fastConfig())
+	block := make(chan struct{})
+	defer close(block)
+	var sends atomic.Int64
+	err := s.EnableReplication(ReplicationConfig{
+		QueueLen: 1,
+		PeersFor: func(int) []string { return []string{"blackhole"} },
+		Send: func(string, []byte) error {
+			sends.Add(1)
+			<-block
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First training's push occupies the sender inside the blackholed Send.
+	if _, err := s.Allocate(ctx, AllocateRequest{Signature: []float64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sends.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sender never picked up the first job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Fill the 1-slot queue, then overflow it.
+	s.repl.enqueue(0)
+	s.repl.enqueue(0)
+	// A second demand training must complete promptly (its push is simply
+	// dropped); if enqueue could block, this would hang the test.
+	resp, err := s.Allocate(ctx, AllocateRequest{Signature: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mode != ModeNormal {
+		t.Fatalf("allocate degraded under replication backpressure: %+v", resp)
+	}
+	st := s.Stats().Replication
+	if st == nil || st.Dropped < 2 {
+		t.Fatalf("replication stats %+v, want ≥2 dropped", st)
+	}
+}
+
+// TestFeedbackSeqDedupe covers the router-replay hazard: feedback refits are
+// not idempotent, so a client-supplied seq must make the second application a
+// visible no-op.
+func TestFeedbackSeqDedupe(t *testing.T) {
+	ctx := context.Background()
+	s := newTestServer(t, fastConfig())
+	executed := []int{0, 0, 1, core.Unassigned, core.Unassigned, 1}
+	req := FeedbackRequest{
+		Signature:  []float64{0},
+		Features:   mkFeatures(clusterImportance(0), 0.05, 60),
+		Allocation: executed,
+		Seq:        41,
+	}
+	first, err := s.Feedback(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Duplicate {
+		t.Fatalf("first application flagged duplicate: %+v", first)
+	}
+	second, err := s.Feedback(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Duplicate {
+		t.Fatalf("replayed seq applied again: %+v", second)
+	}
+	if second.WindowSize != first.WindowSize {
+		t.Fatalf("duplicate moved the window: %d → %d", first.WindowSize, second.WindowSize)
+	}
+	if got := s.Stats().FeedbackDuplicates; got != 1 {
+		t.Fatalf("feedback_duplicates = %d, want 1", got)
+	}
+
+	// A fresh seq and seq-less requests still apply.
+	fresh := req
+	fresh.Seq = 42
+	if resp, err := s.Feedback(ctx, fresh); err != nil || resp.Duplicate {
+		t.Fatalf("fresh seq refused: %+v err=%v", resp, err)
+	}
+	seqless := req
+	seqless.Seq = 0
+	for i := 0; i < 2; i++ {
+		if resp, err := s.Feedback(ctx, seqless); err != nil || resp.Duplicate {
+			t.Fatalf("seq-less feedback %d refused: %+v err=%v", i, resp, err)
+		}
+	}
+}

@@ -35,10 +35,17 @@ type Server struct {
 	localMu sync.RWMutex
 	local   *alloc.LocalModel
 
-	// fbMu serializes the feedback window and refit bookkeeping.
+	// fbMu serializes the feedback window, refit bookkeeping and the
+	// duplicate-seq ledger.
 	fbMu     sync.Mutex
 	window   []alloc.LocalSample
 	sinceFit int
+	// fbSeen/fbSeenQ dedupe client-supplied feedback sequence numbers: the
+	// router replays feedback on failover, but refits are not idempotent, so
+	// a bounded FIFO set of recent seqs absorbs the replays.
+	fbSeen     map[int64]bool
+	fbSeenQ    []int64
+	fbSeenNext int
 
 	started   time.Time
 	draining  atomic.Bool
@@ -49,6 +56,12 @@ type Server struct {
 	degraded  atomic.Int64
 	panics    atomic.Int64 // handler panics recovered by the HTTP middleware
 	ckptSkips atomic.Int64 // corrupt checkpoint sections skipped on load
+	fbDupes   atomic.Int64 // duplicate feedback requests absorbed by seq dedupe
+
+	// repl is the replication sender (nil unless EnableReplication ran);
+	// replStop makes Drain's sender shutdown idempotent.
+	repl     *replicator
+	replStop sync.Once
 
 	// Cluster membership (nil while standalone) and warm-handoff counters;
 	// see cluster.go.
@@ -114,6 +127,7 @@ func (s *Server) Template() *core.Problem { return s.template.Clone() }
 func (s *Server) Drain() {
 	s.draining.Store(true)
 	s.cache.flushCoalescers()
+	s.stopReplication()
 }
 
 // clusterStore builds the training sub-store for a cluster: the
@@ -560,7 +574,19 @@ type FeedbackRequest struct {
 	Allocation []int       `json:"allocation"`
 	Importance []float64   `json:"importance,omitempty"`
 	AddToStore bool        `json:"add_to_store,omitempty"`
+	// Seq is an optional client-supplied idempotency key (non-zero). The
+	// cluster router replays feedback on a failed round trip, and refits are
+	// not idempotent — a server that has already applied a seq answers the
+	// replay with Duplicate=true and changes nothing. The ledger is bounded
+	// (maxFeedbackSeqs) and per shard, so cross-shard replays (a retry that
+	// lands on a different owner after ejection) remain at-least-once.
+	Seq int64 `json:"seq,omitempty"`
 }
+
+// maxFeedbackSeqs bounds the duplicate-detection ledger; the window only
+// needs to outlive the router's retry horizon (one failed round trip), not
+// the deployment.
+const maxFeedbackSeqs = 4096
 
 // FeedbackResponse reports what the feedback changed.
 type FeedbackResponse struct {
@@ -569,6 +595,9 @@ type FeedbackResponse struct {
 	Refitted          bool `json:"refitted"`
 	DriftInvalidated  bool `json:"drift_invalidated"`
 	StoredEnvironment bool `json:"stored_environment"`
+	// Duplicate is true when the request's Seq was already applied here; the
+	// request changed nothing.
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
 // Feedback ingests one observed decision.
@@ -596,6 +625,26 @@ func (s *Server) Feedback(ctx context.Context, req FeedbackRequest) (*FeedbackRe
 	resp := &FeedbackResponse{Samples: len(samples)}
 
 	s.fbMu.Lock()
+	if req.Seq != 0 {
+		if s.fbSeen[req.Seq] {
+			window := len(s.window)
+			s.fbMu.Unlock()
+			s.fbDupes.Add(1)
+			return &FeedbackResponse{WindowSize: window, Duplicate: true}, nil
+		}
+		if s.fbSeen == nil {
+			s.fbSeen = make(map[int64]bool, maxFeedbackSeqs)
+		}
+		s.fbSeen[req.Seq] = true
+		if len(s.fbSeenQ) < maxFeedbackSeqs {
+			s.fbSeenQ = append(s.fbSeenQ, req.Seq)
+		} else {
+			// Ring replacement: forget the oldest seq in O(1).
+			delete(s.fbSeen, s.fbSeenQ[s.fbSeenNext])
+			s.fbSeenQ[s.fbSeenNext] = req.Seq
+			s.fbSeenNext = (s.fbSeenNext + 1) % maxFeedbackSeqs
+		}
+	}
 	s.window = append(s.window, samples...)
 	if over := len(s.window) - s.cfg.MaxFeedback; over > 0 {
 		s.window = append(s.window[:0:0], s.window[over:]...)
@@ -693,12 +742,17 @@ type Stats struct {
 	// middleware.
 	RecoveredPanics int64 `json:"recovered_panics"`
 	// CheckpointSkips counts corrupt checkpoint sections skipped on restore.
-	CheckpointSkips int64        `json:"checkpoint_skips"`
-	Cache           CacheStats   `json:"cache"`
-	Latency         LatencyStats `json:"latency"`
+	CheckpointSkips int64 `json:"checkpoint_skips"`
+	// FeedbackDuplicates counts feedback requests absorbed by seq dedupe.
+	FeedbackDuplicates int64        `json:"feedback_duplicates"`
+	Cache              CacheStats   `json:"cache"`
+	Latency            LatencyStats `json:"latency"`
 	// Cluster is the shard's identity and handoff counters when the node is
 	// part of a cluster deployment (absent standalone).
 	Cluster *ClusterNodeStats `json:"cluster,omitempty"`
+	// Replication is the push-queue ledger when the replication sender is
+	// enabled (absent otherwise; receiver-side counters live in Cache).
+	Replication *ReplicationStats `json:"replication,omitempty"`
 }
 
 // Stats snapshots the service counters.
@@ -715,11 +769,13 @@ func (s *Server) Stats() Stats {
 		StoreSize:       s.store.Len(),
 		StoreAdds:       s.storeAdds.Load(),
 		WindowSize:      window,
-		RecoveredPanics: s.panics.Load(),
-		CheckpointSkips: s.ckptSkips.Load(),
-		Cache:           s.cache.stats(),
-		Latency:         s.latencyStats(),
-		Cluster:         s.clusterNodeStats(),
+		RecoveredPanics:    s.panics.Load(),
+		CheckpointSkips:    s.ckptSkips.Load(),
+		FeedbackDuplicates: s.fbDupes.Load(),
+		Cache:              s.cache.stats(),
+		Latency:            s.latencyStats(),
+		Cluster:            s.clusterNodeStats(),
+		Replication:        s.replicationStats(),
 	}
 }
 
