@@ -38,25 +38,36 @@ func main() {
 		addr       = flag.String("addr", ":8090", "listen address")
 		scale      = flag.String("scale", "fast", "scenario scale: fast, default, full (must match the shards')")
 		seed       = flag.Int64("seed", 1, "scenario seed (must match the shards')")
-		shardSpec  = flag.String("shards", "", "comma-separated shard list: id=host:port,id=host:port,...")
+		shardSpec  = flag.String("shards", "", "optional static bootstrap shard list: id=host:port,... (with -join it is only a fallback seed; the gossip view supersedes it)")
 		vnodes     = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per shard on the ring")
 		probeEvery = flag.Duration("probe-every", 250*time.Millisecond, "liveness probe cadence")
 		misses     = flag.Int("liveness-misses", 3, "consecutive failed probes before a shard is ejected")
 		proxyTO    = flag.Duration("proxy-timeout", 30*time.Second, "per-request proxy deadline (cold shards train)")
 		replicas   = flag.Int("replica-groups", cluster.DefaultReplicaGroups, "owners per ring range across the fleet (informational: surfaced in /v1/stats; must match the shards' -replica-groups)")
+		joinSeeds  = flag.String("join", "", "gossip seed peers (host:port,...): learn the shard fleet from the membership plane instead of -shards")
+		advertise  = flag.String("advertise", "", "address fleet members dial this router's gossip endpoint at (default: -addr when it names a host)")
+		gossipTick = flag.Duration("gossip-interval", time.Second, "gossip protocol tick interval")
+		suspectTO  = flag.Duration("suspicion-timeout", 0, "unrefuted-suspect window before a member is declared dead (0 = derived)")
 	)
 	flag.Parse()
-	if err := run(*addr, *scale, *seed, *shardSpec, *vnodes, *probeEvery, *misses, *proxyTO, *replicas); err != nil {
+	if err := run(*addr, *scale, *seed, *shardSpec, *vnodes, *probeEvery, *misses, *proxyTO, *replicas,
+		*joinSeeds, *advertise, *gossipTick, *suspectTO); err != nil {
 		fmt.Fprintln(os.Stderr, "dcta-router:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, scale string, seed int64, shardSpec string, vnodes int,
-	probeEvery time.Duration, misses int, proxyTO time.Duration, replicas int) error {
-	shards, err := cluster.ParseShards(shardSpec)
-	if err != nil {
-		return err
+	probeEvery time.Duration, misses int, proxyTO time.Duration, replicas int,
+	joinSeeds, advertise string, gossipTick, suspectTO time.Duration) error {
+	var shards []cluster.Shard
+	var err error
+	if shardSpec != "" {
+		if shards, err = cluster.ParseShards(shardSpec); err != nil {
+			return err
+		}
+	} else if joinSeeds == "" {
+		return fmt.Errorf("need -shards, -join, or both")
 	}
 	scnCfg, err := scenarioConfig(seed, scale)
 	if err != nil {
@@ -77,11 +88,50 @@ func run(addr, scale string, seed int64, shardSpec string, vnodes int,
 	if err != nil {
 		return err
 	}
+	if joinSeeds != "" || shardSpec != "" {
+		// The router gossips like any other member (role router — it never
+		// owns ring ranges) and rebuilds its ring from the converged view;
+		// its private probes stay on as a second, faster liveness input.
+		adv := advertise
+		if adv == "" {
+			if host, _, err := net.SplitHostPort(addr); err == nil && host != "" {
+				adv = addr
+			}
+		}
+		agent, err := cluster.NewAgent(
+			cluster.Member{ID: "router", Addr: adv, Role: cluster.RoleRouter},
+			cluster.GossipConfig{Interval: gossipTick, SuspicionTimeout: suspectTO, Logf: log.Printf})
+		if err != nil {
+			return err
+		}
+		if len(shards) > 0 {
+			members := make([]cluster.Member, 0, len(shards))
+			for _, sh := range shards {
+				members = append(members, cluster.Member{ID: sh.ID, Addr: sh.Addr, Role: cluster.RoleShard})
+			}
+			agent.Seed(members)
+		}
+		if joinSeeds != "" {
+			seeds, err := cluster.ParseSeeds(joinSeeds)
+			if err != nil {
+				return err
+			}
+			// Fleet boots race (the seed may still be building its scenario),
+			// so keep knocking rather than dying on the first refused dial.
+			if err := agent.JoinRetry(seeds, cluster.DefaultJoinRetryWindow, log.Printf); err != nil {
+				if len(shards) == 0 {
+					return err
+				}
+				log.Printf("gossip: join failed (%v); continuing on the static -shards seed", err)
+			}
+		}
+		router.AttachMembership(agent)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	return cluster.ListenAndServe(ctx, addr, router, func(a net.Addr) {
-		log.Printf("routing on %s: %d shards, %d vnodes each, probe %v ×%d",
-			a, len(shards), vnodes, probeEvery, misses)
+		log.Printf("routing on %s: %d bootstrap shards, %d vnodes each, probe %v ×%d, gossip=%v",
+			a, len(shards), vnodes, probeEvery, misses, joinSeeds != "" || shardSpec != "")
 	})
 }
 

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime/debug"
@@ -67,6 +68,10 @@ func main() {
 		joinPull     = flag.Bool("join-pull", true, "on cluster join, pull this shard's owned policy checkpoints from its peers")
 		handoffTO    = flag.Duration("handoff-timeout", cluster.DefaultHandoffTimeout, "per-peer deadline for join-time checkpoint pulls")
 		replicaGrps  = flag.Int("replica-groups", cluster.DefaultReplicaGroups, "owners per cluster range (R): primary plus R-1 successor replicas with async policy replication (1 disables)")
+		joinSeeds    = flag.String("join", "", "gossip seed peers (host:port,host:port,...): join the fleet flag-free through any live member — no -cluster list needed")
+		advertise    = flag.String("advertise", "", "address peers dial this shard at (default: this node's entry in -cluster, or -addr when it names a host)")
+		gossipEvery  = flag.Duration("gossip-interval", time.Second, "gossip protocol tick interval")
+		suspectAfter = flag.Duration("suspicion-timeout", 0, "how long a suspected member may stay unrefuted before it is declared dead (0 = derived from interval and fleet size)")
 	)
 	flag.Parse()
 	cfg := serveConfig(
@@ -84,12 +89,16 @@ func main() {
 		cfg.CRL.DQN.PriorityAlpha = 0.6
 	}
 	join := joinOptions{
-		NodeID:   *nodeID,
-		Cluster:  *clusterSpec,
-		VNodes:   *vnodes,
-		Pull:     *joinPull,
-		Timeout:  *handoffTO,
-		Replicas: *replicaGrps,
+		NodeID:       *nodeID,
+		Cluster:      *clusterSpec,
+		VNodes:       *vnodes,
+		Pull:         *joinPull,
+		Timeout:      *handoffTO,
+		Replicas:     *replicaGrps,
+		JoinSeeds:    *joinSeeds,
+		Advertise:    *advertise,
+		GossipEvery:  *gossipEvery,
+		SuspectAfter: *suspectAfter,
 	}
 	if err := run(*addr, *scale, *seed, *checkpoint, *ckptEvery, cfg,
 		serve.HTTPOptions{RequestTimeout: *reqTimeout, DrainTimeout: *drainTimeout}, join); err != nil {
@@ -100,12 +109,16 @@ func main() {
 
 // joinOptions is the cluster-membership flag bundle.
 type joinOptions struct {
-	NodeID   string
-	Cluster  string
-	VNodes   int
-	Pull     bool
-	Timeout  time.Duration
-	Replicas int
+	NodeID       string
+	Cluster      string
+	VNodes       int
+	Pull         bool
+	Timeout      time.Duration
+	Replicas     int
+	JoinSeeds    string
+	Advertise    string
+	GossipEvery  time.Duration
+	SuspectAfter time.Duration
 }
 
 // joinCluster wires the shard into its fleet: identity from the full ring
@@ -116,6 +129,14 @@ type joinOptions struct {
 // unreachable peer just leaves those clusters cold.
 func joinCluster(s *serve.Server, j joinOptions) error {
 	if j.NodeID == "" {
+		return nil
+	}
+	if j.Cluster == "" {
+		// Flag-free fleet: no static list anywhere — identity, warm pulls and
+		// replication all come from the gossip plane (startGossip). This
+		// includes the lone seed node (-node-id with neither -cluster nor
+		// -join), whose first view is just itself and owns the whole ring
+		// until joiners gossip in.
 		return nil
 	}
 	all, err := cluster.ParseShards(j.Cluster)
@@ -148,6 +169,82 @@ func joinCluster(s *serve.Server, j joinOptions) error {
 	id := s.ClusterIdentity()
 	log.Printf("joined cluster as %s: %d owned + %d replica clusters (%.1f%% of the ring, R=%d), %d policies pulled warm",
 		j.NodeID, len(id.OwnedClusters), len(id.ReplicaClusters), id.OwnedFraction*100, j.Replicas, pulled)
+	return nil
+}
+
+// startGossip boots the shard's SWIM membership agent: seeded from the
+// static -cluster list when one is given, joined through -join seeds when
+// not (or both — the wire always supersedes the bootstrap list). The
+// returned route must be mounted on the shard's listener, and the
+// membership manager keeps identity, replication targets and warm state in
+// lockstep with the converged view from here on.
+func startGossip(ctx context.Context, s *serve.Server, j joinOptions, httpOpts *serve.HTTPOptions) error {
+	if j.NodeID == "" {
+		return nil
+	}
+	var static []cluster.Shard
+	if j.Cluster != "" {
+		var err error
+		if static, err = cluster.ParseShards(j.Cluster); err != nil {
+			return fmt.Errorf("gossip: %w", err)
+		}
+	}
+	adv := j.Advertise
+	if adv == "" {
+		for _, sh := range static {
+			if sh.ID == j.NodeID {
+				adv = sh.Addr
+			}
+		}
+	}
+	if adv == "" {
+		return fmt.Errorf("gossip: -advertise required (peers must be able to dial this shard back)")
+	}
+	agent, err := cluster.NewAgent(
+		cluster.Member{ID: j.NodeID, Addr: adv, Role: cluster.RoleShard},
+		cluster.GossipConfig{
+			Interval:         j.GossipEvery,
+			SuspicionTimeout: j.SuspectAfter,
+			Logf:             log.Printf,
+		})
+	if err != nil {
+		return fmt.Errorf("gossip: %w", err)
+	}
+	if len(static) > 0 {
+		members := make([]cluster.Member, 0, len(static))
+		for _, sh := range static {
+			members = append(members, cluster.Member{ID: sh.ID, Addr: sh.Addr, Role: cluster.RoleShard})
+		}
+		agent.Seed(members)
+	}
+	if j.JoinSeeds != "" {
+		seeds, err := cluster.ParseSeeds(j.JoinSeeds)
+		if err != nil {
+			return fmt.Errorf("gossip: %w", err)
+		}
+		if err := agent.JoinRetry(seeds, cluster.DefaultJoinRetryWindow, log.Printf); err != nil {
+			if len(static) == 0 {
+				return fmt.Errorf("gossip: %w", err)
+			}
+			log.Printf("gossip: join failed (%v); continuing on the static -cluster seed", err)
+		}
+		// Rejoin bump: outrank any suspicion the fleet may still hold about
+		// a previous life of this shard id.
+		agent.ForceAlive()
+	}
+	if httpOpts.ExtraRoutes == nil {
+		httpOpts.ExtraRoutes = map[string]http.HandlerFunc{}
+	}
+	httpOpts.ExtraRoutes[cluster.GossipPath] = agent.Handler()
+	_, pulled, err := cluster.ManageMembership(ctx, s, agent,
+		cluster.Shard{ID: j.NodeID, Addr: adv}, j.VNodes, j.Replicas, 0, j.Timeout, log.Printf)
+	if err != nil {
+		return fmt.Errorf("gossip: %w", err)
+	}
+	go agent.Run(ctx)
+	id := s.ClusterIdentity()
+	log.Printf("gossip membership up as %s@%s: %d members known, epoch %d, %d owned + %d replica clusters, %d policies pulled warm",
+		j.NodeID, adv, len(agent.View().Members), agent.Epoch(), len(id.OwnedClusters), len(id.ReplicaClusters), pulled)
 	return nil
 }
 
@@ -226,6 +323,9 @@ func run(addr, scale string, seed int64, checkpoint string, ckptEvery time.Durat
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if err := startGossip(ctx, s, join, &opts); err != nil {
+		return err
+	}
 	if checkpoint != "" && ckptEvery > 0 {
 		go periodicCheckpoint(ctx, s, checkpoint, ckptEvery)
 	}

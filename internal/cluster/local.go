@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"net/http"
 	"strconv"
 	"sync"
 	"time"
@@ -35,8 +36,54 @@ type LocalOptions struct {
 	// shard's id and real address it returns the address the router should
 	// dial (e.g. a netfault proxy) and a closer. Nil routes direct.
 	WrapShardAddr func(id, addr string) (string, func(), error)
+	// Gossip shapes the membership plane (on by default: every shard runs a
+	// SWIM agent on its serve listener, the router subscribes to the
+	// converged view and re-shapes its ring on epoch bumps).
+	Gossip LocalGossipOptions
 	// Logf sinks progress lines (default: discard).
 	Logf func(format string, args ...any)
+}
+
+// LocalGossipOptions tunes the in-process membership plane.
+type LocalGossipOptions struct {
+	// Disable turns gossip off entirely: the topology runs on the static
+	// bootstrap list and router probes alone (pre-gossip behavior).
+	Disable bool
+	// Interval between protocol ticks (default 40ms — test-speed).
+	Interval time.Duration
+	// ProbeTimeout bounds one direct ping (default 150ms).
+	ProbeTimeout time.Duration
+	// SuspicionTimeout is how long a suspect may stay unrefuted before it is
+	// confirmed dead (default 600ms).
+	SuspicionTimeout time.Duration
+	// IndirectPeers is how many relays to try when a direct ping misses
+	// (default 2).
+	IndirectPeers int
+	// Seed derives every member's deterministic probe-order and jitter
+	// stream (default 1; member index is mixed in).
+	Seed int64
+	// WrapTransport optionally interposes on a member's gossip exchanges
+	// (chaos tests inject directed partitions here). Nil uses direct HTTP.
+	WrapTransport func(selfID string, t Transport) Transport
+}
+
+func (o LocalGossipOptions) withDefaults() LocalGossipOptions {
+	if o.Interval <= 0 {
+		o.Interval = 40 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 150 * time.Millisecond
+	}
+	if o.SuspicionTimeout <= 0 {
+		o.SuspicionTimeout = 600 * time.Millisecond
+	}
+	if o.IndirectPeers <= 0 {
+		o.IndirectPeers = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
 }
 
 func (o LocalOptions) withDefaults() LocalOptions {
@@ -63,10 +110,30 @@ type localShard struct {
 	id   string
 	addr string // concrete listen address, stable across restarts
 
-	mu     sync.Mutex
-	srv    *serve.Server
-	cancel context.CancelFunc
-	done   chan error
+	mu      sync.Mutex
+	srv     *serve.Server
+	cancel  context.CancelFunc
+	done    chan error
+	agent   *Agent
+	manager *MembershipManager
+	// gossipStop tears down the shard's agent and manager; killed shards
+	// must stop gossiping (a dead process can't defend itself — that's the
+	// point of the protocol).
+	gossipStop context.CancelFunc
+}
+
+// gossipHandler serves /v1/gossip behind the shard's regular middleware
+// chain. The agent is created only after the listener binds (it advertises
+// the concrete address), so the route resolves it late.
+func (sh *localShard) gossipHandler(w http.ResponseWriter, r *http.Request) {
+	sh.mu.Lock()
+	a := sh.agent
+	sh.mu.Unlock()
+	if a == nil {
+		http.Error(w, `{"error":"gossip agent not up"}`, http.StatusServiceUnavailable)
+		return
+	}
+	a.Handler()(w, r)
 }
 
 // LocalCluster is an in-process N-shard + router topology over one shared
@@ -82,9 +149,11 @@ type LocalCluster struct {
 
 	router       *Router
 	routerAddr   string
+	routerAgent  *Agent
 	routerCancel context.CancelFunc
 	routerDone   chan error
 
+	mu       sync.Mutex // guards shards/wrapped mutation (AddShard)
 	shards   []*localShard
 	wrapped  []Shard // what the router dials (possibly proxied)
 	closers  []func()
@@ -121,6 +190,19 @@ func StartLocal(template *core.Problem, store *core.EnvironmentStore, local *all
 		}
 	}
 
+	// Gossip plane: every shard's agent boots seeded with the full member
+	// list (the bootstrap equivalent of a join), and its membership manager
+	// takes over identity/replication re-shaping from here on.
+	if !opts.Gossip.Disable {
+		seed := lc.memberList()
+		for _, sh := range lc.shards {
+			if _, err := lc.startShardGossip(sh, seed, nil); err != nil {
+				lc.Close()
+				return nil, err
+			}
+		}
+	}
+
 	// Interpose on the router→shard links if asked.
 	for _, sh := range lc.shards {
 		routeAddr := sh.addr
@@ -148,20 +230,32 @@ func StartLocal(template *core.Problem, store *core.EnvironmentStore, local *all
 	}
 	lc.router = router
 
-	ctx, cancel := context.WithCancel(context.Background())
-	lc.routerCancel = cancel
-	lc.routerDone = make(chan error, 1)
-	ready := make(chan string, 1)
-	go func() {
-		lc.routerDone <- ListenAndServe(ctx, "127.0.0.1:0", router, func(a net.Addr) { ready <- a.String() })
-	}()
-	select {
-	case a := <-ready:
-		lc.routerAddr = a
-	case err := <-lc.routerDone:
+	// The router binds before serving so its gossip agent can advertise a
+	// concrete address; it participates as a router-role member (an extra
+	// disseminator and prober, never a ring owner).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
 		lc.Close()
 		return nil, fmt.Errorf("cluster: router: %w", err)
 	}
+	lc.routerAddr = ln.Addr().String()
+	if !opts.Gossip.Disable {
+		agent, err := NewAgent(Member{ID: "router", Addr: lc.routerAddr, Role: RoleRouter}, lc.gossipConfig("router"))
+		if err != nil {
+			ln.Close()
+			lc.Close()
+			return nil, err
+		}
+		agent.Seed(lc.memberList())
+		lc.routerAgent = agent
+		router.AttachMembership(agent)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	lc.routerCancel = cancel
+	lc.routerDone = make(chan error, 1)
+	go func() {
+		lc.routerDone <- ServeRouter(ctx, ln, router)
+	}()
 	opts.Logf("cluster: %d shards + router on %s\n", opts.Shards, lc.routerAddr)
 	return lc, nil
 }
@@ -176,11 +270,22 @@ func (lc *LocalCluster) bootShard(sh *localShard, addr string) error {
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
+	httpOpts := lc.opts.HTTP
+	if !lc.opts.Gossip.Disable {
+		// Mount /v1/gossip behind the shard's regular middleware. Each shard
+		// gets its own route table: the handler closes over this shard.
+		extra := make(map[string]http.HandlerFunc, len(httpOpts.ExtraRoutes)+1)
+		for p, h := range httpOpts.ExtraRoutes {
+			extra[p] = h
+		}
+		extra[GossipPath] = sh.gossipHandler
+		httpOpts.ExtraRoutes = extra
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	ready := make(chan string, 1)
 	go func() {
-		done <- serve.ListenAndServe(ctx, addr, srv, lc.opts.HTTP, func(a net.Addr) { ready <- a.String() })
+		done <- serve.ListenAndServe(ctx, addr, srv, httpOpts, func(a net.Addr) { ready <- a.String() })
 	}()
 	select {
 	case a := <-ready:
@@ -198,11 +303,142 @@ func (lc *LocalCluster) bootShard(sh *localShard, addr string) error {
 }
 
 func (lc *LocalCluster) allShards() []Shard {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
 	out := make([]Shard, 0, len(lc.shards))
 	for _, sh := range lc.shards {
 		out = append(out, Shard{ID: sh.id, Addr: sh.addr})
 	}
 	return out
+}
+
+// memberList renders the current shard set as gossip members (all alive —
+// bootstrap seeds assert liveness optimistically; the protocol corrects).
+func (lc *LocalCluster) memberList() []Member {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	out := make([]Member, 0, len(lc.shards))
+	for _, sh := range lc.shards {
+		out = append(out, Member{ID: sh.id, Addr: sh.addr, Role: RoleShard, State: StateAlive})
+	}
+	return out
+}
+
+// liveGossipAddrs is the set of gossip endpoints a (re)joining member can
+// dial: every live shard plus the router's agent.
+func (lc *LocalCluster) liveGossipAddrs(exclude string) []string {
+	lc.mu.Lock()
+	shards := append([]*localShard(nil), lc.shards...)
+	lc.mu.Unlock()
+	var out []string
+	for _, sh := range shards {
+		if sh.id == exclude {
+			continue
+		}
+		sh.mu.Lock()
+		up := sh.srv != nil && sh.agent != nil
+		sh.mu.Unlock()
+		if up {
+			out = append(out, sh.addr)
+		}
+	}
+	if lc.routerAgent != nil {
+		out = append(out, lc.routerAddr)
+	}
+	return out
+}
+
+// gossipConfig derives one member's agent config: shared timings, a
+// member-distinct deterministic seed, and the chaos transport wrapper.
+func (lc *LocalCluster) gossipConfig(selfID string) GossipConfig {
+	g := lc.opts.Gossip.withDefaults()
+	cfg := GossipConfig{
+		Interval:         g.Interval,
+		ProbeTimeout:     g.ProbeTimeout,
+		SuspicionTimeout: g.SuspicionTimeout,
+		IndirectPeers:    g.IndirectPeers,
+		Seed:             g.Seed ^ int64(fnv1a64(selfID)&0x7fffffffffffffff),
+		Logf:             lc.opts.Logf,
+	}
+	if g.WrapTransport != nil {
+		cfg.Transport = g.WrapTransport(selfID, HTTPTransport{})
+	}
+	return cfg
+}
+
+// startShardGossip boots sh's agent (joining via joinAddrs and/or seeded
+// with a static member list) and its membership manager. Returns how many
+// policies the initial identity application warm-pulled.
+func (lc *LocalCluster) startShardGossip(sh *localShard, seed []Member, joinAddrs []string) (int, error) {
+	agent, err := NewAgent(Member{ID: sh.id, Addr: sh.addr, Role: RoleShard}, lc.gossipConfig(sh.id))
+	if err != nil {
+		return 0, err
+	}
+	if len(joinAddrs) > 0 {
+		if err := agent.Join(joinAddrs); err != nil {
+			// Fail soft when we also have a static seed (anti-entropy will
+			// re-converge us); a flag-free join has nothing else to go on.
+			if len(seed) == 0 {
+				return 0, fmt.Errorf("cluster: gossip: %s join: %w", sh.id, err)
+			}
+			lc.opts.Logf("cluster: gossip: %s join failed (%v), falling back to static seed\n", sh.id, err)
+		}
+	}
+	if len(seed) > 0 {
+		agent.Seed(seed)
+	}
+	if len(joinAddrs) > 0 {
+		// Rejoin bump: assert liveness above any suspicion the fleet may
+		// hold from before the restart, even one the join seed hasn't heard
+		// of yet. A suspect at our old incarnation could otherwise outrank
+		// our equal-incarnation alive (stronger state wins at equal inc).
+		agent.ForceAlive()
+	}
+	sh.mu.Lock()
+	srv := sh.srv
+	sh.mu.Unlock()
+	if srv == nil {
+		return 0, fmt.Errorf("cluster: gossip: %s not serving", sh.id)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	mgr, pulled, err := ManageMembership(ctx, srv, agent, Shard{ID: sh.id, Addr: sh.addr},
+		lc.opts.VNodes, lc.opts.ReplicaGroups, 0, lc.opts.HandoffTimeout, lc.opts.Logf)
+	if err != nil {
+		cancel()
+		return 0, err
+	}
+	sh.mu.Lock()
+	sh.agent, sh.manager, sh.gossipStop = agent, mgr, cancel
+	sh.mu.Unlock()
+	go agent.Run(ctx)
+	return pulled, nil
+}
+
+// awaitRouterSeesAlive blocks until the router's membership view holds id
+// alive at incarnation >= minInc and the ring mask is lifted (or the
+// timeout passes). Once the router has applied that record, no stale
+// lower-incarnation obituary can re-mask the shard — precedence rejects it
+// — so tests observing LiveShards after this are deterministic.
+func (lc *LocalCluster) awaitRouterSeesAlive(id string, minInc uint64, timeout time.Duration) bool {
+	if lc.router == nil || lc.routerAgent == nil {
+		return true
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if m, ok := lc.routerAgent.View().Find(id); ok && m.State == StateAlive && m.Incarnation >= minInc {
+			lc.router.mu.RLock()
+			ss := lc.router.shards[id]
+			lc.router.mu.RUnlock()
+			if ss != nil && !ss.gossipDead.Load() {
+				return true
+			}
+		}
+		if time.Now().After(deadline) {
+			lc.opts.Logf("cluster: gossip: router did not re-admit %s within %v\n", id, timeout)
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 func shardIDs(shards []Shard) []string {
@@ -271,10 +507,17 @@ func (lc *LocalCluster) KillShard(i int) error {
 	sh := lc.shards[i]
 	sh.mu.Lock()
 	cancel, done := sh.cancel, sh.done
+	gstop := sh.gossipStop
 	sh.srv, sh.cancel, sh.done = nil, nil, nil
+	sh.agent, sh.manager, sh.gossipStop = nil, nil, nil
 	sh.mu.Unlock()
 	if cancel == nil {
 		return fmt.Errorf("cluster: shard %d already down", i)
+	}
+	if gstop != nil {
+		// A killed process stops gossiping — the survivors must detect the
+		// death, not be told about it.
+		gstop()
 	}
 	cancel()
 	err := <-done
@@ -310,8 +553,127 @@ func (lc *LocalCluster) RestartShard(i int) (pulled int, err error) {
 	if err := EnableShardReplication(lc.Server(i), self, all, lc.opts.VNodes, lc.opts.ReplicaGroups, lc.opts.Logf); err != nil {
 		return pulled, err
 	}
+	if !lc.opts.Gossip.Disable {
+		// Rejoin the gossip plane through any live peer: the join sync
+		// surfaces our obituary (if one converged while we were down), the
+		// rejoin bump refutes it at a higher incarnation, and the router
+		// re-admission wait below makes the ring state deterministic for
+		// callers that assert LiveShards right after this returns.
+		if _, err := lc.startShardGossip(sh, lc.memberList(), lc.liveGossipAddrs(sh.id)); err != nil {
+			return pulled, err
+		}
+		sh.mu.Lock()
+		agent := sh.agent
+		sh.mu.Unlock()
+		lc.awaitRouterSeesAlive(sh.id, agent.Incarnation(), 5*time.Second)
+	}
 	lc.opts.Logf("cluster: shard %s restarted warm (%d policies pulled)\n", sh.id, pulled)
 	return pulled, nil
+}
+
+// AddShard boots a brand-new shard and joins it to the fleet through the
+// gossip plane alone — no flag change, no static list edit anywhere. The
+// newcomer dials one live peer, learns the full member table from the join
+// sync, warm-pulls the ranges it now owns, and the rest of the fleet
+// (router included) re-shapes around it as the join disseminates. Returns
+// the new shard's index and how many policies its join pull installed.
+func (lc *LocalCluster) AddShard() (int, int, error) {
+	if lc.opts.Gossip.Disable {
+		return 0, 0, fmt.Errorf("cluster: AddShard needs the gossip plane")
+	}
+	lc.mu.Lock()
+	i := len(lc.shards)
+	lc.mu.Unlock()
+	sh := &localShard{id: "s" + strconv.Itoa(i)}
+	if err := lc.bootShard(sh, ""); err != nil {
+		return 0, 0, err
+	}
+	joinAddrs := lc.liveGossipAddrs(sh.id)
+	pulled, err := lc.startShardGossip(sh, nil, joinAddrs)
+	if err != nil {
+		sh.mu.Lock()
+		cancel, done := sh.cancel, sh.done
+		sh.mu.Unlock()
+		if cancel != nil {
+			cancel()
+			<-done
+		}
+		return 0, 0, err
+	}
+	lc.mu.Lock()
+	lc.shards = append(lc.shards, sh)
+	lc.wrapped = append(lc.wrapped, Shard{ID: sh.id, Addr: sh.addr})
+	lc.mu.Unlock()
+	lc.awaitRouterSeesAlive(sh.id, 0, 5*time.Second)
+	lc.opts.Logf("cluster: shard %s joined via gossip (%d policies pulled)\n", sh.id, pulled)
+	return i, pulled, nil
+}
+
+// ShardAgent is shard i's gossip agent, or nil while killed/disabled.
+func (lc *LocalCluster) ShardAgent(i int) *Agent {
+	sh := lc.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.agent
+}
+
+// ShardManager is shard i's membership manager, or nil while killed/disabled.
+func (lc *LocalCluster) ShardManager(i int) *MembershipManager {
+	sh := lc.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.manager
+}
+
+// RouterAgent is the routing tier's gossip agent (nil when disabled).
+func (lc *LocalCluster) RouterAgent() *Agent { return lc.routerAgent }
+
+// LiveAgents snapshots every running gossip agent: live shards plus the
+// router.
+func (lc *LocalCluster) LiveAgents() []*Agent {
+	lc.mu.Lock()
+	shards := append([]*localShard(nil), lc.shards...)
+	lc.mu.Unlock()
+	var out []*Agent
+	for _, sh := range shards {
+		sh.mu.Lock()
+		if sh.agent != nil {
+			out = append(out, sh.agent)
+		}
+		sh.mu.Unlock()
+	}
+	if lc.routerAgent != nil {
+		out = append(out, lc.routerAgent)
+	}
+	return out
+}
+
+// AwaitConverged polls until every live agent's view satisfies cond (nil
+// accepts any) AND all views agree on (epoch, digest) — the membership
+// plane's definition of converged. Returns how long convergence took.
+func (lc *LocalCluster) AwaitConverged(timeout time.Duration, cond func(View) bool) (time.Duration, bool) {
+	start := time.Now()
+	deadline := start.Add(timeout)
+	for {
+		agents := lc.LiveAgents()
+		views := make([]View, 0, len(agents))
+		ok := len(agents) > 0
+		for _, a := range agents {
+			v := a.View()
+			if cond != nil && !cond(v) {
+				ok = false
+				break
+			}
+			views = append(views, v)
+		}
+		if ok && ViewsConverged(views) {
+			return time.Since(start), true
+		}
+		if time.Now().After(deadline) {
+			return time.Since(start), false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // Close tears the whole topology down: router first (so nothing routes into
@@ -326,8 +688,13 @@ func (lc *LocalCluster) Close() {
 			sh := lc.shards[i]
 			sh.mu.Lock()
 			cancel, done := sh.cancel, sh.done
+			gstop := sh.gossipStop
 			sh.srv, sh.cancel, sh.done = nil, nil, nil
+			sh.agent, sh.manager, sh.gossipStop = nil, nil, nil
 			sh.mu.Unlock()
+			if gstop != nil {
+				gstop()
+			}
 			if cancel != nil {
 				cancel()
 				<-done

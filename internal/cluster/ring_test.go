@@ -210,6 +210,56 @@ func TestOwnersForProperties(t *testing.T) {
 	}
 }
 
+// TestOwnersForDegenerate (satellite): the replica-group resolver at the
+// edges ownership actually hits during failover — a single-member ring, and
+// replica demand exceeding the live member count — must saturate cleanly,
+// never pad, never duplicate.
+func TestOwnersForDegenerate(t *testing.T) {
+	single, err := NewRing(16, []string{"only"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 64; k++ {
+		owners := single.OwnersFor(k, 3)
+		if len(owners) != 1 || owners[0] != "only" {
+			t.Fatalf("key %d on a 1-member ring: owners=%v, want [only]", k, owners)
+		}
+		if single.Owner(k) != "only" {
+			t.Fatalf("key %d: Owner=%q on a 1-member ring", k, single.Owner(k))
+		}
+	}
+
+	// n greater than the live count: every member appears exactly once.
+	pair, err := NewRing(16, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 64; k++ {
+		owners := pair.OwnersFor(k, 5)
+		if len(owners) != 2 {
+			t.Fatalf("key %d: %d owners for n=5 on a 2-member ring, want 2", k, len(owners))
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("key %d: duplicate owner %q", k, owners[0])
+		}
+		if owners[0] != pair.Owner(k) {
+			t.Fatalf("key %d: owners[0]=%q != Owner=%q", k, owners[0], pair.Owner(k))
+		}
+	}
+
+	// Shrinking a 2-member ring to 1 collapses the owner list with it: the
+	// failover path where R=2 outlives the fleet that could satisfy it.
+	down, err := pair.WithoutNode("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 64; k++ {
+		if owners := down.OwnersFor(k, 2); len(owners) != 1 || owners[0] != "a" {
+			t.Fatalf("key %d after losing b: owners=%v, want [a]", k, owners)
+		}
+	}
+}
+
 // TestOwnersForBalance: replica placement must be roughly fair too — every
 // member should appear as *some* key's replica with a non-degenerate share,
 // and replica assignments must not move when an unrelated member joins

@@ -29,8 +29,14 @@ type Shard struct {
 }
 
 // ParseShards parses the "-shards id=host:port,id=host:port" flag form.
+// Duplicate ids and duplicate addresses are both rejected: two ring
+// identities over one backend would silently skew ownership (the ring
+// hands ~2/N of the keyspace to one process while the stats and replica
+// placement believe they are distinct nodes).
 func ParseShards(spec string) ([]Shard, error) {
 	var out []Shard
+	seenID := make(map[string]bool)
+	seenAddr := make(map[string]string)
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -40,10 +46,44 @@ func ParseShards(spec string) ([]Shard, error) {
 		if !ok || id == "" || addr == "" {
 			return nil, fmt.Errorf("cluster: bad shard %q (want id=host:port)", part)
 		}
+		if seenID[id] {
+			return nil, fmt.Errorf("cluster: duplicate shard id %q", id)
+		}
+		if prev, dup := seenAddr[addr]; dup {
+			return nil, fmt.Errorf("cluster: duplicate shard address %q (shards %q and %q)", addr, prev, id)
+		}
+		seenID[id] = true
+		seenAddr[addr] = id
 		out = append(out, Shard{ID: id, Addr: addr})
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("cluster: no shards in %q", spec)
+	}
+	return out, nil
+}
+
+// ParseSeeds parses a "-join" seed list ("host:port,host:port,..."): bare
+// addresses, no ids — a joiner only needs somewhere to dial, identities
+// come back over the wire. Rejects duplicates.
+func ParseSeeds(spec string) ([]string, error) {
+	var out []string
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if strings.Contains(part, "=") {
+			return nil, fmt.Errorf("cluster: bad join seed %q (want host:port, no id)", part)
+		}
+		if seen[part] {
+			return nil, fmt.Errorf("cluster: duplicate join seed %q", part)
+		}
+		seen[part] = true
+		out = append(out, part)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: no join seeds in %q", spec)
 	}
 	return out, nil
 }
@@ -74,6 +114,11 @@ type RouterConfig struct {
 	// already makes a primary's ejection land its ranges on the replica, so
 	// routing needs no R-awareness (default DefaultReplicaGroups).
 	ReplicaGroups int
+	// ProbeJitterSeed seeds the per-shard probe phase offsets (default 1).
+	// Each shard's liveness probe fires at a deterministic offset within
+	// the ProbeEvery window instead of every probe firing in lockstep, so
+	// a large fleet never takes a synchronized probe storm.
+	ProbeJitterSeed int64
 	// Now is the stats clock (default time.Now).
 	Now func() time.Time
 	// Logf sinks membership transitions (default log.Printf).
@@ -105,6 +150,9 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	if c.ReplicaGroups < 1 {
 		c.ReplicaGroups = DefaultReplicaGroups
 	}
+	if c.ProbeJitterSeed == 0 {
+		c.ProbeJitterSeed = 1
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -119,7 +167,14 @@ func (c RouterConfig) withDefaults() RouterConfig {
 type shardState struct {
 	id, addr string
 
-	alive atomic.Bool
+	// alive is the router's local verdict (healthz probes and in-request
+	// I/O outcomes). gossipDead is the membership plane's verdict: set
+	// when the converged view confirms the member dead, cleared by a
+	// gossip re-admission or by a locally successful probe (direct
+	// evidence beats a stale rumor). A shard routes only while alive and
+	// not gossipDead.
+	alive      atomic.Bool
+	gossipDead atomic.Bool
 
 	poolMu sync.Mutex
 	pool   []*rawhttp.Conn
@@ -192,9 +247,16 @@ type Router struct {
 
 	ring atomic.Pointer[Ring] // live members only
 
-	mu     sync.Mutex // membership transitions
+	mu     sync.RWMutex // membership transitions; readers guard the map
 	shards map[string]*shardState
 	order  []string // stable iteration order
+
+	// membership is the gossip agent whose converged view this router
+	// subscribes to (nil when running on a static shard list alone). Set
+	// via AttachMembership before serving.
+	membership      *Agent
+	membershipEpoch atomic.Uint64
+	gossipJoins     atomic.Int64 // members learned from gossip, not flags
 
 	started    time.Time
 	requests   atomic.Int64
@@ -221,12 +283,12 @@ type proxyWS struct {
 // node derives the same store from the shared scenario seed, so router and
 // shards agree on NearestIndex) and the initial member list. All members
 // start live; the first failed round trip or missed probe window ejects.
+// An empty shard list is a valid boot only when the member set arrives
+// dynamically (AttachMembership): the router answers no-shard 503s until
+// gossip populates the ring.
 func NewRouter(store *core.EnvironmentStore, shards []Shard, cfg RouterConfig) (*Router, error) {
 	if store == nil || store.Len() == 0 {
 		return nil, core.ErrEmptyStore
-	}
-	if len(shards) == 0 {
-		return nil, fmt.Errorf("cluster: router needs at least one shard")
 	}
 	cfg = cfg.withDefaults()
 	r := &Router{
@@ -259,11 +321,15 @@ func NewRouter(store *core.EnvironmentStore, shards []Shard, cfg RouterConfig) (
 // Ring snapshots the current live ring.
 func (r *Router) Ring() *Ring { return r.ring.Load() }
 
-// rebuildRingLocked recomputes the live ring after a membership change.
+// rebuildRingLocked recomputes the live ring after a membership change. A
+// shard routes while both failure-detection inputs clear it: the router's
+// local verdict (probes + in-request I/O) and the gossip plane's (a
+// confirmed-dead member is out even if this router's probes lag).
 func (r *Router) rebuildRingLocked() {
 	var live []string
 	for _, id := range r.order {
-		if r.shards[id].alive.Load() {
+		ss := r.shards[id]
+		if ss.alive.Load() && !ss.gossipDead.Load() {
 			live = append(live, id)
 		}
 	}
@@ -293,33 +359,167 @@ func (r *Router) eject(ss *shardState, why string) {
 	r.cfg.Logf("cluster: shard %s (%s) ejected: %s; %d live", ss.id, ss.addr, why, r.Ring().Len())
 }
 
-// readmit marks a recovered shard live and hands its ranges back.
+// readmit marks a recovered shard live and hands its ranges back. A
+// successful probe is first-hand evidence, so it also clears a stale
+// gossip obituary — the membership plane converges on the refutation
+// moments later, but routing doesn't wait for it.
 func (r *Router) readmit(ss *shardState) {
 	r.mu.Lock()
-	if ss.alive.Load() {
+	if ss.alive.Load() && !ss.gossipDead.Load() {
 		r.mu.Unlock()
 		return
 	}
 	ss.alive.Store(true)
+	ss.gossipDead.Store(false)
 	r.rebuildRingLocked()
 	r.mu.Unlock()
 	r.rejoins.Add(1)
 	r.cfg.Logf("cluster: shard %s (%s) rejoined; %d live", ss.id, ss.addr, r.Ring().Len())
 }
 
+// AttachMembership subscribes the router to a gossip agent's converged
+// view. From then on the router's private probes are one failure-detection
+// input, not the sole authority: the ring gains members the gossip plane
+// admits (flag-free joins), loses members it confirms dead, and the
+// membership epoch rides along into RouterStats. Call before serving.
+func (r *Router) AttachMembership(a *Agent) {
+	r.membership = a
+	a.Subscribe(r.applyMembershipView)
+}
+
+// applyMembershipView folds one converged view into the router's member
+// set. Unknown shard-role members are admitted at their advertised address
+// (this is how a `-join`ed shard reaches every router without a flag
+// change); known members keep their configured dial address, so a fault
+// proxy interposed at construction stays in the path. A confirmed-dead
+// member is masked out of the ring even if this router's own probes
+// haven't noticed; a re-admitted one (the member refuted its obituary)
+// unmasks. Suspects stay in the ring — suspicion is a grace window, not a
+// verdict, and ejecting on rumor is exactly the single-prober failure mode
+// this plane exists to remove.
+func (r *Router) applyMembershipView(v View) {
+	r.membershipEpoch.Store(v.Epoch)
+	r.mu.Lock()
+	changed := false
+	for _, m := range v.Members {
+		if m.Role != RoleShard {
+			continue
+		}
+		ss, known := r.shards[m.ID]
+		if !known {
+			if m.State == StateDead || m.Addr == "" {
+				continue
+			}
+			ss = &shardState{id: m.ID, addr: m.Addr}
+			ss.alive.Store(true)
+			r.shards[m.ID] = ss
+			r.order = append(r.order, m.ID)
+			sort.Strings(r.order)
+			r.gossipJoins.Add(1)
+			changed = true
+			r.cfg.Logf("cluster: shard %s (%s) admitted via gossip", m.ID, m.Addr)
+			continue
+		}
+		dead := m.State == StateDead
+		if ss.gossipDead.Load() == dead {
+			continue
+		}
+		inRingBefore := ss.alive.Load() && !ss.gossipDead.Load()
+		ss.gossipDead.Store(dead)
+		inRingAfter := ss.alive.Load() && !ss.gossipDead.Load()
+		changed = true
+		if inRingBefore && !inRingAfter {
+			r.ejections.Add(1)
+			ss.dropConns()
+			r.cfg.Logf("cluster: shard %s (%s) ejected: gossip confirmed dead at inc %d", ss.id, ss.addr, m.Incarnation)
+		} else if !inRingBefore && inRingAfter {
+			r.rejoins.Add(1)
+			r.cfg.Logf("cluster: shard %s (%s) re-admitted via gossip at inc %d", ss.id, ss.addr, m.Incarnation)
+		}
+	}
+	if changed {
+		r.rebuildRingLocked()
+	}
+	r.mu.Unlock()
+}
+
+// ProbeOffset is shard id's deterministic phase within the ProbeEvery
+// window: a hash of (ProbeJitterSeed, id) spreads a fleet's probes across
+// the window instead of firing them all at the tick. Deterministic by
+// construction — two routers with one seed schedule identically, and a
+// shard keeps its phase when members come and go.
+func (r *Router) ProbeOffset(id string) time.Duration {
+	h := fnv1a64(fmt.Sprintf("%d\x00%s", r.cfg.ProbeJitterSeed, id))
+	return time.Duration(h % uint64(r.cfg.ProbeEvery))
+}
+
+// ProbeOffsets snapshots every current member's probe phase.
+func (r *Router) ProbeOffsets() map[string]time.Duration {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]time.Duration, len(r.order))
+	for _, id := range r.order {
+		out[id] = r.ProbeOffset(id)
+	}
+	return out
+}
+
 // Run drives the liveness prober until ctx ends. An initial probe pass
 // runs immediately so a topology that boots with a dead member converges
-// before the first tick.
+// before the first tick; after that each shard fires once per ProbeEvery
+// window at its own jittered phase (ProbeOffset), so the fleet never takes
+// a synchronized probe storm. Members learned from gossip mid-run enter
+// the schedule on the next wakeup.
 func (r *Router) Run(ctx context.Context) {
 	r.ProbeOnce()
-	t := time.NewTicker(r.cfg.ProbeEvery)
-	defer t.Stop()
+	next := make(map[string]time.Time)
 	for {
+		now := time.Now()
+		wake := now.Add(r.cfg.ProbeEvery)
+		var due []*shardState
+		r.mu.RLock()
+		ids := append([]string(nil), r.order...)
+		states := make([]*shardState, len(ids))
+		for i, id := range ids {
+			states[i] = r.shards[id]
+		}
+		r.mu.RUnlock()
+		for i, id := range ids {
+			nd, ok := next[id]
+			if !ok {
+				nd = now.Add(r.ProbeOffset(id))
+				next[id] = nd
+			}
+			if !nd.After(now) {
+				due = append(due, states[i])
+				for !nd.After(now) {
+					nd = nd.Add(r.cfg.ProbeEvery)
+				}
+				next[id] = nd
+			}
+			if nd.Before(wake) {
+				wake = nd
+			}
+		}
+		if len(due) > 0 {
+			var wg sync.WaitGroup
+			for _, ss := range due {
+				wg.Add(1)
+				go func(ss *shardState) {
+					defer wg.Done()
+					r.probe(ss)
+				}(ss)
+			}
+			wg.Wait()
+		}
+		sleep := time.Until(wake)
+		if sleep < time.Millisecond {
+			sleep = time.Millisecond
+		}
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
-			r.ProbeOnce()
+		case <-time.After(sleep):
 		}
 	}
 }
@@ -328,14 +528,19 @@ func (r *Router) Run(ctx context.Context) {
 // the miss/eject/readmit rules. Exposed so tests can drive membership
 // without timing dependence.
 func (r *Router) ProbeOnce() {
-	var wg sync.WaitGroup
+	r.mu.RLock()
+	states := make([]*shardState, 0, len(r.order))
 	for _, id := range r.order {
-		ss := r.shards[id]
+		states = append(states, r.shards[id])
+	}
+	r.mu.RUnlock()
+	var wg sync.WaitGroup
+	for _, ss := range states {
 		wg.Add(1)
-		go func() {
+		go func(ss *shardState) {
 			defer wg.Done()
 			r.probe(ss)
-		}()
+		}(ss)
 	}
 	wg.Wait()
 }
@@ -390,14 +595,20 @@ func (r *Router) shardFor(key int) *shardState {
 	if ring.Len() == 0 {
 		return nil
 	}
+	var owner string
 	if key >= 0 {
-		if owner := ring.Owner(key); owner != "" {
-			return r.shards[owner]
+		owner = ring.Owner(key)
+		if owner == "" {
+			return nil
 		}
-		return nil
+	} else {
+		nodes := ring.nodes
+		owner = nodes[int(r.roundRobin.Add(1)-1)%len(nodes)]
 	}
-	nodes := ring.nodes
-	return r.shards[nodes[int(r.roundRobin.Add(1)-1)%len(nodes)]]
+	r.mu.RLock()
+	ss := r.shards[owner]
+	r.mu.RUnlock()
+	return ss
 }
 
 // Response-classification needles, mirroring loadgen's: the router counts
@@ -418,7 +629,9 @@ func (r *Router) forward(path string, ws *proxyWS, key int) (code int, body []by
 	ws.frame = rawhttp.AppendFrame(ws.frame, path, ws.body)
 	// One attempt per initially-live shard plus one: every failed attempt
 	// ejects, so the loop strictly shrinks the live set and terminates.
+	r.mu.RLock()
 	attempts := len(r.order) + 1
+	r.mu.RUnlock()
 	for try := 0; try < attempts; try++ {
 		ss := r.shardFor(key)
 		if ss == nil {
@@ -526,9 +739,11 @@ func readBody(dst []byte, r io.Reader) ([]byte, error) {
 func (r *Router) ShardMap() ShardMap {
 	ring := r.ring.Load()
 	m := ShardMap{Version: ShardMapVersion, VNodes: r.cfg.VNodes}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	for _, id := range r.order {
 		ss := r.shards[id]
-		info := ShardInfo{ID: id, Addr: ss.addr, Alive: ss.alive.Load()}
+		info := ShardInfo{ID: id, Addr: ss.addr, Alive: ss.alive.Load() && !ss.gossipDead.Load()}
 		if info.Alive {
 			info.OwnedFraction = ring.OwnedFraction(id)
 			info.RingPositions = r.cfg.VNodes
@@ -549,19 +764,24 @@ type ShardCounters struct {
 }
 
 // RouterStats is the router's /v1/stats payload: fleet-wide counters plus
-// per-shard identity and outcomes.
+// per-shard identity and outcomes. MembershipEpoch and Membership appear
+// when the router gossips (AttachMembership); GossipJoins counts members
+// the router learned from the membership plane rather than its flags.
 type RouterStats struct {
-	UptimeSeconds float64         `json:"uptime_s"`
-	Requests      int64           `json:"requests"`
-	Retries       int64           `json:"retries"`
-	Ejections     int64           `json:"ejections"`
-	Rejoins       int64           `json:"rejoins"`
-	Rebalances    int64           `json:"rebalances"`
-	NoShard503s   int64           `json:"no_shard_503s"`
-	LiveShards    int             `json:"live_shards"`
-	VNodes        int             `json:"vnodes"`
-	ReplicaGroups int             `json:"replica_groups"`
-	Shards        []ShardCounters `json:"shards"`
+	UptimeSeconds   float64                `json:"uptime_s"`
+	Requests        int64                  `json:"requests"`
+	Retries         int64                  `json:"retries"`
+	Ejections       int64                  `json:"ejections"`
+	Rejoins         int64                  `json:"rejoins"`
+	Rebalances      int64                  `json:"rebalances"`
+	NoShard503s     int64                  `json:"no_shard_503s"`
+	LiveShards      int                    `json:"live_shards"`
+	VNodes          int                    `json:"vnodes"`
+	ReplicaGroups   int                    `json:"replica_groups"`
+	MembershipEpoch uint64                 `json:"membership_epoch,omitempty"`
+	GossipJoins     int64                  `json:"gossip_joins,omitempty"`
+	Membership      *serve.MembershipStats `json:"membership,omitempty"`
+	Shards          []ShardCounters        `json:"shards"`
 }
 
 // Stats snapshots the router counters.
@@ -579,6 +799,13 @@ func (r *Router) Stats() RouterStats {
 		VNodes:        r.cfg.VNodes,
 		ReplicaGroups: r.cfg.ReplicaGroups,
 	}
+	if r.membership != nil {
+		st.MembershipEpoch = r.membershipEpoch.Load()
+		st.GossipJoins = r.gossipJoins.Load()
+		st.Membership = r.membership.MembershipStats()
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	for _, info := range m.Shards {
 		ss := r.shards[info.ID]
 		st.Shards = append(st.Shards, ShardCounters{
@@ -617,6 +844,9 @@ func NewHandler(r *Router) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	if r.membership != nil {
+		mux.HandleFunc(GossipPath, r.membership.Handler())
+	}
 	return mux
 }
 
@@ -641,9 +871,19 @@ func ListenAndServe(ctx context.Context, addr string, r *Router, ready func(net.
 	if ready != nil {
 		ready(ln.Addr())
 	}
+	return ServeRouter(ctx, ln, r)
+}
+
+// ServeRouter is ListenAndServe over a pre-bound listener — LocalCluster
+// binds first so the router's gossip agent can advertise a concrete address
+// before serving starts.
+func ServeRouter(ctx context.Context, ln net.Listener, r *Router) error {
 	probeCtx, stopProbe := context.WithCancel(ctx)
 	defer stopProbe()
 	go r.Run(probeCtx)
+	if r.membership != nil {
+		go r.membership.Run(probeCtx)
+	}
 	hs := &http.Server{
 		Handler:           NewHandler(r),
 		ReadHeaderTimeout: 5 * time.Second,

@@ -109,6 +109,13 @@ func ScaleOutBar(procs int) float64 {
 // resident replica policy rather than a fresh retrain.
 const FailoverWarmBar = 0.9
 
+// ConvergenceBarNs is the ceiling on the membership probe's kill→converged
+// window: every surviving gossip view must agree on a killed shard's
+// obituary within 5 seconds (slack-widened). The in-process plane ticks at
+// 40ms with a 600ms suspicion window, so a healthy run converges in ~1s;
+// the bar catches dissemination regressions, not timing noise.
+const ConvergenceBarNs = 5e9
+
 // ClusterGate checks a cluster sweep against the committed single-node
 // baseline: aggregate throughput must clear ScaleOutBar× the single-node
 // rate (slack-relieved), warm p99 may cost at most 2× the single-node tail
@@ -166,6 +173,19 @@ func ClusterGate(current, single Report, slack float64) []GateViolation {
 				Baseline: FailoverWarmBar,
 				Current:  current.ClusterFailoverWarmFraction,
 				Limit:    FailoverWarmBar,
+			})
+		}
+	}
+	// Membership convergence is gated only when the sweep measured it (older
+	// records and gossip-disabled runs carry a zero).
+	if current.ClusterKillConvergedNs > 0 {
+		limit := ConvergenceBarNs * (1 + slack)
+		if current.ClusterKillConvergedNs > limit {
+			out = append(out, GateViolation{
+				Metric:   "cluster_kill_converged_ns",
+				Baseline: ConvergenceBarNs,
+				Current:  current.ClusterKillConvergedNs,
+				Limit:    limit,
 			})
 		}
 	}

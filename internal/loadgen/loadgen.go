@@ -233,6 +233,9 @@ type Result struct {
 	// Failover is the warm-failover probe's aggregate (nil unless cluster
 	// mode ran with FailoverRequests > 0).
 	Failover *FailoverResult
+	// Membership is the gossip-convergence probe's aggregate (nil unless
+	// cluster mode ran the probes with the gossip plane enabled).
+	Membership *ConvergenceResult
 }
 
 // Run executes the two-phase sweep described by opts: build the world,
@@ -357,6 +360,17 @@ func Run(opts Options) (*Result, error) {
 		}
 	}
 
+	// The membership probe rides the same cluster-probes knob: kill a shard
+	// cold and time how long the gossip plane takes to converge every
+	// surviving view on the death, then on the rejoin.
+	var membership *ConvergenceResult
+	if topo != nil && opts.FailoverRequests > 0 && topo.RouterAgent() != nil {
+		membership, err = ConvergenceProbe(topo, 15*time.Second, opts.Logf)
+		if err != nil {
+			return nil, fmt.Errorf("membership probe: %w", err)
+		}
+	}
+
 	var routerStats *cluster.RouterStats
 	if topo != nil {
 		rs := topo.Router().Stats()
@@ -367,6 +381,11 @@ func Run(opts Options) (*Result, error) {
 		}
 		opts.logf("router: %d requests, %d retries, %d ejections, %d rejoins, %d rebalances, %d no-shard 503s\n",
 			rs.Requests, rs.Retries, rs.Ejections, rs.Rejoins, rs.Rebalances, rs.NoShard503s)
+		if rs.Membership != nil {
+			opts.logf("membership: epoch %d, %d/%d members alive (%d suspect, %d dead), %d gossip joins, %d refutations seen\n",
+				rs.Membership.Epoch, rs.Membership.Alive, rs.Membership.Members,
+				rs.Membership.Suspect, rs.Membership.Dead, rs.GossipJoins, rs.Membership.Refutations)
+		}
 	} else {
 		stats, err = FetchStats(base)
 		if err != nil {
@@ -400,8 +419,15 @@ func Run(opts Options) (*Result, error) {
 			rep.ClusterFailoverNon2xx = failover.Non2xx
 			rep.ClusterFailoverWarmFraction = failover.WarmFraction
 		}
+		if membership != nil {
+			rep.ClusterMembershipEpoch = membership.Epoch
+			rep.ClusterSuspects = membership.Suspects
+			rep.ClusterRefutations = membership.Refutations
+			rep.ClusterDeadConfirmed = membership.DeadConfirmed
+			rep.ClusterKillConvergedNs = float64(membership.KillConverged.Nanoseconds())
+		}
 	}
-	return &Result{Cold: cold, Levels: results, Report: rep, Router: routerStats, Failover: failover}, nil
+	return &Result{Cold: cold, Levels: results, Report: rep, Router: routerStats, Failover: failover, Membership: membership}, nil
 }
 
 // sumShardStats folds every shard's serve counters into one aggregate view

@@ -1,0 +1,82 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// ConvergenceResult is the membership probe's aggregate: how long the
+// gossip plane took to converge every surviving view on a kill, and then on
+// the victim's re-admission.
+type ConvergenceResult struct {
+	// VictimID is the killed shard's member id.
+	VictimID string
+	// KillConverged is kill → every live agent agrees the victim is dead on
+	// one (epoch, digest). This is the failure-detection window the cluster
+	// gate bounds.
+	KillConverged time.Duration
+	// RejoinConverged is restart → every view agrees the victim is alive
+	// again (its refuted incarnation included).
+	RejoinConverged time.Duration
+	// Epoch is the fleet's converged membership epoch after the probe.
+	Epoch uint64
+	// Protocol counters summed across every live agent at probe end.
+	Suspects      int64
+	Refutations   int64
+	DeadConfirmed int64
+}
+
+// ConvergenceProbe measures the membership plane on a live in-process
+// cluster: kill one shard cold (its agent stops gossiping — survivors must
+// detect the death, not be told), wait for every surviving view to converge
+// on the obituary, then restart the victim and wait for the fleet to
+// re-converge on its refuted, re-admitted self.
+func ConvergenceProbe(topo *cluster.LocalCluster, timeout time.Duration, logf func(format string, args ...any)) (*ConvergenceResult, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if topo.RouterAgent() == nil {
+		return nil, fmt.Errorf("membership probe: gossip plane disabled")
+	}
+	victim := topo.Shards() - 1
+	id := topo.ShardID(victim)
+	if err := topo.KillShard(victim); err != nil {
+		return nil, fmt.Errorf("membership probe: kill %s: %w", id, err)
+	}
+	killDt, ok := topo.AwaitConverged(timeout, func(v cluster.View) bool {
+		m, found := v.Find(id)
+		return found && m.State == cluster.StateDead
+	})
+	if !ok {
+		_, _ = topo.RestartShard(victim)
+		return nil, fmt.Errorf("membership probe: views did not converge on %s dead within %v", id, timeout)
+	}
+	res := &ConvergenceResult{VictimID: id, KillConverged: killDt}
+
+	if _, err := topo.RestartShard(victim); err != nil {
+		return nil, fmt.Errorf("membership probe: restart %s: %w", id, err)
+	}
+	rejoinDt, ok := topo.AwaitConverged(timeout, func(v cluster.View) bool {
+		m, found := v.Find(id)
+		return found && m.State == cluster.StateAlive
+	})
+	if !ok {
+		return nil, fmt.Errorf("membership probe: views did not converge on %s re-admitted within %v", id, timeout)
+	}
+	res.RejoinConverged = rejoinDt
+
+	for _, a := range topo.LiveAgents() {
+		ms := a.MembershipStats()
+		res.Suspects += ms.SuspectsDeclared
+		res.Refutations += ms.Refutations
+		res.DeadConfirmed += ms.DeadConfirmed
+	}
+	res.Epoch = topo.RouterAgent().Epoch()
+	topo.Router().ProbeOnce()
+	logf("membership probe: %s dead-converged in %s, alive-converged after restart in %s (epoch %d; %d suspects, %d refutations, %d dead-confirms fleet-wide)\n",
+		id, res.KillConverged.Round(time.Millisecond), res.RejoinConverged.Round(time.Millisecond),
+		res.Epoch, res.Suspects, res.Refutations, res.DeadConfirmed)
+	return res, nil
+}

@@ -54,6 +54,16 @@ type Report struct {
 	ClusterFailoverRequests     int     `json:"cluster_failover_requests,omitempty"`
 	ClusterFailoverNon2xx       int     `json:"cluster_failover_non2xx,omitempty"`
 	ClusterFailoverWarmFraction float64 `json:"cluster_failover_warm_fraction,omitempty"`
+	// Gossip membership metrics (PR-10; absent in older records). The
+	// convergence number comes from the post-sweep membership probe: kill a
+	// shard cold and time how long until every surviving agent's view agrees
+	// on the obituary (one epoch, one digest). The counters are the fleet's
+	// summed SWIM telemetry at probe end.
+	ClusterMembershipEpoch uint64  `json:"cluster_membership_epoch,omitempty"`
+	ClusterSuspects        int64   `json:"cluster_suspects_declared,omitempty"`
+	ClusterRefutations     int64   `json:"cluster_refutations,omitempty"`
+	ClusterDeadConfirmed   int64   `json:"cluster_dead_confirmed,omitempty"`
+	ClusterKillConvergedNs float64 `json:"cluster_kill_converged_ns,omitempty"`
 }
 
 // BuildReport folds the per-level aggregates into the flat record. The

@@ -25,6 +25,10 @@ type HTTPOptions struct {
 	DrainTimeout time.Duration
 	// ReadHeaderTimeout guards against slowloris clients (default 5s).
 	ReadHeaderTimeout time.Duration
+	// ExtraRoutes mounts additional handlers behind the same middleware
+	// chain (recovery + per-request timeout). The cluster tier uses it to
+	// mount the /v1/gossip membership endpoint on every shard.
+	ExtraRoutes map[string]http.HandlerFunc
 }
 
 func (o HTTPOptions) withDefaults() HTTPOptions {
@@ -51,10 +55,10 @@ func (o HTTPOptions) withDefaults() HTTPOptions {
 //	GET  /v1/cluster    — the node's ClusterNodeStats (or standalone)
 //	GET  /healthz      — liveness
 func NewHandler(s *Server, opts HTTPOptions) http.Handler {
-	return newHandler(s, opts, nil)
+	return newHandler(s, opts, opts.ExtraRoutes)
 }
 
-// newHandler is NewHandler plus test-only extra routes, so tests can mount a
+// newHandler is NewHandler plus injected extra routes, so tests can mount a
 // deliberately panicking handler behind the real middleware chain.
 func newHandler(s *Server, opts HTTPOptions, extra map[string]http.HandlerFunc) http.Handler {
 	opts = opts.withDefaults()

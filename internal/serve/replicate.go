@@ -72,6 +72,11 @@ type replicator struct {
 	s   *Server
 	cfg ReplicationConfig
 
+	// peersFor is the live peer-resolution function. It starts as
+	// cfg.PeersFor and is swapped by SetReplicationPeers when the gossip
+	// membership plane moves ownership.
+	peersFor atomic.Pointer[func(cluster int) []string]
+
 	jobs chan int
 	stop chan struct{}
 	done chan struct{}
@@ -136,9 +141,26 @@ func (s *Server) EnableReplication(cfg ReplicationConfig) error {
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	r.peersFor.Store(&cfg.PeersFor)
 	s.repl = r
 	s.cache.onReplicate = r.enqueue
 	go r.run()
+	return nil
+}
+
+// SetReplicationPeers swaps the replication sender's peer-resolution
+// function in place. The gossip membership plane calls this when the
+// member set changes, so pushes re-target the new owners without
+// restarting the sender or losing queued jobs. Returns an error if
+// replication was never enabled (single-owner deployments have no sender).
+func (s *Server) SetReplicationPeers(peersFor func(cluster int) []string) error {
+	if peersFor == nil {
+		return fmt.Errorf("serve: replication needs PeersFor")
+	}
+	if s.repl == nil {
+		return fmt.Errorf("serve: replication not enabled")
+	}
+	s.repl.peersFor.Store(&peersFor)
 	return nil
 }
 
@@ -172,7 +194,7 @@ func (r *replicator) run() {
 // time, so a queue of stale jobs for a retrained cluster ships the newest
 // version (and the receiver's version gate makes the repeats no-ops).
 func (r *replicator) push(cluster int) {
-	peers := r.cfg.PeersFor(cluster)
+	peers := (*r.peersFor.Load())(cluster)
 	if len(peers) == 0 {
 		return
 	}

@@ -64,9 +64,11 @@ type Server struct {
 	replStop sync.Once
 
 	// Cluster membership (nil while standalone) and warm-handoff counters;
-	// see cluster.go.
+	// see cluster.go. membership is the gossip plane's stats provider
+	// (nil unless SetMembership ran; see membership.go).
 	clusterMu     sync.Mutex
 	clusterID     *ClusterIdentity
+	membership    func() *MembershipStats
 	handoffServes atomic.Int64
 	handoffPulls  atomic.Int64
 
@@ -753,6 +755,9 @@ type Stats struct {
 	// Replication is the push-queue ledger when the replication sender is
 	// enabled (absent otherwise; receiver-side counters live in Cache).
 	Replication *ReplicationStats `json:"replication,omitempty"`
+	// Membership is the gossip membership plane's view and protocol
+	// counters when the node gossips (absent standalone).
+	Membership *MembershipStats `json:"membership,omitempty"`
 }
 
 // Stats snapshots the service counters.
@@ -761,14 +766,14 @@ func (s *Server) Stats() Stats {
 	window := len(s.window)
 	s.fbMu.Unlock()
 	return Stats{
-		UptimeSeconds:   s.cfg.Now().Sub(s.started).Seconds(),
-		Allocates:       s.allocates.Load(),
-		DegradedCount:   s.degraded.Load(),
-		Feedbacks:       s.feedbacks.Load(),
-		Refits:          s.refits.Load(),
-		StoreSize:       s.store.Len(),
-		StoreAdds:       s.storeAdds.Load(),
-		WindowSize:      window,
+		UptimeSeconds:      s.cfg.Now().Sub(s.started).Seconds(),
+		Allocates:          s.allocates.Load(),
+		DegradedCount:      s.degraded.Load(),
+		Feedbacks:          s.feedbacks.Load(),
+		Refits:             s.refits.Load(),
+		StoreSize:          s.store.Len(),
+		StoreAdds:          s.storeAdds.Load(),
+		WindowSize:         window,
 		RecoveredPanics:    s.panics.Load(),
 		CheckpointSkips:    s.ckptSkips.Load(),
 		FeedbackDuplicates: s.fbDupes.Load(),
@@ -776,6 +781,7 @@ func (s *Server) Stats() Stats {
 		Latency:            s.latencyStats(),
 		Cluster:            s.clusterNodeStats(),
 		Replication:        s.replicationStats(),
+		Membership:         s.membershipStats(),
 	}
 }
 
